@@ -1,0 +1,122 @@
+//! Rack coolant loop.
+//!
+//! The BG/Q is water cooled; the environmental database records "coolant
+//! flow and pressure" and coolant temperatures per rack (§II-A). The loop
+//! model: outlet temperature rises with the rack's dissipated power at a
+//! fixed flow; pressure is essentially constant with small measurement
+//! noise. This is also the only place the BG/Q exposes any temperature —
+//! the rack granularity the paper's conclusion calls out.
+
+use crate::machine::BgqMachine;
+use powermodel::{ScalarSensor, SensorSpec};
+use simkit::{SimDuration, SimTime};
+
+/// One coolant-loop observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoolantReading {
+    /// Inlet water temperature, °C.
+    pub inlet_temp_c: f64,
+    /// Outlet water temperature, °C.
+    pub outlet_temp_c: f64,
+    /// Flow, litres per minute.
+    pub flow_lpm: f64,
+    /// Loop pressure, bar.
+    pub pressure_bar: f64,
+}
+
+/// The coolant loop of one rack.
+#[derive(Clone, Debug)]
+pub struct CoolantLoop {
+    rack: u16,
+    temp_sensor: ScalarSensor,
+    flow_sensor: ScalarSensor,
+    pressure_sensor: ScalarSensor,
+    /// Inlet temperature, °C.
+    pub inlet_temp_c: f64,
+    /// Nominal flow, litres per minute.
+    pub nominal_flow_lpm: f64,
+}
+
+/// Specific heat capacity of water, J/(kg·K); 1 L ≈ 1 kg.
+const WATER_C_J_PER_KG_K: f64 = 4_186.0;
+
+impl CoolantLoop {
+    /// Build the loop for `rack` of `machine`.
+    pub fn new(machine: &BgqMachine, rack: u16) -> Self {
+        let root = machine.noise().child(&format!("coolant-R{rack:02}"));
+        let spec = SensorSpec::ideal(SimDuration::from_secs(5));
+        CoolantLoop {
+            rack,
+            temp_sensor: ScalarSensor::new(spec.with_noise(0.1), root.child("temp")),
+            flow_sensor: ScalarSensor::new(spec.with_noise(0.5), root.child("flow")),
+            pressure_sensor: ScalarSensor::new(spec.with_noise(0.01), root.child("pressure")),
+            inlet_temp_c: 18.0,
+            nominal_flow_lpm: 110.0,
+        }
+    }
+
+    /// Steady-state outlet temperature for a rack power (energy balance:
+    /// ΔT = P / (ṁ · c)).
+    pub fn outlet_for_power(&self, rack_watts: f64) -> f64 {
+        let kg_per_sec = self.nominal_flow_lpm / 60.0;
+        self.inlet_temp_c + rack_watts / (kg_per_sec * WATER_C_J_PER_KG_K)
+    }
+
+    /// Read the loop at time `t`.
+    pub fn read(&self, machine: &BgqMachine, t: SimTime) -> CoolantReading {
+        let rack = self.rack;
+        let outlet_truth = |at: SimTime| {
+            let rack_power = machine.midplane_power(rack, 0, at)
+                + machine.midplane_power(rack, 1, at);
+            self.outlet_for_power(rack_power)
+        };
+        CoolantReading {
+            inlet_temp_c: self.inlet_temp_c,
+            outlet_temp_c: self.temp_sensor.observe(t, outlet_truth),
+            flow_lpm: self.flow_sensor.observe(t, |_| self.nominal_flow_lpm),
+            pressure_bar: self.pressure_sensor.observe(t, |_| 2.4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::BgqConfig;
+    use hpc_workloads::Mmps;
+
+    #[test]
+    fn outlet_above_inlet_and_rises_with_load() {
+        let mut machine = BgqMachine::new(BgqConfig::default(), 5);
+        let loop_ = CoolantLoop::new(&machine, 0);
+        let idle = loop_.read(&machine, SimTime::from_secs(10));
+        assert!(idle.outlet_temp_c > idle.inlet_temp_c);
+        machine.assign_job(&(0..32).collect::<Vec<_>>(), &Mmps::figure1().profile());
+        let loop_ = CoolantLoop::new(&machine, 0);
+        let busy = loop_.read(&machine, SimTime::from_secs(700));
+        assert!(
+            busy.outlet_temp_c > idle.outlet_temp_c + 1.0,
+            "busy {} vs idle {}",
+            busy.outlet_temp_c,
+            idle.outlet_temp_c
+        );
+    }
+
+    #[test]
+    fn energy_balance_magnitude() {
+        let machine = BgqMachine::new(BgqConfig::default(), 5);
+        let loop_ = CoolantLoop::new(&machine, 0);
+        // 50 kW rack at 110 L/min: ΔT = 50000 / (1.833 * 4186) ≈ 6.5 °C.
+        let outlet = loop_.outlet_for_power(50_000.0);
+        assert!((outlet - 18.0 - 6.52).abs() < 0.1, "outlet {outlet}");
+    }
+
+    #[test]
+    fn flow_and_pressure_near_nominal() {
+        let machine = BgqMachine::new(BgqConfig::default(), 5);
+        let loop_ = CoolantLoop::new(&machine, 0);
+        let r = loop_.read(&machine, SimTime::from_secs(60));
+        assert!((r.flow_lpm - 110.0).abs() < 3.0);
+        assert!((r.pressure_bar - 2.4).abs() < 0.1);
+    }
+}

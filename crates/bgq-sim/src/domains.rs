@@ -1,0 +1,182 @@
+//! The seven BG/Q node-card power domains.
+//!
+//! MonEQ "allows us to read the individual voltage and current data points
+//! for each of the 7 BG/Q domains" (§II-A); Figure 2 plots them: Chip Core,
+//! DRAM, Link Chip Core, HSS Network, Optics, PCI Express, SRAM.
+//!
+//! Per-domain idle/dynamic wattages below are calibrated per **node card**
+//! (32 nodes) so that the idle node card draws ≈815 W and an MMPS-saturated
+//! card ≈1.6 kW — matching the magnitudes printed on the Figure 1/2 axes.
+
+use hpc_workloads::{Channel, WorkloadProfile};
+use powermodel::{ComponentSpec, DemandTrace};
+use simkit::SimDuration;
+
+/// The seven power domains of a node card, in Figure 2's legend order
+/// (top-down by typical magnitude).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    /// Compute chip cores.
+    ChipCore,
+    /// DDR3 main memory.
+    Dram,
+    /// Link chip cores.
+    LinkChipCore,
+    /// High-speed serial (5-D torus) network.
+    HssNetwork,
+    /// Optical transceivers.
+    Optics,
+    /// PCI Express.
+    PciExpress,
+    /// On-chip SRAM rail.
+    Sram,
+}
+
+impl Domain {
+    /// All domains, in legend order.
+    pub const ALL: [Domain; 7] = [
+        Domain::ChipCore,
+        Domain::Dram,
+        Domain::LinkChipCore,
+        Domain::HssNetwork,
+        Domain::Optics,
+        Domain::PciExpress,
+        Domain::Sram,
+    ];
+
+    /// Display name as in the Figure 2 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::ChipCore => "Chip Core",
+            Domain::Dram => "DRAM",
+            Domain::LinkChipCore => "Link Chip Core",
+            Domain::HssNetwork => "HSS Network",
+            Domain::Optics => "Optics",
+            Domain::PciExpress => "PCI Express",
+            Domain::Sram => "SRAM",
+        }
+    }
+
+    /// Nominal rail voltage, used to decompose domain power into the
+    /// voltage/current pairs MonEQ reads.
+    pub fn rail_voltage(self) -> f64 {
+        match self {
+            Domain::ChipCore => 0.9,
+            Domain::Dram => 1.35,
+            Domain::LinkChipCore => 1.0,
+            Domain::HssNetwork => 1.5,
+            Domain::Optics => 3.3,
+            Domain::PciExpress => 12.0,
+            Domain::Sram => 0.9,
+        }
+    }
+
+    /// Per-node-card power component (idle and dynamic watts, ramp).
+    pub fn component_spec(self) -> ComponentSpec {
+        let (idle_w, dynamic_w) = match self {
+            Domain::ChipCore => (350.0, 550.0),
+            Domain::Dram => (150.0, 250.0),
+            Domain::LinkChipCore => (80.0, 120.0),
+            Domain::HssNetwork => (70.0, 180.0),
+            Domain::Optics => (100.0, 80.0),
+            Domain::PciExpress => (40.0, 30.0),
+            Domain::Sram => (25.0, 25.0),
+        };
+        ComponentSpec {
+            name: self.label(),
+            idle_w,
+            dynamic_w,
+            // Node-card power tracks load quickly; the long-looking rises in
+            // Figure 1 are polling-interval artifacts, not device lag.
+            ramp_tau: SimDuration::from_millis(200),
+        }
+    }
+
+    /// The workload channel that drives this domain.
+    pub fn channel(self) -> Channel {
+        match self {
+            Domain::ChipCore => Channel::Cpu,
+            Domain::Dram => Channel::Memory,
+            Domain::LinkChipCore => Channel::Network,
+            Domain::HssNetwork => Channel::Network,
+            Domain::Optics => Channel::Network,
+            Domain::PciExpress => Channel::Io,
+            Domain::Sram => Channel::Cpu,
+        }
+    }
+
+    /// Extract this domain's demand trace from a workload profile.
+    pub fn demand_from(self, profile: &WorkloadProfile) -> DemandTrace {
+        profile.demand(self.channel())
+    }
+}
+
+/// Idle power of a whole node card (sum of domain idles), watts.
+pub fn node_card_idle_watts() -> f64 {
+    Domain::ALL
+        .iter()
+        .map(|d| d.component_spec().idle_w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_workloads::Mmps;
+
+    #[test]
+    fn seven_domains() {
+        assert_eq!(Domain::ALL.len(), 7);
+    }
+
+    #[test]
+    fn idle_card_near_815_watts() {
+        let idle = node_card_idle_watts();
+        assert!((idle - 815.0).abs() < 1e-9, "idle {idle}");
+    }
+
+    #[test]
+    fn mmps_card_lands_in_figure_range() {
+        // Steady-state MMPS power: idle + sum(dynamic * level).
+        let p = Mmps::figure1().profile();
+        let t = simkit::SimTime::from_secs(700);
+        let total: f64 = Domain::ALL
+            .iter()
+            .map(|d| {
+                let spec = d.component_spec();
+                spec.idle_w + spec.dynamic_w * d.demand_from(&p).level_at(t)
+            })
+            .sum();
+        assert!(
+            (1_450.0..1_800.0).contains(&total),
+            "MMPS node card at {total} W, outside Figure 1/2 magnitudes"
+        );
+    }
+
+    #[test]
+    fn chip_core_is_largest_domain() {
+        let p = Mmps::figure1().profile();
+        let t = simkit::SimTime::from_secs(700);
+        let power = |d: Domain| {
+            let s = d.component_spec();
+            s.idle_w + s.dynamic_w * d.demand_from(&p).level_at(t)
+        };
+        for d in Domain::ALL.iter().skip(1) {
+            assert!(
+                power(Domain::ChipCore) > power(*d),
+                "{} not below Chip Core",
+                d.label()
+            );
+        }
+    }
+
+    #[test]
+    fn rail_voltages_positive_and_current_consistent() {
+        for d in Domain::ALL {
+            assert!(d.rail_voltage() > 0.0);
+            let spec = d.component_spec();
+            let amps = spec.idle_w / d.rail_voltage();
+            assert!(amps > 0.0);
+        }
+    }
+}

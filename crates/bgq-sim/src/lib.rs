@@ -1,0 +1,112 @@
+//! # bgq-sim — IBM Blue Gene/Q platform model
+//!
+//! A faithful model of the two environmental-data paths the paper describes
+//! for the BG/Q (§II-A), built on Mira's physical organisation:
+//!
+//! * **Topology** ([`topology`]): rack → midplane (2/rack) → node board
+//!   (16/midplane) → compute card (32/board), with `Rxx-Mx-Nxx-Jxx`
+//!   location codes. 1,024 nodes and 16,384 cores per rack.
+//! * **Bulk power modules** ([`bpm`]): AC→48 V DC conversion feeding each
+//!   midplane; the environmental database stores input- and output-side
+//!   watts and amps per BPM.
+//! * **Environmental database** ([`envdb`]): the DB2-like store fed by a
+//!   polling daemon at 60–1,800 s intervals (≈4 min default), including the
+//!   ingest-capacity constraint that motivates those long intervals.
+//! * **EMON API** ([`emon`]): compute-node-side access to node-card power at
+//!   a ~560 ms generation cadence across the 7 power domains, with the
+//!   documented quirks: data is the *oldest generation*, domains are not
+//!   sampled at the same instant, granularity is one node card (32 nodes),
+//!   and each query costs ≈1.10 ms.
+//!
+//! The machine model ([`machine`]) binds workload profiles to node cards and
+//! serves as the ground-truth power oracle both paths observe.
+//!
+//! ```
+//! use bgq_sim::{BgqConfig, BgqMachine, EmonApi};
+//! use hpc_workloads::Mmps;
+//! use simkit::SimTime;
+//!
+//! let mut machine = BgqMachine::new(BgqConfig::default(), 42);
+//! machine.assign_job(&[0], &Mmps::figure1().profile());
+//!
+//! // Compute-node side: EMON at node-card granularity.
+//! let emon = EmonApi::open(0);
+//! let watts = emon.total_power(&machine, SimTime::from_secs(100));
+//! assert!(watts > 1_000.0); // an MMPS-loaded card draws ~1.6 kW
+//!
+//! // Facility side: the environmental database.
+//! let daemon = bgq_sim::PollingDaemon::new(bgq_sim::EnvDbConfig::default_4min()).unwrap();
+//! let mut db = bgq_sim::EnvDatabase::new();
+//! daemon.run(&machine, &mut db, SimTime::from_secs(600));
+//! assert!(!db.rows().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpm;
+pub mod coolant;
+pub mod domains;
+pub mod emon;
+pub mod envdb;
+pub mod machine;
+pub mod topology;
+
+pub use bpm::{BpmGroup, BpmReading};
+pub use coolant::CoolantLoop;
+pub use domains::Domain;
+pub use emon::{DomainReading, EmonApi, EMON_QUERY_COST};
+pub use envdb::{EnvDatabase, EnvDbConfig, EnvRow, PollingDaemon};
+pub use machine::{BgqConfig, BgqMachine, NodeCard};
+pub use topology::{Location, Topology};
+
+use powermodel::{Metric, Platform, Support};
+
+/// The Blue Gene/Q column of Table I.
+///
+/// The BG/Q exposes per-domain voltage/current (hence power) for the node
+/// card including its DRAM and PCIe domains; temperature exists only in the
+/// environmental database at coarse (rack/coolant) granularity; it has no
+/// fans (water cooled) and no power-limit controls.
+pub fn capabilities() -> Vec<(Metric, Support)> {
+    use Metric::*;
+    use Support::*;
+    vec![
+        (TotalPower, Yes),
+        (Voltage, Yes),
+        (Current, Yes),
+        (PciExpressPower, Yes),
+        (MainMemoryPower, Yes),
+        (DieTemp, No),
+        (DdrGddrTemp, No),
+        (DeviceTemp, Yes),
+        (IntakeTemp, NotApplicable),
+        (ExhaustTemp, NotApplicable),
+        (MemUsed, No),
+        (MemFree, No),
+        (MemSpeed, No),
+        (MemFrequency, No),
+        (MemVoltage, Yes),
+        (MemClockRate, No),
+        (ProcVoltage, Yes),
+        (ProcFrequency, No),
+        (ProcClockRate, No),
+        (FanSpeed, NotApplicable),
+        (PowerLimitGetSet, No),
+    ]
+}
+
+/// The platform this crate models.
+pub const PLATFORM: Platform = Platform::BlueGeneQ;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermodel::paper_matrix;
+
+    #[test]
+    fn capabilities_match_paper_table1_column() {
+        let m = paper_matrix();
+        assert_eq!(capabilities(), m.column(PLATFORM));
+    }
+}

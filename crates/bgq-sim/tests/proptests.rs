@@ -1,0 +1,117 @@
+//! Property tests for the Blue Gene/Q model.
+
+use bgq_sim::envdb::SensorKind;
+use bgq_sim::{BgqConfig, BgqMachine, EnvDatabase, EnvDbConfig, Location, PollingDaemon};
+use hpc_workloads::{Channel, WorkloadProfile};
+use powermodel::PhaseBuilder;
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn location_display_parse_roundtrip(
+        rack in 0u16..100,
+        midplane in 0u8..2,
+        board in 0u8..16,
+        card in prop::option::of(0u8..32),
+    ) {
+        let loc = match card {
+            Some(c) => Location::compute_card(rack, midplane, board, c),
+            None => Location::board(rack, midplane, board),
+        };
+        let text = loc.to_string();
+        prop_assert_eq!(text.parse::<Location>().unwrap(), loc);
+    }
+
+    #[test]
+    fn arbitrary_strings_never_panic_the_parser(s in ".{0,30}") {
+        let _ = s.parse::<Location>();
+    }
+
+    #[test]
+    fn board_indices_unique_within_any_machine(racks in 1u16..6) {
+        let topo = bgq_sim::Topology { racks };
+        let mut seen = std::collections::HashSet::new();
+        for loc in topo.board_locations() {
+            prop_assert!(seen.insert(loc.board_index()), "duplicate index for {loc}");
+        }
+        prop_assert_eq!(seen.len(), topo.boards());
+    }
+
+    #[test]
+    fn emon_total_bounded_by_card_envelope(
+        cpu in 0.0f64..=1.0,
+        net in 0.0f64..=1.0,
+        mem in 0.0f64..=1.0,
+        query_secs in 1u64..500,
+    ) {
+        let mut machine = BgqMachine::new(BgqConfig::default(), 5);
+        let mut p = WorkloadProfile::new("w", SimDuration::from_secs(600));
+        let d = SimDuration::from_secs(600);
+        p.set_demand(Channel::Cpu, PhaseBuilder::new().phase(d, cpu).build());
+        p.set_demand(Channel::Network, PhaseBuilder::new().phase(d, net).build());
+        p.set_demand(Channel::Memory, PhaseBuilder::new().phase(d, mem).build());
+        machine.assign_job(&[0], &p);
+        let api = bgq_sim::EmonApi::open(0);
+        let total = api.total_power(&machine, SimTime::from_secs(query_secs));
+        // Idle and peak bounds with headroom for the 0.5% measurement error.
+        let idle = bgq_sim::domains::node_card_idle_watts();
+        let peak: f64 = bgq_sim::Domain::ALL
+            .iter()
+            .map(|dm| {
+                let s = dm.component_spec();
+                s.idle_w + s.dynamic_w
+            })
+            .sum();
+        prop_assert!(total >= idle * 0.95, "total {} below idle", total);
+        prop_assert!(total <= peak * 1.05, "total {} above peak", total);
+    }
+
+    #[test]
+    fn envdb_rows_sorted_and_cycles_complete(
+        interval_secs in 60u64..600,
+        horizon_secs in 600u64..1_800,
+    ) {
+        let machine = BgqMachine::new(BgqConfig::default(), 5);
+        let daemon = PollingDaemon::new(EnvDbConfig {
+            poll_interval: SimDuration::from_secs(interval_secs),
+            capacity_rows_per_sec: 1e9,
+        }).unwrap();
+        let mut db = EnvDatabase::new();
+        daemon.run(&machine, &mut db, SimTime::from_secs(horizon_secs));
+        // Sorted by timestamp.
+        for w in db.rows().windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        // Every present cycle has the full per-cycle row count.
+        let expected = daemon.rows_per_cycle(&machine);
+        let mut counts = std::collections::BTreeMap::new();
+        for r in db.rows() {
+            *counts.entry(r.cycle).or_insert(0usize) += 1;
+        }
+        for (cycle, n) in counts {
+            prop_assert_eq!(n, expected, "cycle {} incomplete", cycle);
+        }
+        prop_assert_eq!(db.dropped_rows, 0);
+    }
+
+    #[test]
+    fn sum_by_cycle_equals_manual_sum(seed in 0u64..50) {
+        let machine = BgqMachine::new(BgqConfig::default(), seed);
+        let daemon = PollingDaemon::new(EnvDbConfig::default_4min()).unwrap();
+        let mut db = EnvDatabase::new();
+        daemon.run(&machine, &mut db, SimTime::from_secs(1_000));
+        let series = db.sum_by_cycle(SensorKind::BpmOutputWatts, "R00-M0");
+        // Manual reduction.
+        let mut by_cycle = std::collections::BTreeMap::new();
+        for r in db.rows() {
+            if r.kind == SensorKind::BpmOutputWatts && r.location.starts_with("R00-M0") {
+                *by_cycle.entry(r.cycle).or_insert(0.0) += r.value;
+            }
+        }
+        prop_assert_eq!(series.len(), by_cycle.len());
+        for (s, (_, v)) in series.samples().iter().zip(by_cycle) {
+            prop_assert!((s.value - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+use hpc_workloads::{Channel, GaussianElimination, Noop, WorkloadProfile};
+use mic_sim::{Bmc, PhiCard, PhiSpec, Smc, SysMgmtSession};
+use moneq::backends::{BgqBackend, MicApiBackend, MicDaemonBackend};
+use moneq::{EnvBackend, MonEq, MonEqConfig};
+use powermodel::{ComponentSpec, DemandTrace, DevicePower, PhaseBuilder};
+use rapl_sim::{
+    MsrAccess, MsrDevice, PowerLimit, PowerReader, RaplDomain, RaplLimiter, SocketModel,
+    SocketSpec,
+};
+use simkit::{NoiseStream, SimDuration, SimTime};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// One row of the RAPL interval sweep: measured-vs-true power error at a
+/// given sampling interval.
+#[derive(Clone, Debug)]
+pub struct IntervalSweepRow {
+    /// Sampling interval.
+    pub interval: SimDuration,
+    /// Mean absolute error of the interval's power estimates, watts.
+    pub mean_abs_error_w: f64,
+    /// Whether the interval exceeds the counter wrap horizon at this load.
+    pub beyond_wrap: bool,
+}
+
+/// Ablation 1: RAPL accuracy vs sampling interval, constant full load.
+///
+/// Reproduces both ends of §II-B's guidance: very short windows are noisy,
+/// and intervals beyond the wrap horizon (~60 s at TDP-scale draw) return
+/// erroneous (silently low) data.
+pub fn rapl_interval_sweep(seed: u64) -> Vec<IntervalSweepRow> {
+    let mut profile = WorkloadProfile::new("const", SimDuration::from_secs(1_200));
+    profile.set_demand(
+        Channel::Cpu,
+        PhaseBuilder::new()
+            .phase(SimDuration::from_secs(1_200), 1.0)
+            .build_open(),
+    );
+    let socket = Arc::new(SocketModel::new(SocketSpec::default(), &profile));
+    let device = MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(seed))
+        .expect("root");
+    let reader = PowerReader::new(device);
+    let truth = 50.0; // cores 4+38 + uncore 3+5 at 100% load
+    let wrap_secs = 8_192.0 / truth; // 2^32 counts at 2^-19 J/count
+    [1u64, 10, 60, 1_000, 10_000, 60_000, 120_000, 300_000]
+        .iter()
+        .map(|&ms| {
+            let interval = SimDuration::from_millis(ms);
+            let mut err_sum = 0.0;
+            let n = 40u64.min(1_100_000 / ms.max(1));
+            let mut t = SimTime::from_secs(20);
+            let mut prev = reader.snapshot(RaplDomain::Pkg, t).expect("readable");
+            for _ in 0..n {
+                let t2 = t + interval;
+                let raw = reader.snapshot(RaplDomain::Pkg, t2).expect("readable");
+                let p = reader.power_between(prev, raw, interval);
+                err_sum += (p - truth).abs();
+                prev = raw;
+                t = t2;
+            }
+            IntervalSweepRow {
+                interval,
+                mean_abs_error_w: err_sum / n as f64,
+                beyond_wrap: interval.as_secs_f64() > wrap_secs,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Phi access-path comparison.
+#[derive(Clone, Debug)]
+pub struct PhiPathRow {
+    /// Path name.
+    pub path: &'static str,
+    /// Time charged to the application per query.
+    pub app_cost: SimDuration,
+    /// End-to-end query latency.
+    pub latency: SimDuration,
+    /// Power the path adds to the card while polling at 100 ms, watts.
+    pub perturbation_w: f64,
+}
+
+/// Ablation 2: the three Xeon Phi access paths side by side.
+pub fn phi_access_paths(seed: u64) -> Vec<PhiPathRow> {
+    let noop = Noop::figure7();
+    let profile = noop.profile();
+    let horizon = SimTime::ZERO + noop.virtual_runtime;
+    let interval = SimDuration::from_millis(100);
+    let t_probe = SimTime::from_secs(60);
+
+    // Baseline card (no collection side effects).
+    let card_plain = Rc::new(PhiCard::new(
+        PhiSpec::default(),
+        &profile,
+        DemandTrace::zero(),
+        horizon,
+    ));
+    // Card perturbed by in-band polling.
+    let mgmt = SysMgmtSession::mgmt_demand(interval, SimTime::ZERO, horizon);
+    let card_api = Rc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
+    let perturbation = card_api.total_power(t_probe) - card_plain.total_power(t_probe);
+
+    // Out-of-band latency measured through the live BMC path.
+    let smc = Smc::new(NoiseStream::new(seed));
+    let mut bmc = Bmc::new();
+    let (_, oob_done) = bmc
+        .query_power(&card_plain, &smc, t_probe)
+        .expect("well-formed frames");
+    let oob_latency = oob_done - t_probe;
+
+    vec![
+        PhiPathRow {
+            path: "SysMgmt in-band",
+            app_cost: mic_sim::MIC_API_QUERY_COST,
+            latency: mic_sim::MIC_API_QUERY_COST,
+            perturbation_w: perturbation,
+        },
+        PhiPathRow {
+            path: "MICRAS daemon",
+            app_cost: mic_sim::MIC_DAEMON_QUERY_COST,
+            latency: mic_sim::MIC_DAEMON_QUERY_COST,
+            perturbation_w: 0.0,
+        },
+        PhiPathRow {
+            path: "BMC/IPMB out-of-band",
+            app_cost: SimDuration::ZERO, // nothing charged to the app
+            latency: oob_latency,
+            perturbation_w: 0.0,
+        },
+    ]
+}
+
+/// One row of the RAPL power-capping ablation.
+#[derive(Clone, Debug)]
+pub struct CapRow {
+    /// The enforced limit, watts.
+    pub limit_w: f64,
+    /// Mean package power over the run, watts.
+    pub mean_power_w: f64,
+    /// Total energy over the run, joules.
+    pub energy_j: f64,
+    /// Mean granted demand level (1.0 = unthrottled).
+    pub mean_level: f64,
+}
+
+/// Ablation 3: the running-average limiter at several caps over the
+/// Gaussian-elimination workload (the RAPL interface's original purpose).
+pub fn rapl_capping(_seed: u64) -> Vec<CapRow> {
+    let g = GaussianElimination::figure3();
+    let demand = g.profile().demand(Channel::Cpu);
+    let cores = ComponentSpec {
+        name: "cores",
+        idle_w: 4.0,
+        dynamic_w: 38.0,
+        ramp_tau: SimDuration::ZERO,
+    };
+    let horizon = SimTime::ZERO + g.virtual_runtime;
+    [f64::INFINITY, 40.0, 30.0, 20.0, 10.0]
+        .iter()
+        .map(|&limit_w| {
+            let limiter = RaplLimiter::new(PowerLimit {
+                enabled: limit_w.is_finite(),
+                limit_watts: if limit_w.is_finite() { limit_w } else { 1e9 },
+                window_secs: 1.0,
+            });
+            let throttled = limiter.throttle(cores, &demand, horizon);
+            let dev = DevicePower::single("cpu", cores, &throttled);
+            let energy = dev.total_energy(SimTime::ZERO, horizon);
+            let span = g.virtual_runtime.as_secs_f64();
+            let mean_level = throttled.integrate(SimTime::ZERO, horizon) / span;
+            CapRow {
+                limit_w,
+                mean_power_w: energy / span,
+                energy_j: energy,
+                mean_level,
+            }
+        })
+        .collect()
+}
+
+/// One row of the MonEQ interval sweep on BG/Q.
+#[derive(Clone, Debug)]
+pub struct MoneqIntervalRow {
+    /// Polling interval.
+    pub interval: SimDuration,
+    /// Collection overhead fraction of a 202.74 s run.
+    pub collection_fraction: f64,
+    /// Records collected.
+    pub records: usize,
+}
+
+/// Ablation 4: MonEQ collection overhead vs polling interval (the cost side
+/// of the resolution/overhead trade-off; 560 ms is the hardware floor).
+pub fn moneq_interval_sweep(seed: u64) -> Vec<MoneqIntervalRow> {
+    let app = hpc_workloads::FixedRuntime::table3();
+    let profile = app.profile();
+    let end = SimTime::ZERO + app.virtual_runtime;
+    [560u64, 1_000, 2_000, 5_000, 30_000]
+        .iter()
+        .map(|&ms| {
+            let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
+            machine.assign_job(&[0], &profile);
+            let session = MonEq::initialize(
+                0,
+                vec![Box::new(BgqBackend::new(Rc::new(machine), 0))],
+                MonEqConfig {
+                    interval: Some(SimDuration::from_millis(ms)),
+                    ..MonEqConfig::default()
+                },
+                SimTime::ZERO,
+            );
+            let result = session.finalize(end);
+            MoneqIntervalRow {
+                interval: SimDuration::from_millis(ms),
+                collection_fraction: result.overhead.collection.as_secs_f64()
+                    / result.overhead.app_runtime.as_secs_f64(),
+                records: result.file.points.len(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the finalize-scaling ablation.
+#[derive(Clone, Debug)]
+pub struct FinalizeRow {
+    /// Agent ranks.
+    pub agents: usize,
+    /// Modelled finalize time.
+    pub finalize: SimDuration,
+}
+
+/// Ablation 5: finalize time vs agent count (the only scale-dependent row
+/// of Table III), out to full-Mira scale (49,152 nodes = 1,536 agents).
+pub fn finalize_scaling() -> Vec<FinalizeRow> {
+    [1usize, 4, 16, 32, 64, 256, 1_024, 1_536]
+        .iter()
+        .map(|&agents| FinalizeRow {
+            agents,
+            finalize: moneq::finalize_time(agents),
+        })
+        .collect()
+}
+
+/// Ablation 6: the API-vs-daemon offset as a function of the in-band
+/// polling interval (the Figure 7 mechanism, swept).
+#[derive(Clone, Debug)]
+pub struct Fig7SweepRow {
+    /// In-band polling interval.
+    pub interval: SimDuration,
+    /// Mean power offset API − daemon, watts.
+    pub offset_w: f64,
+}
+
+/// Sweep the Figure 7 offset over polling intervals: faster polling → more
+/// collection duty on the card → larger offset.
+pub fn figure7_offset_sweep(seed: u64) -> Vec<Fig7SweepRow> {
+    let noop = Noop::figure7();
+    let profile = noop.profile();
+    let horizon = SimTime::ZERO + noop.virtual_runtime;
+    [50u64, 100, 200, 500, 1_000, 5_000]
+        .iter()
+        .map(|&ms| {
+            let interval = SimDuration::from_millis(ms);
+            let mgmt = SysMgmtSession::mgmt_demand(interval, SimTime::ZERO, horizon);
+            let card_api = Rc::new(PhiCard::new(
+                PhiSpec::default(),
+                &profile,
+                mgmt,
+                horizon,
+            ));
+            let card_plain = Rc::new(PhiCard::new(
+                PhiSpec::default(),
+                &profile,
+                DemandTrace::zero(),
+                horizon,
+            ));
+            let smc_a = Rc::new(Smc::new(NoiseStream::new(seed).child("a")));
+            let smc_b = Rc::new(Smc::new(NoiseStream::new(seed).child("b")));
+            let mut api = MicApiBackend::new(card_api, smc_a);
+            let mut daemon = MicDaemonBackend::new(card_plain, smc_b, &profile);
+            let mut diff = 0.0;
+            let n = 100;
+            for k in 0..n {
+                let t = SimTime::from_secs(10) + SimDuration::from_millis(500) * k;
+                diff += api.poll(t)[0].watts - daemon.poll(t)[0].watts;
+            }
+            Fig7SweepRow {
+                interval,
+                offset_w: diff / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the EMON domain-skew study.
+#[derive(Clone, Debug)]
+pub struct SkewRow {
+    /// Domain label.
+    pub domain: &'static str,
+    /// The domain's sampling skew inside a generation.
+    pub skew: SimDuration,
+    /// Fraction of a simultaneous CPU+memory step the domain had already
+    /// seen when a query's generation landed mid-step (0 = still idle,
+    /// 1 = fully stepped).
+    pub transition_seen: f64,
+}
+
+/// Ablation 7: the EMON inconsistent-snapshot effect, quantified.
+///
+/// §II-A: "the underlying power measurement infrastructure does not measure
+/// all domains at the exact same time. This may result in some inconsistent
+/// cases, such as the case when a piece of code begins to stress both the
+/// CPU and memory at the same time." All seven domains step *physically
+/// simultaneously* here; the skewed per-domain sampling makes one EMON
+/// snapshot see them at different points of the step.
+pub fn emon_domain_skew(seed: u64) -> Vec<SkewRow> {
+    use bgq_sim::{BgqConfig, BgqMachine, Domain, EmonApi};
+    let mut machine = BgqMachine::new(BgqConfig::default(), seed);
+    // A step on every channel at t = 10.15 s (just after a generation
+    // boundary at 10.08 s, so skew decides who has seen it).
+    let step_at = SimTime::from_millis(10_150);
+    let mut p = WorkloadProfile::new("step", SimDuration::from_secs(100));
+    let step = {
+        let mut d = DemandTrace::zero();
+        d.set(step_at, 1.0);
+        d
+    };
+    p.set_demand(Channel::Cpu, step.clone());
+    p.set_demand(Channel::Memory, step.clone());
+    p.set_demand(Channel::Network, step.clone());
+    p.set_demand(Channel::Io, step);
+    machine.assign_job(&[0], &p);
+    let api = EmonApi::open(0);
+    // A query served by the generation that *straddles* the step: queries
+    // in [10.64 s, 11.2 s) read the 10.08 s generation, whose Chip Core
+    // sample (skew 0) predates the 10.15 s step while its late-skew
+    // domains sample well after it.
+    let query_t = SimTime::from_millis(10_700);
+    let readings = api.read_domains(&machine, query_t);
+    Domain::ALL
+        .iter()
+        .zip(readings.iter())
+        .map(|(d, r)| {
+            let spec = d.component_spec();
+            let seen = ((r.watts() - spec.idle_w) / spec.dynamic_w).clamp(0.0, 1.1);
+            SkewRow {
+                domain: d.label(),
+                skew: api.domain_skew(*d),
+                transition_seen: seen,
+            }
+        })
+        .collect()
+}
+
+/// One row of the environmental-database capacity study.
+#[derive(Clone, Debug)]
+pub struct CapacityRow {
+    /// Machine size in racks.
+    pub racks: u16,
+    /// Polling interval.
+    pub interval: SimDuration,
+    /// Fraction of generated rows the server had to drop.
+    pub dropped_fraction: f64,
+}
+
+/// Ablation 8: why the environmental database polls so slowly.
+///
+/// §II-A: "while a shorter polling interval would be ideal, the resulting
+/// volume of data alone would exceed the server's processing capacity."
+/// Sweep machine size × interval at the fixed server capacity and measure
+/// the dropped-row fraction.
+pub fn envdb_capacity(seed: u64) -> Vec<CapacityRow> {
+    use bgq_sim::{BgqConfig, BgqMachine, EnvDatabase, EnvDbConfig, PollingDaemon, Topology};
+    let mut out = Vec::new();
+    for &racks in &[1u16, 8, 48] {
+        for &interval_s in &[60u64, 240, 1_800] {
+            let machine = BgqMachine::new(
+                BgqConfig {
+                    topology: Topology { racks },
+                    ..BgqConfig::default()
+                },
+                seed,
+            );
+            let daemon = PollingDaemon::new(EnvDbConfig {
+                poll_interval: SimDuration::from_secs(interval_s),
+                capacity_rows_per_sec: EnvDbConfig::default_4min().capacity_rows_per_sec,
+            })
+            .expect("interval in range");
+            let mut db = EnvDatabase::new();
+            // Two cycles are enough to measure the per-cycle drop rate.
+            daemon.run(&machine, &mut db, SimTime::from_secs(interval_s * 2));
+            let kept = db.rows().len() as f64;
+            let dropped = db.dropped_rows as f64;
+            out.push(CapacityRow {
+                racks,
+                interval: SimDuration::from_secs(interval_s),
+                dropped_fraction: dropped / (kept + dropped),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_sweep_has_sweet_spot_and_cliff() {
+        let rows = rapl_interval_sweep(5);
+        let find = |ms: u64| {
+            rows.iter()
+                .find(|r| r.interval == SimDuration::from_millis(ms))
+                .unwrap()
+        };
+        // 1 ms windows are noisy; 60 ms much better; 1-60 s accurate.
+        assert!(find(1).mean_abs_error_w > find(60).mean_abs_error_w);
+        assert!(find(60).mean_abs_error_w < 2.0);
+        assert!(find(10_000).mean_abs_error_w < 0.1);
+        // Beyond the wrap horizon (163 s at 50 W): errors are catastrophic.
+        let beyond = find(300_000);
+        assert!(beyond.beyond_wrap);
+        assert!(
+            beyond.mean_abs_error_w > 10.0,
+            "wrap error {}",
+            beyond.mean_abs_error_w
+        );
+        // 120 s is still under one wrap at 50 W: fine.
+        assert!(!find(120_000).beyond_wrap);
+        assert!(find(120_000).mean_abs_error_w < 1.0);
+    }
+
+    #[test]
+    fn phi_paths_tradeoffs() {
+        let rows = phi_access_paths(5);
+        let get = |name: &str| rows.iter().find(|r| r.path.contains(name)).unwrap();
+        // In-band: expensive and perturbing.
+        assert!(get("in-band").app_cost > get("daemon").app_cost * 100);
+        assert!((1.0..4.0).contains(&get("in-band").perturbation_w));
+        // Daemon: cheap, no perturbation.
+        assert_eq!(get("daemon").perturbation_w, 0.0);
+        // Out-of-band: free for the app, but slow.
+        assert_eq!(get("out-of-band").app_cost, SimDuration::ZERO);
+        assert!(get("out-of-band").latency > get("daemon").latency);
+    }
+
+    #[test]
+    fn capping_monotone_in_limit() {
+        let rows = rapl_capping(5);
+        // Uncapped first; tighter caps give lower mean power and energy.
+        for w in rows.windows(2) {
+            assert!(
+                w[0].mean_power_w >= w[1].mean_power_w - 1e-9,
+                "power not monotone: {} -> {}",
+                w[0].mean_power_w,
+                w[1].mean_power_w
+            );
+            assert!(w[0].energy_j >= w[1].energy_j - 1e-9);
+        }
+        // The 30 W cap binds: mean power near but not above the cap.
+        let capped = &rows[2];
+        assert!(capped.mean_power_w <= 30.5, "{}", capped.mean_power_w);
+        assert!(capped.mean_power_w > 24.0, "over-throttled");
+        // Throttling costs work: granted level below 1.
+        assert!(capped.mean_level < rows[0].mean_level);
+    }
+
+    #[test]
+    fn moneq_interval_tradeoff() {
+        let rows = moneq_interval_sweep(5);
+        // Faster polling → more records and more overhead.
+        for w in rows.windows(2) {
+            assert!(w[0].records > w[1].records);
+            assert!(w[0].collection_fraction > w[1].collection_fraction);
+        }
+        // At the 560 ms default: ~0.19-0.2%.
+        assert!((rows[0].collection_fraction - 0.00196).abs() < 3e-4);
+    }
+
+    #[test]
+    fn finalize_scaling_grows_in_waves() {
+        let rows = finalize_scaling();
+        assert!(rows.last().unwrap().finalize > rows[0].finalize * 10);
+        // Full-Mira scale stays practical (paper: "easily scale to a full
+        // system run on Mira"): under 20 s.
+        assert!(rows.last().unwrap().finalize < SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn domain_skew_splits_a_simultaneous_step() {
+        let rows = emon_domain_skew(5);
+        assert_eq!(rows.len(), 7);
+        // Early-skew domains saw less of the step than late-skew domains.
+        let chip = rows.iter().find(|r| r.domain == "Chip Core").unwrap();
+        let sram = rows.iter().find(|r| r.domain == "SRAM").unwrap();
+        assert!(chip.skew < sram.skew);
+        assert!(
+            sram.transition_seen > chip.transition_seen + 0.5,
+            "no inconsistency visible: chip {} vs sram {}",
+            chip.transition_seen,
+            sram.transition_seen
+        );
+    }
+
+    #[test]
+    fn envdb_capacity_cliff_matches_paper_argument() {
+        let rows = envdb_capacity(5);
+        let find = |racks: u16, secs: u64| {
+            rows.iter()
+                .find(|r| r.racks == racks && r.interval == SimDuration::from_secs(secs))
+                .unwrap()
+        };
+        // A small machine survives fast polling; the full 48-rack Mira at
+        // 60 s exceeds the server's capacity and drops data.
+        assert_eq!(find(1, 60).dropped_fraction, 0.0);
+        assert!(find(48, 60).dropped_fraction > 0.3, "{}", find(48, 60).dropped_fraction);
+        // The default ~4 min interval keeps even the full machine whole...
+        assert!(find(48, 240).dropped_fraction < 0.05);
+        // ...and 1800 s is safe everywhere.
+        assert_eq!(find(48, 1_800).dropped_fraction, 0.0);
+    }
+
+    #[test]
+    fn figure7_offset_shrinks_with_slower_polling() {
+        let rows = figure7_offset_sweep(5);
+        let first = rows.first().unwrap(); // 50 ms
+        let last = rows.last().unwrap(); // 5 s
+        assert!(
+            first.offset_w > last.offset_w + 1.0,
+            "offset {} -> {}",
+            first.offset_w,
+            last.offset_w
+        );
+        assert!(last.offset_w < 0.6, "residual offset {}", last.offset_w);
+    }
+}

@@ -1,0 +1,25 @@
+//! # envmon-analysis — the experiment harness
+//!
+//! One function per table and figure of the paper. Every function is
+//! deterministic in its seed, returns a typed result carrying the raw data
+//! (time series, sample vectors, overhead ledgers), and offers a `render()`
+//! producing the rows/series the paper prints. The `repro` binary in
+//! `envmon-bench` is a thin CLI over this crate; the integration tests
+//! assert the *shapes* the paper reports (who wins, where transitions fall,
+//! which differences are significant).
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`tables`] | Table I (capability matrix), Table II (RAPL domains), Table III (MonEQ overhead), and the §II per-query cost comparison |
+//! | [`figures`] | Figures 1–5, 7, 8 (Figure 6 is an architecture diagram; its boxes are the `mic-sim` module structure) |
+//! | [`ablations`] | The DESIGN.md ablation suite: polling-interval sweeps, Phi access-path comparison, RAPL capping, finalize scaling |
+//! | [`render`] | Plain-text table/series rendering shared by all of the above |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod render;
+pub mod report;
+pub mod tables;

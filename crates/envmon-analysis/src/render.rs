@@ -1,0 +1,162 @@
+//! Plain-text rendering shared by the experiment harness.
+
+use simkit::{BoxplotSummary, TimeSeries};
+
+/// Render a time series as `t[s]  value` rows, downsampled to at most
+/// `max_rows` evenly spaced samples (the full data is always available on
+/// the returned structs; this is for terminal output).
+pub fn series_rows(series: &TimeSeries, max_rows: usize) -> String {
+    assert!(max_rows >= 2);
+    let n = series.len();
+    let mut out = String::new();
+    if n == 0 {
+        out.push_str("(empty series)\n");
+        return out;
+    }
+    let step = n.div_ceil(max_rows).max(1);
+    let points: Vec<(f64, f64)> = series.points_secs().collect();
+    for (i, (t, v)) in points.iter().enumerate() {
+        if i % step == 0 || i == n - 1 {
+            out.push_str(&format!("{t:>10.2}  {v:>12.2}\n"));
+        }
+    }
+    out
+}
+
+/// Render several aligned series side by side (Figure 2's domain columns).
+pub fn multi_series_rows(series: &[&TimeSeries], max_rows: usize) -> String {
+    assert!(!series.is_empty());
+    let mut out = format!("{:>10}", "t[s]");
+    for s in series {
+        out.push_str(&format!("  {:>14}", truncate(s.name(), 14)));
+    }
+    out.push('\n');
+    let n = series[0].len();
+    if n == 0 {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    let step = n.div_ceil(max_rows).max(1);
+    let t0 = series[0].samples()[0].at;
+    for i in (0..n).step_by(step) {
+        let t = series[0].samples()[i].at.saturating_since(t0).as_secs_f64();
+        out.push_str(&format!("{t:>10.2}"));
+        for s in series {
+            out.push_str(&format!("  {:>14.2}", s.samples()[i].value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a boxplot summary on one line.
+pub fn boxplot_row(label: &str, b: &BoxplotSummary) -> String {
+    format!(
+        "{label:<10} n={:<5} whiskers [{:.2}, {:.2}]  box [{:.2}, {:.2}]  median {:.2}  mean {:.2}  outliers {}\n",
+        b.n, b.whisker_lo, b.whisker_hi, b.q1, b.q3, b.median, b.mean,
+        b.outliers.len()
+    )
+}
+
+/// An ASCII sparkline-style profile of a series (quick visual shape check
+/// in terminal output; the numeric rows are authoritative).
+pub fn ascii_profile(series: &TimeSeries, width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2);
+    if series.is_empty() {
+        return "(empty)\n".into();
+    }
+    let stats = series.stats();
+    let (lo, hi) = (stats.min(), stats.max());
+    let span = (hi - lo).max(1e-9);
+    let values = series.values();
+    let mut grid = vec![vec![b' '; width]; height];
+    #[allow(clippy::needless_range_loop)] // col indexes both the source and the grid
+    for col in 0..width {
+        let idx = col * (values.len() - 1) / (width - 1);
+        let frac = (values[idx] - lo) / span;
+        let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+        grid[row][col] = b'*';
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>9.1} |")
+        } else if r == height - 1 {
+            format!("{lo:>9.1} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn series(n: usize) -> TimeSeries {
+        let mut ts = TimeSeries::new("test");
+        for i in 0..n {
+            ts.push(SimTime::from_secs(i as u64), i as f64);
+        }
+        ts
+    }
+
+    #[test]
+    fn series_rows_downsample() {
+        let text = series_rows(&series(1_000), 20);
+        let rows = text.lines().count();
+        assert!(rows <= 21, "{rows} rows");
+        assert!(text.contains("0.00"));
+        assert!(text.contains("999.00"));
+    }
+
+    #[test]
+    fn empty_series_renders_placeholder() {
+        assert!(series_rows(&TimeSeries::new("x"), 10).contains("empty"));
+    }
+
+    #[test]
+    fn multi_series_alignment() {
+        let a = series(10);
+        let b = series(10);
+        let text = multi_series_rows(&[&a, &b], 5);
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("t[s]"));
+        // Each data row has 3 numeric columns.
+        let row = text.lines().nth(1).unwrap();
+        assert_eq!(row.split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn ascii_profile_shape() {
+        let text = ascii_profile(&series(100), 40, 8);
+        assert_eq!(text.lines().count(), 8);
+        assert!(text.contains('*'));
+        // Monotone series: the star in the first column is near the bottom,
+        // last column near the top.
+        let lines: Vec<&str> = text.lines().collect();
+        let col_of = |line: &str| line.find('*');
+        assert!(col_of(lines[0]).is_some(), "top row has the max");
+    }
+
+    #[test]
+    fn boxplot_row_contains_stats() {
+        let b = BoxplotSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let text = boxplot_row("api", &b);
+        assert!(text.contains("api"));
+        assert!(text.contains("median 3.00"));
+    }
+}

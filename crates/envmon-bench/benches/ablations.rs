@@ -1,0 +1,34 @@
+//! Criterion benches for the DESIGN.md ablation suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use envmon_analysis::ablations;
+use envmon_bench::DEFAULT_SEED;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("ablation_rapl_interval", |b| {
+        b.iter(|| black_box(ablations::rapl_interval_sweep(DEFAULT_SEED)))
+    });
+    g.bench_function("ablation_phi_paths", |b| {
+        b.iter(|| black_box(ablations::phi_access_paths(DEFAULT_SEED)))
+    });
+    g.bench_function("ablation_rapl_cap", |b| {
+        b.iter(|| black_box(ablations::rapl_capping(DEFAULT_SEED)))
+    });
+    g.bench_function("ablation_moneq_interval", |b| {
+        b.iter(|| black_box(ablations::moneq_interval_sweep(DEFAULT_SEED)))
+    });
+    g.bench_function("ablation_finalize_scaling", |b| {
+        b.iter(|| black_box(ablations::finalize_scaling()))
+    });
+    g.bench_function("ablation_fig7_offset_sweep", |b| {
+        b.iter(|| black_box(ablations::figure7_offset_sweep(DEFAULT_SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

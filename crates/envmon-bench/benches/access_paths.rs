@@ -1,0 +1,146 @@
+//! Per-query cost of each access mechanism — the real wall-clock cost of
+//! our simulated paths.
+//!
+//! The paper's measured per-query costs (0.03 ms MSR … 14.2 ms Phi in-band)
+//! are charged in *virtual* time by the models. These benches measure the
+//! *implementation* cost of each simulated path, and the in-band SCIF path
+//! (a full message round trip plus card-side collection) is expected to be
+//! the most expensive simulated path too — the relative ordering mirrors
+//! the mechanism complexity the paper describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use envmon_bench::DEFAULT_SEED;
+use hpc_workloads::Noop;
+use mic_sim::{Bmc, PhiCard, PhiSpec, Smc};
+use moneq::backends::{BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend};
+use moneq::EnvBackend;
+use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
+use powermodel::DemandTrace;
+use rapl_sim::{MsrAccess, SocketModel, SocketSpec};
+use simkit::{NoiseStream, SimTime};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poll");
+    g.sample_size(50).measurement_time(Duration::from_secs(3));
+    let horizon = SimTime::from_secs(300);
+    let profile = Noop::figure7().profile();
+
+    // BG/Q EMON.
+    {
+        let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), DEFAULT_SEED);
+        machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
+        let mut backend = BgqBackend::new(Rc::new(machine), 0);
+        let mut k = 0u64;
+        g.bench_function("bgq_emon", |b| {
+            b.iter(|| {
+                k += 1;
+                black_box(backend.poll(SimTime::from_millis(1_000 + k)))
+            })
+        });
+    }
+
+    // RAPL MSR.
+    {
+        let socket = Arc::new(SocketModel::new(
+            SocketSpec::default(),
+            &hpc_workloads::GaussianElimination::figure3().profile(),
+        ));
+        let mut backend = RaplBackend::new(socket, MsrAccess::root(), DEFAULT_SEED).unwrap();
+        let mut k = 0u64;
+        g.bench_function("rapl_msr", |b| {
+            b.iter(|| {
+                k += 1;
+                black_box(backend.poll(SimTime::from_millis(1_000 + k)))
+            })
+        });
+    }
+
+    // NVML.
+    {
+        let nvml = Rc::new(Nvml::init(
+            &[DeviceConfig {
+                spec: GpuSpec::k20(),
+                workload: profile.clone(),
+                horizon,
+            }],
+            DEFAULT_SEED,
+        ));
+        let mut backend = NvmlBackend::new(nvml);
+        let mut k = 0u64;
+        g.bench_function("nvml", |b| {
+            b.iter(|| {
+                k += 1;
+                black_box(backend.poll(SimTime::from_millis(1_000 + k)))
+            })
+        });
+    }
+
+    // Phi in-band (SCIF round trip per poll).
+    {
+        let card = Rc::new(PhiCard::new(
+            PhiSpec::default(),
+            &profile,
+            DemandTrace::zero(),
+            horizon,
+        ));
+        let smc = Rc::new(Smc::new(NoiseStream::new(DEFAULT_SEED)));
+        let mut backend = MicApiBackend::new(card, smc);
+        let mut k = 0u64;
+        g.bench_function("mic_sysmgmt_inband", |b| {
+            b.iter(|| {
+                k += 1;
+                black_box(backend.poll(SimTime::from_millis(1_000 + k)))
+            })
+        });
+    }
+
+    // Phi MICRAS daemon (pseudo-file read + parse per poll).
+    {
+        let card = Rc::new(PhiCard::new(
+            PhiSpec::default(),
+            &profile,
+            DemandTrace::zero(),
+            horizon,
+        ));
+        let smc = Rc::new(Smc::new(NoiseStream::new(DEFAULT_SEED)));
+        let mut backend = MicDaemonBackend::new(card, smc, &profile);
+        let mut k = 0u64;
+        g.bench_function("mic_micras_daemon", |b| {
+            b.iter(|| {
+                k += 1;
+                black_box(backend.poll(SimTime::from_millis(1_000 + k)))
+            })
+        });
+    }
+
+    // Phi out-of-band (IPMB frame encode/decode + SMC read).
+    {
+        let card = PhiCard::new(
+            PhiSpec::default(),
+            &profile,
+            DemandTrace::zero(),
+            horizon,
+        );
+        let smc = Smc::new(NoiseStream::new(DEFAULT_SEED));
+        let mut bmc = Bmc::new();
+        let mut k = 0u64;
+        g.bench_function("mic_ipmb_oob", |b| {
+            b.iter(|| {
+                k += 1;
+                black_box(
+                    bmc.query_power(&card, &smc, SimTime::from_millis(1_000 + k))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! One Criterion bench per table and figure: the wall-clock cost of
+//! regenerating each experiment end to end on the simulated platforms.
+//!
+//! These are regeneration benches (is the harness fast enough to iterate
+//! on?), not claims about the original hardware; the paper-shape assertions
+//! live in the test suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use envmon_analysis::{figures, tables};
+use envmon_bench::DEFAULT_SEED;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("table1_capability_matrix", |b| {
+        b.iter(|| black_box(tables::table1().render()))
+    });
+    g.bench_function("table2_rapl_domains", |b| {
+        b.iter(|| black_box(tables::table2()))
+    });
+    g.bench_function("t3_moneq_overhead", |b| {
+        b.iter(|| black_box(tables::table3(DEFAULT_SEED).render()))
+    });
+    g.bench_function("overhead_comparison", |b| {
+        b.iter(|| black_box(tables::render_cost_comparison(&tables::cost_comparison())))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("f1_bpm_power", |b| {
+        b.iter(|| black_box(figures::figure1(DEFAULT_SEED).midplane0.len()))
+    });
+    g.bench_function("f2_moneq_domains", |b| {
+        b.iter(|| black_box(figures::figure2(DEFAULT_SEED).total.len()))
+    });
+    g.bench_function("f3_rapl_gauss", |b| {
+        b.iter(|| black_box(figures::figure3(DEFAULT_SEED).pkg.len()))
+    });
+    g.bench_function("f4_nvml_noop", |b| {
+        b.iter(|| black_box(figures::figure4(DEFAULT_SEED).power.len()))
+    });
+    g.bench_function("f5_nvml_vecadd", |b| {
+        b.iter(|| black_box(figures::figure5(DEFAULT_SEED).power.len()))
+    });
+    g.bench_function("f7_phi_boxplot", |b| {
+        b.iter(|| black_box(figures::figure7(DEFAULT_SEED).welch.p_two_sided))
+    });
+    g.finish();
+
+    // Figure 8 simulates 128 cards; benchmark it separately with fewer
+    // samples so `cargo bench` stays snappy.
+    let mut g8 = c.benchmark_group("figures-large");
+    g8.sample_size(10).measurement_time(Duration::from_secs(10));
+    g8.bench_function("f8_stampede_sum_128", |b| {
+        b.iter(|| black_box(figures::figure8(DEFAULT_SEED).sum_power.len()))
+    });
+    g8.bench_function("f8_stampede_sum_16", |b| {
+        b.iter(|| black_box(figures::figure8_with_cards(DEFAULT_SEED, 16).sum_power.len()))
+    });
+    g8.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # envmon-bench — benchmark harness and the `repro` binary
+//!
+//! * `cargo run -p envmon-bench --bin repro [--seed N] [experiment…]`
+//!   regenerates the paper's tables and figures as text (run with no
+//!   arguments for everything).
+//! * `cargo bench -p envmon-bench` runs the Criterion benches: one per
+//!   table/figure (`benches/experiments.rs`), the per-query access-path
+//!   costs (`benches/access_paths.rs`), and the ablations
+//!   (`benches/ablations.rs`).
+//!
+//! The library part only hosts shared helpers for the benches.
+
+#![forbid(unsafe_code)]
+
+/// Default seed used by the benches and the `repro` binary.
+pub const DEFAULT_SEED: u64 = 2015;

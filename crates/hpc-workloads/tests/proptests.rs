@@ -1,0 +1,97 @@
+//! Property tests for the instrumented kernels.
+
+use hpc_workloads::{Channel, GaussianElimination, Mmps, TaggedLoops, VectorAdd};
+use hpc_workloads::tagged::LoopSpec;
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gauss_solves_any_seeded_system(n in 8usize..64, threads in 1usize..6, seed in any::<u64>()) {
+        let g = GaussianElimination {
+            n,
+            threads,
+            seed,
+            virtual_runtime: SimDuration::from_secs(10),
+            blocks: 4,
+        };
+        let r = g.run();
+        prop_assert!(r.residual < 1e-7, "residual {} for n={} seed={}", r.residual, n, seed);
+        prop_assert_eq!(r.flops_per_step.len(), n - 1);
+    }
+
+    #[test]
+    fn vecadd_is_exact_for_any_size(n in 1usize..50_000, threads in 1usize..6, seed in any::<u64>()) {
+        let v = VectorAdd {
+            elements: n,
+            threads,
+            seed,
+            virtual_runtime: SimDuration::from_secs(10),
+            datagen_fraction: 0.1,
+        };
+        let r = v.run();
+        prop_assert_eq!(r.elements, n);
+        prop_assert_eq!(r.max_error, 0.0);
+    }
+
+    #[test]
+    fn mmps_delivers_every_message(pairs in 1usize..4, per_rank in 1u64..2_000) {
+        let m = Mmps {
+            ranks: pairs * 2,
+            messages_per_rank: per_rank,
+            virtual_runtime: SimDuration::from_secs(10),
+        };
+        let r = m.run();
+        prop_assert_eq!(r.messages, pairs as u64 * per_rank);
+    }
+
+    #[test]
+    fn tagged_loops_tags_are_disjoint_and_ordered(
+        durations in prop::collection::vec(1u64..100, 1..8),
+        gap in 0u64..10,
+    ) {
+        let loops: Vec<LoopSpec> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| LoopSpec {
+                label: format!("loop{i}"),
+                duration: SimDuration::from_secs(d),
+                load: vec![(Channel::Cpu, 0.5)],
+            })
+            .collect();
+        let app = TaggedLoops {
+            loops,
+            gap: SimDuration::from_secs(gap),
+        };
+        let p = app.profile();
+        prop_assert_eq!(p.tags.len(), durations.len());
+        for w in p.tags.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "tags overlap");
+        }
+        // Total runtime accounts for every loop and gap.
+        let expected = durations.iter().sum::<u64>()
+            + gap * (durations.len() as u64 - 1);
+        prop_assert_eq!(app.total_runtime(), SimDuration::from_secs(expected));
+        // Demand is zero after the app ends.
+        let after = SimTime::ZERO + app.total_runtime() + SimDuration::from_secs(1);
+        prop_assert_eq!(p.demand(Channel::Cpu).level_at(after), 0.0);
+    }
+
+    #[test]
+    fn gauss_profile_levels_always_valid(blocks in 1usize..40, runtime_s in 1u64..600) {
+        let g = GaussianElimination {
+            n: 16,
+            threads: 1,
+            seed: 1,
+            virtual_runtime: SimDuration::from_secs(runtime_s),
+            blocks,
+        };
+        let p = g.profile();
+        for ms in (0..runtime_s * 1_000 + 2_000).step_by(97) {
+            let l = p.demand(Channel::Cpu).level_at(SimTime::from_millis(ms));
+            prop_assert!((0.0..=1.0).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Host-side MICRAS administration.
+//!
+//! "On the host platform this daemon allows for the configuration of the
+//! device, logging of errors, and other common administrative utilities."
+//! (§II-D) — the half of MICRAS that is *not* the device-side pseudo-files:
+//! a device configuration store with validation, an error/RAS log, and the
+//! admin queries an operator tool (`micsmc`-style) issues.
+
+use simkit::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Card ECC mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EccMode {
+    /// ECC enabled (default; costs some GDDR capacity).
+    Enabled,
+    /// ECC disabled.
+    Disabled,
+}
+
+/// Card power-management states the host may configure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowerMgmtConfig {
+    /// Core C6 package sleep allowed.
+    pub cpufreq: bool,
+    /// Package C-states allowed.
+    pub corec6: bool,
+    /// PC3 package state allowed.
+    pub pc3: bool,
+    /// PC6 package state allowed.
+    pub pc6: bool,
+}
+
+impl Default for PowerMgmtConfig {
+    fn default() -> Self {
+        PowerMgmtConfig {
+            cpufreq: true,
+            corec6: true,
+            pc3: true,
+            pc6: true,
+        }
+    }
+}
+
+/// Severity of a RAS log entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RasSeverity {
+    /// Informational.
+    Info,
+    /// Correctable (e.g. single-bit ECC).
+    Corrected,
+    /// Uncorrectable; the card needs attention.
+    Fatal,
+}
+
+/// One RAS log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RasEvent {
+    /// When it was logged.
+    pub at: SimTime,
+    /// Severity.
+    pub severity: RasSeverity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for RasEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}: {}", self.at, self.severity, self.message)
+    }
+}
+
+/// Errors from the admin interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdminError {
+    /// The card is running a job; reconfiguration requires it idle.
+    CardBusy,
+    /// The requested configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AdminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdminError::CardBusy => write!(f, "card busy; stop the job first"),
+            AdminError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdminError {}
+
+/// The host-side MICRAS agent for one card.
+#[derive(Debug)]
+pub struct HostAdmin {
+    ecc: EccMode,
+    power_mgmt: PowerMgmtConfig,
+    /// Bounded RAS ring buffer (oldest entries evicted), like the real log.
+    log: VecDeque<RasEvent>,
+    log_capacity: usize,
+    card_busy: bool,
+}
+
+impl HostAdmin {
+    /// A fresh agent with default configuration.
+    pub fn new() -> Self {
+        HostAdmin {
+            ecc: EccMode::Enabled,
+            power_mgmt: PowerMgmtConfig::default(),
+            log: VecDeque::new(),
+            log_capacity: 256,
+            card_busy: false,
+        }
+    }
+
+    /// Mark the card busy/idle (job lifecycle).
+    pub fn set_busy(&mut self, busy: bool) {
+        self.card_busy = busy;
+    }
+
+    /// Current ECC mode.
+    pub fn ecc(&self) -> EccMode {
+        self.ecc
+    }
+
+    /// Reconfigure ECC; requires an idle card (real MICRAS requires a
+    /// reboot of the card, which a running job forbids).
+    pub fn set_ecc(&mut self, mode: EccMode, at: SimTime) -> Result<(), AdminError> {
+        if self.card_busy {
+            return Err(AdminError::CardBusy);
+        }
+        self.ecc = mode;
+        self.log_event(RasEvent {
+            at,
+            severity: RasSeverity::Info,
+            message: format!("ECC mode set to {mode:?}"),
+        });
+        Ok(())
+    }
+
+    /// Current power-management configuration.
+    pub fn power_mgmt(&self) -> PowerMgmtConfig {
+        self.power_mgmt
+    }
+
+    /// Reconfigure power management. PC6 requires PC3 (hardware
+    /// constraint); the combination is validated.
+    pub fn set_power_mgmt(
+        &mut self,
+        config: PowerMgmtConfig,
+        at: SimTime,
+    ) -> Result<(), AdminError> {
+        if config.pc6 && !config.pc3 {
+            return Err(AdminError::InvalidConfig(
+                "pc6 requires pc3 to be enabled".into(),
+            ));
+        }
+        self.power_mgmt = config;
+        self.log_event(RasEvent {
+            at,
+            severity: RasSeverity::Info,
+            message: "power management reconfigured".into(),
+        });
+        Ok(())
+    }
+
+    /// Append a RAS event (device-side MCA handler reports land here).
+    pub fn log_event(&mut self, event: RasEvent) {
+        if self.log.len() == self.log_capacity {
+            self.log.pop_front();
+        }
+        self.log.push_back(event);
+    }
+
+    /// Read the log, newest last, optionally filtered by minimum severity.
+    pub fn read_log(&self, min_severity: RasSeverity) -> Vec<&RasEvent> {
+        self.log
+            .iter()
+            .filter(|e| e.severity >= min_severity)
+            .collect()
+    }
+
+    /// Usable GDDR fraction under the current ECC mode (ECC spends ~3% of
+    /// capacity on check bits on this generation).
+    pub fn usable_memory_fraction(&self) -> f64 {
+        match self.ecc {
+            EccMode::Enabled => 0.969,
+            EccMode::Disabled => 1.0,
+        }
+    }
+}
+
+impl Default for HostAdmin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecc_toggle_requires_idle_card() {
+        let mut a = HostAdmin::new();
+        a.set_busy(true);
+        assert_eq!(
+            a.set_ecc(EccMode::Disabled, SimTime::ZERO).err(),
+            Some(AdminError::CardBusy)
+        );
+        a.set_busy(false);
+        a.set_ecc(EccMode::Disabled, SimTime::from_secs(1)).unwrap();
+        assert_eq!(a.ecc(), EccMode::Disabled);
+        assert!((a.usable_memory_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_mgmt_validation() {
+        let mut a = HostAdmin::new();
+        let bad = PowerMgmtConfig {
+            pc3: false,
+            pc6: true,
+            ..PowerMgmtConfig::default()
+        };
+        assert!(matches!(
+            a.set_power_mgmt(bad, SimTime::ZERO),
+            Err(AdminError::InvalidConfig(_))
+        ));
+        let ok = PowerMgmtConfig {
+            pc3: false,
+            pc6: false,
+            ..PowerMgmtConfig::default()
+        };
+        a.set_power_mgmt(ok, SimTime::ZERO).unwrap();
+        assert!(!a.power_mgmt().pc6);
+    }
+
+    #[test]
+    fn ras_log_filters_and_bounds() {
+        let mut a = HostAdmin::new();
+        for i in 0..300u64 {
+            a.log_event(RasEvent {
+                at: SimTime::from_secs(i),
+                severity: if i % 50 == 0 {
+                    RasSeverity::Corrected
+                } else {
+                    RasSeverity::Info
+                },
+                message: format!("event {i}"),
+            });
+        }
+        // Ring buffer bounded at 256.
+        assert_eq!(a.read_log(RasSeverity::Info).len(), 256);
+        // Severity filter.
+        let corrected = a.read_log(RasSeverity::Corrected);
+        assert!(corrected.iter().all(|e| e.severity >= RasSeverity::Corrected));
+        assert!(!corrected.is_empty());
+        // Oldest entries were evicted.
+        assert_eq!(a.read_log(RasSeverity::Info)[0].message, "event 44");
+    }
+
+    #[test]
+    fn config_changes_are_logged() {
+        let mut a = HostAdmin::new();
+        a.set_ecc(EccMode::Disabled, SimTime::from_secs(5)).unwrap();
+        let log = a.read_log(RasSeverity::Info);
+        assert!(log.iter().any(|e| e.message.contains("ECC")));
+    }
+}

@@ -1,0 +1,296 @@
+//! SCIF — the Symmetric Communications Interface.
+//!
+//! "The SCIF enables communication between the host and the Xeon Phi as
+//! well as between Xeon Phi cards within the host. Its primary goal is to
+//! provide a uniform API for all communication across the PCI Express
+//! buses. One of the most important properties of SCIF is that all drivers
+//! should expose the same interfaces on both the host and on the Xeon Phi."
+//! (§II-D, Figure 6)
+//!
+//! [`ScifNetwork`] models the fabric in virtual time: nodes (node 0 is the
+//! host, nodes 1… are cards), port-based listeners, connected endpoint
+//! pairs, and in-order message delivery with PCIe latency plus a bandwidth
+//! term. The *same* API object serves both sides — the symmetry property.
+
+use simkit::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// A SCIF node: 0 is the host, 1… are coprocessor cards.
+pub type NodeId = usize;
+
+/// A SCIF port number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScifPort(pub u16);
+
+/// An endpoint handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScifEndpoint(usize);
+
+/// SCIF errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScifError {
+    /// The node does not exist on the fabric.
+    NoSuchNode(NodeId),
+    /// The port already has a listener.
+    PortInUse(ScifPort),
+    /// Nobody listens on the remote port.
+    ConnectionRefused(NodeId, ScifPort),
+    /// The endpoint handle is invalid or closed.
+    BadEndpoint,
+    /// The endpoint is a listener, not a connected endpoint.
+    NotConnected,
+}
+
+impl fmt::Display for ScifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScifError::NoSuchNode(n) => write!(f, "no SCIF node {n}"),
+            ScifError::PortInUse(p) => write!(f, "port {} already bound", p.0),
+            ScifError::ConnectionRefused(n, p) => {
+                write!(f, "connection refused by node {n} port {}", p.0)
+            }
+            ScifError::BadEndpoint => write!(f, "bad endpoint"),
+            ScifError::NotConnected => write!(f, "endpoint not connected"),
+        }
+    }
+}
+
+impl std::error::Error for ScifError {}
+
+struct Endpoint {
+    node: NodeId,
+    peer: Option<usize>,
+    /// In-order delivery queue: (available_at, payload).
+    inbox: VecDeque<(SimTime, Vec<u8>)>,
+    /// Last delivery time enqueued toward this endpoint (preserves order).
+    last_delivery: SimTime,
+}
+
+/// The SCIF fabric.
+pub struct ScifNetwork {
+    nodes: usize,
+    endpoints: Vec<Endpoint>,
+    listeners: HashMap<(NodeId, ScifPort), usize>,
+    /// One-way PCIe message latency.
+    pub latency: SimDuration,
+    /// Payload bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl ScifNetwork {
+    /// A fabric with `nodes` nodes (host + cards) and default PCIe timing.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 2, "need at least host + one card");
+        ScifNetwork {
+            nodes,
+            endpoints: Vec::new(),
+            listeners: HashMap::new(),
+            latency: SimDuration::from_micros(50),
+            bandwidth_bps: 6.0e9,
+        }
+    }
+
+    fn new_endpoint(&mut self, node: NodeId) -> usize {
+        self.endpoints.push(Endpoint {
+            node,
+            peer: None,
+            inbox: VecDeque::new(),
+            last_delivery: SimTime::ZERO,
+        });
+        self.endpoints.len() - 1
+    }
+
+    /// Bind a listener on `(node, port)`.
+    pub fn listen(&mut self, node: NodeId, port: ScifPort) -> Result<ScifEndpoint, ScifError> {
+        if node >= self.nodes {
+            return Err(ScifError::NoSuchNode(node));
+        }
+        if self.listeners.contains_key(&(node, port)) {
+            return Err(ScifError::PortInUse(port));
+        }
+        let id = self.new_endpoint(node);
+        self.listeners.insert((node, port), id);
+        Ok(ScifEndpoint(id))
+    }
+
+    /// Connect from `node` to a listener at `(remote, port)`. Returns the
+    /// local connected endpoint and the remote (accepted) endpoint.
+    pub fn connect(
+        &mut self,
+        node: NodeId,
+        remote: NodeId,
+        port: ScifPort,
+    ) -> Result<(ScifEndpoint, ScifEndpoint), ScifError> {
+        if node >= self.nodes {
+            return Err(ScifError::NoSuchNode(node));
+        }
+        if remote >= self.nodes {
+            return Err(ScifError::NoSuchNode(remote));
+        }
+        if !self.listeners.contains_key(&(remote, port)) {
+            return Err(ScifError::ConnectionRefused(remote, port));
+        }
+        let local = self.new_endpoint(node);
+        let accepted = self.new_endpoint(remote);
+        self.endpoints[local].peer = Some(accepted);
+        self.endpoints[accepted].peer = Some(local);
+        Ok((ScifEndpoint(local), ScifEndpoint(accepted)))
+    }
+
+    /// Send `payload` from `ep` at time `t`; returns the delivery time at
+    /// the peer. Messages between one pair are delivered in send order even
+    /// when a later send would naively arrive earlier.
+    pub fn send(
+        &mut self,
+        ep: ScifEndpoint,
+        payload: &[u8],
+        t: SimTime,
+    ) -> Result<SimTime, ScifError> {
+        let peer = self
+            .endpoints
+            .get(ep.0)
+            .ok_or(ScifError::BadEndpoint)?
+            .peer
+            .ok_or(ScifError::NotConnected)?;
+        let transfer = SimDuration::from_secs_f64(payload.len() as f64 / self.bandwidth_bps);
+        let mut delivery = t + self.latency + transfer;
+        let peer_ep = &mut self.endpoints[peer];
+        if delivery < peer_ep.last_delivery {
+            delivery = peer_ep.last_delivery;
+        }
+        peer_ep.last_delivery = delivery;
+        peer_ep.inbox.push_back((delivery, payload.to_vec()));
+        Ok(delivery)
+    }
+
+    /// Receive the next message available at `ep` by time `t`, if any.
+    pub fn recv(
+        &mut self,
+        ep: ScifEndpoint,
+        t: SimTime,
+    ) -> Result<Option<(SimTime, Vec<u8>)>, ScifError> {
+        let e = self.endpoints.get_mut(ep.0).ok_or(ScifError::BadEndpoint)?;
+        if e.peer.is_none() {
+            return Err(ScifError::NotConnected);
+        }
+        match e.inbox.front() {
+            Some(&(avail, _)) if avail <= t => Ok(e.inbox.pop_front()),
+            _ => Ok(None),
+        }
+    }
+
+    /// Node of an endpoint.
+    pub fn node_of(&self, ep: ScifEndpoint) -> Result<NodeId, ScifError> {
+        self.endpoints
+            .get(ep.0)
+            .map(|e| e.node)
+            .ok_or(ScifError::BadEndpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> ScifNetwork {
+        ScifNetwork::new(3) // host + two cards
+    }
+
+    #[test]
+    fn listen_connect_send_recv() {
+        let mut net = fabric();
+        net.listen(1, ScifPort(100)).unwrap();
+        let (host_ep, card_ep) = net.connect(0, 1, ScifPort(100)).unwrap();
+        let t0 = SimTime::from_millis(10);
+        let delivery = net.send(host_ep, b"power?", t0).unwrap();
+        assert!(delivery > t0);
+        // Not yet arrived just before delivery…
+        assert!(net
+            .recv(card_ep, delivery - SimDuration::from_nanos(1))
+            .unwrap()
+            .is_none());
+        // …arrived at delivery.
+        let (at, msg) = net.recv(card_ep, delivery).unwrap().unwrap();
+        assert_eq!(at, delivery);
+        assert_eq!(msg, b"power?");
+    }
+
+    #[test]
+    fn symmetric_both_directions() {
+        let mut net = fabric();
+        net.listen(1, ScifPort(7)).unwrap();
+        let (host_ep, card_ep) = net.connect(0, 1, ScifPort(7)).unwrap();
+        let d1 = net.send(host_ep, b"req", SimTime::from_millis(1)).unwrap();
+        let d2 = net.send(card_ep, b"resp", d1).unwrap();
+        let got = net.recv(host_ep, d2).unwrap().unwrap();
+        assert_eq!(got.1, b"resp");
+    }
+
+    #[test]
+    fn card_to_card_connection() {
+        // "communication … between Xeon Phi cards within the host".
+        let mut net = fabric();
+        net.listen(2, ScifPort(9)).unwrap();
+        let (ep1, ep2) = net.connect(1, 2, ScifPort(9)).unwrap();
+        assert_eq!(net.node_of(ep1).unwrap(), 1);
+        assert_eq!(net.node_of(ep2).unwrap(), 2);
+    }
+
+    #[test]
+    fn connection_errors() {
+        let mut net = fabric();
+        assert_eq!(
+            net.connect(0, 1, ScifPort(5)).err(),
+            Some(ScifError::ConnectionRefused(1, ScifPort(5)))
+        );
+        net.listen(1, ScifPort(5)).unwrap();
+        assert_eq!(
+            net.listen(1, ScifPort(5)).err(),
+            Some(ScifError::PortInUse(ScifPort(5)))
+        );
+        assert_eq!(net.connect(0, 9, ScifPort(5)).err(), Some(ScifError::NoSuchNode(9)));
+        assert_eq!(net.connect(9, 1, ScifPort(5)).err(), Some(ScifError::NoSuchNode(9)));
+    }
+
+    #[test]
+    fn unconnected_endpoint_cannot_send() {
+        let mut net = fabric();
+        let listener = net.listen(1, ScifPort(4)).unwrap();
+        assert_eq!(
+            net.send(listener, b"x", SimTime::ZERO).err(),
+            Some(ScifError::NotConnected)
+        );
+    }
+
+    #[test]
+    fn messages_keep_order() {
+        let mut net = fabric();
+        net.listen(1, ScifPort(1)).unwrap();
+        let (h, c) = net.connect(0, 1, ScifPort(1)).unwrap();
+        // A huge message then a tiny one: the tiny one must not overtake.
+        let big = vec![0u8; 64 * 1024 * 1024];
+        let d_big = net.send(h, &big, SimTime::ZERO).unwrap();
+        let d_small = net.send(h, b"x", SimTime::from_nanos(1)).unwrap();
+        assert!(d_small >= d_big, "small overtook big");
+        let first = net.recv(c, d_small).unwrap().unwrap();
+        assert_eq!(first.1.len(), big.len());
+    }
+
+    #[test]
+    fn bandwidth_term_matters() {
+        let mut net = fabric();
+        net.listen(1, ScifPort(2)).unwrap();
+        let (h, _) = net.connect(0, 1, ScifPort(2)).unwrap();
+        let d_small = net.send(h, b"x", SimTime::ZERO).unwrap();
+        let d_big = net
+            .send(h, &vec![0u8; 6_000_000], SimTime::ZERO)
+            .unwrap();
+        // 6 MB at 6 GB/s = 1 ms extra.
+        let extra = d_big - d_small;
+        assert!(
+            (extra.as_millis_f64() - 1.0).abs() < 0.2,
+            "bandwidth term {extra:?}"
+        );
+    }
+}

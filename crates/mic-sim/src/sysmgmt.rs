@@ -1,0 +1,188 @@
+//! The in-band SysMgmt SCIF interface.
+//!
+//! "The first is the 'in-band' method which uses the symmetric
+//! communication interface (SCIF) network and the capabilities designed
+//! into the coprocessor OS and the host driver. … When an API call is made
+//! to the lower-level library to gather environmental data, it must travel
+//! across the SCIF to the card where user libraries call kernel functions
+//! which allow for access of the registers which contain the pertinent
+//! data. This explains the rise in power consumption as a result of using
+//! the API; code that wasn't already executing on the device before the
+//! call was made must run, collect, and return." (§II-D)
+//!
+//! Two consequences, both modelled:
+//!
+//! * **Cost**: a query takes ≈14.2 ms end to end ([`MIC_API_QUERY_COST`]),
+//!   "a staggering" ≈14 % overhead at a 100 ms polling interval;
+//! * **Perturbation**: per-query collection work on the card raises its
+//!   power over idle ([`SysMgmtSession::mgmt_demand`]), which is why
+//!   Figure 7's API boxplot sits above the daemon's.
+
+use crate::card::PhiCard;
+use crate::scif::{ScifEndpoint, ScifError, ScifNetwork, ScifPort};
+use crate::smc::{Smc, SmcReading};
+use powermodel::DemandTrace;
+use simkit::{SimDuration, SimTime};
+
+/// The well-known SCIF port of the card-side SysMgmt agent.
+pub const SYSMGMT_PORT: ScifPort = ScifPort(300);
+
+/// Card-side processing per query: the user-mode agent wakes, calls into
+/// the coprocessor kernel, walks the SMC registers, and marshals the reply.
+pub const CARD_COLLECT_COST: SimDuration = SimDuration::from_micros(14_000);
+
+/// Host-side library overhead per query.
+pub const HOST_LIB_COST: SimDuration = SimDuration::from_micros(100);
+
+/// End-to-end cost of one in-band query (§II-D: "each collection takes a
+/// staggering 14.2 ms"): host library + SCIF there + card collection +
+/// SCIF back.
+pub const MIC_API_QUERY_COST: SimDuration = SimDuration::from_micros(14_200);
+
+/// Fraction of the card's management component a query keeps busy while it
+/// runs (one core's worth of agent + kernel work).
+pub const COLLECT_INTENSITY: f64 = 0.35;
+
+/// An established in-band session.
+pub struct SysMgmtSession {
+    host_ep: ScifEndpoint,
+    card_ep: ScifEndpoint,
+}
+
+impl SysMgmtSession {
+    /// Connect from the host (SCIF node 0) to the SysMgmt agent on
+    /// `card_node`. The agent must already be listening (it is started by
+    /// [`SysMgmtSession::start_agent`]).
+    pub fn connect(net: &mut ScifNetwork, card_node: usize) -> Result<Self, ScifError> {
+        let (host_ep, card_ep) = net.connect(0, card_node, SYSMGMT_PORT)?;
+        Ok(SysMgmtSession { host_ep, card_ep })
+    }
+
+    /// Start the card-side agent (bind its listener).
+    pub fn start_agent(net: &mut ScifNetwork, card_node: usize) -> Result<(), ScifError> {
+        net.listen(card_node, SYSMGMT_PORT).map(|_| ())
+    }
+
+    /// Issue one power query at host time `t`.
+    ///
+    /// Returns the SMC reading and the host-side completion time. The whole
+    /// round trip is played out over the SCIF fabric; the completion time
+    /// lands at `t + ~14.2 ms`.
+    pub fn query_power(
+        &self,
+        net: &mut ScifNetwork,
+        card: &PhiCard,
+        smc: &Smc,
+        t: SimTime,
+    ) -> Result<(SmcReading, SimTime), ScifError> {
+        // Host library marshals the request…
+        let send_t = t + HOST_LIB_COST;
+        // …it crosses the bus…
+        let arrive_t = net.send(self.host_ep, b"GET power", send_t)?;
+        let (_, req) = net
+            .recv(self.card_ep, arrive_t)?
+            .expect("request delivered at its delivery time");
+        debug_assert_eq!(req, b"GET power");
+        // …the card-side agent wakes, collects, and replies…
+        let collected_t = arrive_t + CARD_COLLECT_COST;
+        let reading = smc.read(card, collected_t);
+        let reply: Vec<u8> = reading.total_power_uw.to_le_bytes().to_vec();
+        let reply_t = net.send(self.card_ep, &reply, collected_t)?;
+        let (done_t, payload) = net
+            .recv(self.host_ep, reply_t)?
+            .expect("reply delivered at its delivery time");
+        let echoed = u64::from_le_bytes(payload[..8].try_into().expect("8-byte reply"));
+        debug_assert_eq!(echoed, reading.total_power_uw);
+        Ok((reading, done_t))
+    }
+
+    /// The extra demand periodic in-band polling places on the card's
+    /// management component: duty cycle `CARD_COLLECT_COST / interval` at
+    /// [`COLLECT_INTENSITY`], averaged over the polling interval (the SMC's
+    /// 50 ms sensing window is longer than one 14 ms burst, so the average
+    /// is what it observes anyway).
+    pub fn mgmt_demand(interval: SimDuration, from: SimTime, to: SimTime) -> DemandTrace {
+        assert!(!interval.is_zero());
+        let duty = (CARD_COLLECT_COST.as_secs_f64() / interval.as_secs_f64()).min(1.0);
+        let mut d = DemandTrace::zero();
+        d.set(from, COLLECT_INTENSITY * duty);
+        d.set(to, 0.0);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::PhiSpec;
+    use hpc_workloads::Noop;
+    use simkit::NoiseStream;
+
+    fn setup() -> (ScifNetwork, SysMgmtSession, PhiCard, Smc) {
+        let mut net = ScifNetwork::new(2);
+        SysMgmtSession::start_agent(&mut net, 1).unwrap();
+        let session = SysMgmtSession::connect(&mut net, 1).unwrap();
+        let card = PhiCard::new(
+            PhiSpec::default(),
+            &Noop::figure7().profile(),
+            DemandTrace::zero(),
+            SimTime::from_secs(200),
+        );
+        let smc = Smc::new(NoiseStream::new(8));
+        (net, session, card, smc)
+    }
+
+    #[test]
+    fn query_takes_about_14_2_ms() {
+        let (mut net, session, card, smc) = setup();
+        let t = SimTime::from_secs(10);
+        let (_, done) = session.query_power(&mut net, &card, &smc, t).unwrap();
+        let elapsed = done - t;
+        assert!(
+            (elapsed.as_millis_f64() - 14.2).abs() < 0.1,
+            "in-band query took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn constant_matches_breakdown() {
+        let total = HOST_LIB_COST + SimDuration::from_micros(50) + CARD_COLLECT_COST
+            + SimDuration::from_micros(50);
+        assert_eq!(total, MIC_API_QUERY_COST);
+    }
+
+    #[test]
+    fn query_returns_plausible_power() {
+        let (mut net, session, card, smc) = setup();
+        let (r, _) = session
+            .query_power(&mut net, &card, &smc, SimTime::from_secs(30))
+            .unwrap();
+        let w = r.total_power_uw as f64 / 1e6;
+        assert!((105.0..120.0).contains(&w), "power {w}");
+    }
+
+    #[test]
+    fn overhead_at_100ms_interval_is_about_14_percent() {
+        let overhead = MIC_API_QUERY_COST.as_secs_f64() / 0.100;
+        assert!((overhead - 0.142).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mgmt_demand_scales_with_interval() {
+        let from = SimTime::ZERO;
+        let to = SimTime::from_secs(100);
+        let at = SimTime::from_secs(50);
+        let fast = SysMgmtSession::mgmt_demand(SimDuration::from_millis(100), from, to);
+        let slow = SysMgmtSession::mgmt_demand(SimDuration::from_secs(1), from, to);
+        assert!(fast.level_at(at) > slow.level_at(at) * 5.0);
+        // 100 ms interval: duty 0.14 * 0.35 = 0.0497.
+        assert!((fast.level_at(at) - 0.0497).abs() < 1e-3);
+        assert_eq!(fast.level_at(SimTime::from_secs(101)), 0.0);
+    }
+
+    #[test]
+    fn connect_requires_running_agent() {
+        let mut net = ScifNetwork::new(2);
+        assert!(SysMgmtSession::connect(&mut net, 1).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! A tiny virtual file system for the MICRAS pseudo-files.
+//!
+//! "On the device though, this daemon exposes access to environmental data
+//! through pseudo-files mounted on a virtual file system. In this way, when
+//! one wishes to collect data, it's simply a process of reading the
+//! appropriate file and parsing the data." (§II-D)
+//!
+//! Files are registered with generator closures; reading a path at virtual
+//! time `t` renders that file's current content.
+
+use simkit::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// VFS errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VfsError {
+    /// No file at the path.
+    NotFound(String),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "no such file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+type Generator = Box<dyn Fn(SimTime) -> String>;
+
+/// The virtual filesystem.
+#[derive(Default)]
+pub struct VirtFs {
+    files: BTreeMap<String, Generator>,
+}
+
+impl VirtFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a pseudo-file.
+    pub fn register<F: Fn(SimTime) -> String + 'static>(&mut self, path: &str, gen: F) {
+        self.files.insert(path.to_owned(), Box::new(gen));
+    }
+
+    /// Read a pseudo-file at virtual time `t`.
+    pub fn read(&self, path: &str, t: SimTime) -> Result<String, VfsError> {
+        self.files
+            .get(path)
+            .map(|g| g(t))
+            .ok_or_else(|| VfsError::NotFound(path.to_owned()))
+    }
+
+    /// List registered paths under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl fmt::Debug for VirtFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtFs")
+            .field("files", &self.files.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_list() {
+        let mut fs = VirtFs::new();
+        fs.register("/sys/class/micras/power", |t| {
+            format!("{} uW", t.as_nanos())
+        });
+        fs.register("/sys/class/micras/temp", |_| "50 C".into());
+        let s = fs.read("/sys/class/micras/power", SimTime::from_nanos(7)).unwrap();
+        assert_eq!(s, "7 uW");
+        assert_eq!(fs.list("/sys/class/micras").len(), 2);
+        assert_eq!(fs.list("/proc").len(), 0);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = VirtFs::new();
+        assert_eq!(
+            fs.read("/nope", SimTime::ZERO).err(),
+            Some(VfsError::NotFound("/nope".into()))
+        );
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut fs = VirtFs::new();
+        fs.register("/f", |_| "a".into());
+        fs.register("/f", |_| "b".into());
+        assert_eq!(fs.read("/f", SimTime::ZERO).unwrap(), "b");
+    }
+}

@@ -1,0 +1,21 @@
+//! The five backend adapters — one per access mechanism in the paper.
+//!
+//! | Backend | Mechanism | Min interval | Per-poll cost |
+//! |---|---|---|---|
+//! | [`BgqBackend`] | EMON API, node-card scope | 560 ms | 1.10 ms |
+//! | [`RaplBackend`] | MSR driver, 4 domains | 60 ms | 4 × 0.03 ms |
+//! | [`NvmlBackend`] | NVML over PCIe | 60 ms | 1.3 ms per GPU |
+//! | [`MicApiBackend`] | Phi in-band SysMgmt/SCIF | 50 ms | 14.2 ms |
+//! | [`MicDaemonBackend`] | Phi MICRAS pseudo-files | 50 ms | 0.04 ms |
+
+mod bgq;
+mod mic_api;
+mod mic_daemon;
+mod nvml;
+mod rapl;
+
+pub use bgq::BgqBackend;
+pub use mic_api::MicApiBackend;
+pub use mic_daemon::MicDaemonBackend;
+pub use nvml::NvmlBackend;
+pub use rapl::RaplBackend;

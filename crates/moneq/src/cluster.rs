@@ -1,0 +1,268 @@
+//! Multi-rank runs: MonEQ the way it actually runs on a machine.
+//!
+//! On Mira or Stampede, every agent rank (node card / node) runs its own
+//! session; finalize gathers one output file per agent ("each node … within
+//! the file produced for the node", §III). [`ClusterRun`] owns that
+//! fan-out: it drives N sessions over the same virtual timeline, collects
+//! their files, and reduces them — the machinery behind Figure 8's sum and
+//! Table III's scale sweep.
+
+use crate::backend::EnvBackend;
+use crate::output::OutputFile;
+use crate::overhead::OverheadReport;
+use crate::session::{MonEq, MonEqConfig};
+use simkit::{SimDuration, SimTime, TimeSeries};
+
+/// A whole-machine profiling run.
+pub struct ClusterRun {
+    sessions: Vec<MonEq>,
+}
+
+/// The gathered result of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// One output file per agent rank, in rank order.
+    pub files: Vec<OutputFile>,
+    /// Per-agent overhead ledgers.
+    pub overheads: Vec<OverheadReport>,
+    /// Total records dropped across agents.
+    pub dropped_records: u64,
+}
+
+impl ClusterRun {
+    /// Launch one session per backend factory. `make_backend(rank)` builds
+    /// rank `rank`'s backend (each rank needs its own handle to its own
+    /// node's hardware); `name(rank)` labels its output file.
+    pub fn launch<B, N>(
+        agents: usize,
+        interval: Option<SimDuration>,
+        mut make_backend: B,
+        mut name: N,
+        now: SimTime,
+    ) -> Self
+    where
+        B: FnMut(usize) -> Box<dyn EnvBackend>,
+        N: FnMut(usize) -> String,
+    {
+        assert!(agents >= 1);
+        let sessions = (0..agents)
+            .map(|rank| {
+                MonEq::initialize(
+                    rank as u32,
+                    vec![make_backend(rank)],
+                    MonEqConfig {
+                        interval,
+                        agent_name: name(rank),
+                        total_agents: agents,
+                        ..MonEqConfig::default()
+                    },
+                    now,
+                )
+            })
+            .collect();
+        ClusterRun { sessions }
+    }
+
+    /// Number of agent ranks.
+    pub fn agents(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Advance every rank's timer to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        for s in &mut self.sessions {
+            s.run_until(until);
+        }
+    }
+
+    /// Tag a section on every rank (collective tags, the common usage).
+    pub fn start_tag_all(&mut self, label: &str, at: SimTime) {
+        for s in &mut self.sessions {
+            s.start_tag(label, at);
+        }
+    }
+
+    /// Close a collective tag.
+    pub fn end_tag_all(&mut self, label: &str, at: SimTime) {
+        for s in &mut self.sessions {
+            s.end_tag(label, at);
+        }
+    }
+
+    /// Finalize every rank and gather the files.
+    pub fn finalize(self, now: SimTime) -> ClusterResult {
+        let mut files = Vec::with_capacity(self.sessions.len());
+        let mut overheads = Vec::with_capacity(self.sessions.len());
+        let mut dropped = 0;
+        for s in self.sessions {
+            let r = s.finalize(now);
+            files.push(r.file);
+            overheads.push(r.overhead);
+            dropped += r.dropped_records;
+        }
+        ClusterResult {
+            files,
+            overheads,
+            dropped_records: dropped,
+        }
+    }
+}
+
+impl ClusterResult {
+    /// Per-agent power series for one device/domain pair (summing the
+    /// watts of matching records per poll).
+    pub fn agent_series(&self, rank: usize, device: &str) -> TimeSeries {
+        let file = &self.files[rank];
+        let mut out = TimeSeries::new(format!("rank{rank} {device}"));
+        let mut acc = 0.0;
+        let mut current: Option<SimTime> = None;
+        for p in file.points.iter().filter(|p| p.device == device) {
+            if current != Some(p.timestamp) {
+                if let Some(t) = current {
+                    out.push(t, acc);
+                }
+                current = Some(p.timestamp);
+                acc = 0.0;
+            }
+            acc += p.watts;
+        }
+        if let Some(t) = current {
+            out.push(t, acc);
+        }
+        out
+    }
+
+    /// Machine-wide sum over all agents of one device's power (Figure 8's
+    /// reduction). All agents must have polled on the same grid.
+    pub fn sum_series(&self, device: &str) -> TimeSeries {
+        let per_agent: Vec<TimeSeries> = (0..self.files.len())
+            .map(|r| self.agent_series(r, device))
+            .collect();
+        TimeSeries::sum(format!("sum {device}"), &per_agent)
+    }
+
+    /// Write every agent's file into `dir` (the real finalize side effect).
+    pub fn write_all(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        self.files.iter().map(|f| f.write_to(dir)).collect()
+    }
+
+    /// The Table III view: the slowest agent's ledger per phase (the
+    /// numbers the paper reports are run-wide completion times).
+    pub fn worst_case_overhead(&self) -> OverheadReport {
+        let mut worst = self.overheads[0];
+        for o in &self.overheads[1..] {
+            if o.total() > worst.total() {
+                worst = *o;
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::DataPoint;
+    use powermodel::{Metric, Platform, Support};
+
+    struct Fake {
+        rank: usize,
+    }
+    impl EnvBackend for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn platform(&self) -> Platform {
+            Platform::Rapl
+        }
+        fn min_interval(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn poll_cost(&self) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+        fn capabilities(&self) -> Vec<(Metric, Support)> {
+            vec![]
+        }
+        fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
+            vec![DataPoint::power(t, "dev", "d", 100.0 + self.rank as f64)]
+        }
+        fn records_per_poll(&self) -> usize {
+            1
+        }
+    }
+
+    fn launch(agents: usize) -> ClusterRun {
+        ClusterRun::launch(
+            agents,
+            Some(SimDuration::from_millis(100)),
+            |rank| Box::new(Fake { rank }),
+            |rank| format!("node{rank}"),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn one_file_per_agent_in_rank_order() {
+        let mut run = launch(4);
+        run.run_until(SimTime::from_secs(2));
+        let result = run.finalize(SimTime::from_secs(2));
+        assert_eq!(result.files.len(), 4);
+        for (i, f) in result.files.iter().enumerate() {
+            assert_eq!(f.rank as usize, i);
+            assert_eq!(f.agent, format!("node{i}"));
+            assert!(!f.points.is_empty());
+        }
+    }
+
+    #[test]
+    fn sum_series_adds_across_agents() {
+        let mut run = launch(3);
+        run.run_until(SimTime::from_secs(2));
+        let result = run.finalize(SimTime::from_secs(2));
+        let sum = result.sum_series("dev");
+        // Ranks report 100, 101, 102 -> sum 303 at every poll.
+        assert!(!sum.is_empty());
+        for s in sum.samples() {
+            assert!((s.value - 303.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn collective_tags_reach_every_file() {
+        let mut run = launch(2);
+        run.start_tag_all("phase", SimTime::from_millis(200));
+        run.run_until(SimTime::from_secs(1));
+        run.end_tag_all("phase", SimTime::from_secs(1));
+        let result = run.finalize(SimTime::from_secs(1));
+        for f in &result.files {
+            assert_eq!(f.tags.len(), 2);
+        }
+    }
+
+    #[test]
+    fn write_all_creates_one_file_per_agent() {
+        let mut run = launch(3);
+        run.run_until(SimTime::from_secs(1));
+        let result = run.finalize(SimTime::from_secs(1));
+        let dir = std::env::temp_dir().join(format!("moneq-cluster-{}", std::process::id()));
+        let paths = result.write_all(&dir).expect("writable temp dir");
+        assert_eq!(paths.len(), 3);
+        for (p, f) in paths.iter().zip(&result.files) {
+            let back = OutputFile::from_path(p).expect("readable");
+            assert_eq!(&back, f);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worst_case_overhead_is_maximal() {
+        let mut run = launch(3);
+        run.run_until(SimTime::from_secs(1));
+        let result = run.finalize(SimTime::from_secs(1));
+        let worst = result.worst_case_overhead();
+        for o in &result.overheads {
+            assert!(worst.total() >= o.total());
+        }
+    }
+}

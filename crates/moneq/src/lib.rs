@@ -1,0 +1,64 @@
+//! # moneq — the unified power-profiling library (the paper's contribution)
+//!
+//! MonEQ started as a Blue Gene/Q power profiler; the paper extends it "to
+//! support the most common of devices now found in supercomputers with the
+//! same feature set and ease of use as before" (§III). This crate is that
+//! extended library, rebuilt over the simulated platforms:
+//!
+//! ```no_run
+//! use moneq::{MonEq, MonEqConfig};
+//! use moneq::backends::RaplBackend;
+//! use simkit::SimTime;
+//!
+//! # fn backend() -> RaplBackend { unimplemented!() }
+//! // Listing 1, in Rust. Two calls around the user code:
+//! let mut session = MonEq::initialize(
+//!     0,                              // MPI rank
+//!     vec![Box::new(backend())],
+//!     MonEqConfig::default(),
+//!     SimTime::ZERO,
+//! );
+//! /* user code runs; the SIGALRM-style timer polls in the background */
+//! session.run_until(SimTime::from_secs(100));
+//! let result = session.finalize(SimTime::from_secs(100));
+//! # let _ = result;
+//! ```
+//!
+//! Feature map to §III:
+//!
+//! * **default lowest interval** — `MonEqConfig::interval = None` polls at
+//!   each backend's minimum reliable cadence;
+//! * **SIGALRM polling** — [`session::MonEq::run_until`] fires the timer and
+//!   records "the latest generation of environmental data available" into a
+//!   **preallocated array** ([`MonEqConfig::max_samples`]);
+//! * **finest granularity** — one session per agent rank (the node card on
+//!   BG/Q, the node elsewhere); several accelerators on one node are each
+//!   accounted individually in the node's file;
+//! * **tagging** — [`session::MonEq::start_tag`]/[`session::MonEq::end_tag`]
+//!   wrap code sections; markers are injected into the output at finalize
+//!   ("because the injection happens after the program has completed, the
+//!   overhead of tagging is almost negligible");
+//! * **overhead discipline** — the costly work (file output) happens in
+//!   finalize, outside the application's timed region; the only unavoidable
+//!   runtime overhead is the periodic poll, charged per backend at the
+//!   paper's measured per-query costs ([`overhead`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod backends;
+pub mod cluster;
+pub mod output;
+pub mod overhead;
+pub mod reading;
+pub mod session;
+pub mod tags;
+
+pub use backend::{EnvBackend, StatedLimitation};
+pub use cluster::{ClusterResult, ClusterRun};
+pub use output::{OutputFile, ParseError};
+pub use overhead::{finalize_time, init_time, OverheadReport};
+pub use reading::DataPoint;
+pub use session::{FinalizeResult, MonEq, MonEqConfig};
+pub use tags::{TagEvent, TagKind};

@@ -1,0 +1,306 @@
+//! MonEQ output files.
+//!
+//! One file per node (agent rank), written at finalize. The format is
+//! line-oriented text: a commented header, one record per collected data
+//! point, and the tag markers injected after the run ("the injection
+//! happens after the program has completed", §III). A parser is provided
+//! for post-processing — the same workflow as real MonEQ's analysis
+//! scripts.
+
+use crate::reading::DataPoint;
+use crate::tags::{TagEvent, TagKind};
+use simkit::SimTime;
+use std::fmt::Write as _;
+
+/// Format version tag.
+pub const FORMAT_VERSION: &str = "moneq-output-v1";
+
+/// A parsed (or to-be-written) output file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutputFile {
+    /// Agent rank that produced the file.
+    pub rank: u32,
+    /// Agent location / node name.
+    pub agent: String,
+    /// Backends that contributed (comma-joined in the header).
+    pub backends: Vec<String>,
+    /// Polling interval in nanoseconds.
+    pub interval_ns: u64,
+    /// The collected records.
+    pub points: Vec<DataPoint>,
+    /// Tag markers.
+    pub tags: Vec<TagEvent>,
+}
+
+/// Parse failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.6}"),
+        None => "-".to_owned(),
+    }
+}
+
+fn parse_opt(s: &str) -> Result<Option<f64>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        s.parse::<f64>().map(Some).map_err(|e| e.to_string())
+    }
+}
+
+impl OutputFile {
+    /// The conventional file name for this agent's output.
+    pub fn file_name(&self) -> String {
+        format!("moneq-rank{:05}-{}.dat", self.rank, self.agent)
+    }
+
+    /// Write to `dir` using [`OutputFile::file_name`]; returns the path.
+    /// This is the finalize-time disk write of §III ("actually writing the
+    /// collected data to disk").
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Load and parse a file written by [`OutputFile::write_to`].
+    pub fn from_path(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::parse(&text).map_err(|e| e.to_string())
+    }
+
+    /// Render to the on-disk text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {FORMAT_VERSION}");
+        let _ = writeln!(out, "# rank: {}", self.rank);
+        let _ = writeln!(out, "# agent: {}", self.agent);
+        let _ = writeln!(out, "# backends: {}", self.backends.join(","));
+        let _ = writeln!(out, "# interval_ns: {}", self.interval_ns);
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{:.6}\t{}\t{}\t{}",
+                p.timestamp.as_nanos(),
+                p.device,
+                p.domain,
+                p.watts,
+                opt(p.volts),
+                opt(p.amps),
+                opt(p.temp_c),
+            );
+        }
+        for t in &self.tags {
+            let _ = writeln!(
+                out,
+                "TAG\t{}\t{}\t{}",
+                t.label,
+                t.kind.marker(),
+                t.at.as_nanos()
+            );
+        }
+        out
+    }
+
+    /// Parse the on-disk text format.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let err = |line: usize, message: &str| ParseError {
+            line,
+            message: message.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (n0, first) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+        if first.trim() != format!("# {FORMAT_VERSION}") {
+            return Err(err(n0 + 1, "missing or wrong format header"));
+        }
+        let mut rank = None;
+        let mut agent = None;
+        let mut backends = None;
+        let mut interval_ns = None;
+        let mut points = Vec::new();
+        let mut tags = Vec::new();
+        for (i, line) in lines {
+            let ln = i + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                if let Some(v) = rest.strip_prefix("rank: ") {
+                    rank = Some(v.parse().map_err(|_| err(ln, "bad rank"))?);
+                } else if let Some(v) = rest.strip_prefix("agent: ") {
+                    agent = Some(v.to_owned());
+                } else if let Some(v) = rest.strip_prefix("backends: ") {
+                    backends = Some(v.split(',').map(str::to_owned).collect());
+                } else if let Some(v) = rest.strip_prefix("interval_ns: ") {
+                    interval_ns = Some(v.parse().map_err(|_| err(ln, "bad interval"))?);
+                }
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields[0] == "TAG" {
+                if fields.len() != 4 {
+                    return Err(err(ln, "TAG line needs 4 fields"));
+                }
+                let kind = match fields[2] {
+                    "START" => TagKind::Start,
+                    "END" => TagKind::End,
+                    _ => return Err(err(ln, "TAG kind must be START or END")),
+                };
+                tags.push(TagEvent {
+                    label: fields[1].to_owned(),
+                    kind,
+                    at: SimTime::from_nanos(
+                        fields[3].parse().map_err(|_| err(ln, "bad tag timestamp"))?,
+                    ),
+                });
+                continue;
+            }
+            if fields.len() != 7 {
+                return Err(err(ln, "record needs 7 fields"));
+            }
+            points.push(DataPoint {
+                timestamp: SimTime::from_nanos(
+                    fields[0].parse().map_err(|_| err(ln, "bad timestamp"))?,
+                ),
+                device: fields[1].to_owned(),
+                domain: fields[2].to_owned(),
+                watts: fields[3].parse().map_err(|_| err(ln, "bad watts"))?,
+                volts: parse_opt(fields[4]).map_err(|m| err(ln, &m))?,
+                amps: parse_opt(fields[5]).map_err(|m| err(ln, &m))?,
+                temp_c: parse_opt(fields[6]).map_err(|m| err(ln, &m))?,
+            });
+        }
+        Ok(OutputFile {
+            rank: rank.ok_or_else(|| err(0, "missing rank header"))?,
+            agent: agent.ok_or_else(|| err(0, "missing agent header"))?,
+            backends: backends.ok_or_else(|| err(0, "missing backends header"))?,
+            interval_ns: interval_ns.ok_or_else(|| err(0, "missing interval header"))?,
+            points,
+            tags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> OutputFile {
+        OutputFile {
+            rank: 3,
+            agent: "R00-M0-N04".into(),
+            backends: vec!["bgq-emon".into()],
+            interval_ns: 560_000_000,
+            points: vec![
+                DataPoint {
+                    timestamp: SimTime::from_millis(560),
+                    device: "nodecard".into(),
+                    domain: "Chip Core".into(),
+                    watts: 700.25,
+                    volts: Some(0.9),
+                    amps: Some(778.06),
+                    temp_c: None,
+                },
+                DataPoint::power(SimTime::from_millis(1_120), "nodecard", "DRAM", 237.0),
+            ],
+            tags: vec![
+                TagEvent {
+                    label: "loop1".into(),
+                    kind: TagKind::Start,
+                    at: SimTime::from_millis(600),
+                },
+                TagEvent {
+                    label: "loop1".into(),
+                    kind: TagKind::End,
+                    at: SimTime::from_millis(900),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample_file();
+        let text = f.render();
+        let back = OutputFile::parse(&text).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn header_is_first() {
+        let text = sample_file().render();
+        assert!(text.starts_with("# moneq-output-v1\n"));
+        assert!(text.contains("# agent: R00-M0-N04"));
+    }
+
+    #[test]
+    fn tags_render_after_records() {
+        let text = sample_file().render();
+        let tag_pos = text.find("TAG\tloop1").unwrap();
+        let last_record = text.find("DRAM").unwrap();
+        assert!(tag_pos > last_record, "tags must be injected after records");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(OutputFile::parse("").is_err());
+        assert!(OutputFile::parse("garbage").is_err());
+        let mut text = sample_file().render();
+        text = text.replace("700.250000", "not-a-number");
+        assert!(OutputFile::parse(&text).is_err());
+        let truncated = sample_file().render().replace("TAG\tloop1\tSTART", "TAG\tloop1");
+        assert!(OutputFile::parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn missing_header_field_rejected() {
+        let text = sample_file()
+            .render()
+            .replace("# interval_ns: 560000000\n", "");
+        let e = OutputFile::parse(&text).unwrap_err();
+        assert!(e.message.contains("interval"));
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let f = sample_file();
+        let dir = std::env::temp_dir().join(format!("moneq-test-{}", std::process::id()));
+        let path = f.write_to(&dir).expect("writable temp dir");
+        assert!(path.ends_with("moneq-rank00003-R00-M0-N04.dat"));
+        let back = OutputFile::from_path(&path).expect("readable");
+        assert_eq!(back, f);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_path_missing_file_errors() {
+        let err = OutputFile::from_path(std::path::Path::new("/nonexistent/x.dat"))
+            .expect_err("missing file must error");
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn optional_fields_roundtrip_as_dash() {
+        let text = sample_file().render();
+        // The DRAM record has no volts/amps/temp.
+        let dram_line = text.lines().find(|l| l.contains("DRAM")).unwrap();
+        assert!(dram_line.ends_with("-\t-\t-"));
+    }
+}

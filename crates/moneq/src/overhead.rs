@@ -1,0 +1,124 @@
+//! Overhead accounting (Table III).
+//!
+//! MonEQ's overhead has three parts, each timed separately in Table III:
+//!
+//! * **initialization** — "set[s] up data structures and register[s]
+//!   timers"; nearly scale-independent (2.7–3.3 ms from 32 to 1,024 nodes);
+//! * **collection** — "the only unavoidable overhead to a running program
+//!   is the periodic call to record data"; identical on every node (0.3871 s
+//!   at all three scales), equal to `polls × per-poll cost`;
+//! * **finalize** — "really has the most to do in terms of actually writing
+//!   the collected data to disk and therefore does depend on the scale":
+//!   0.151 / 0.155 / 0.3347 s at 32 / 512 / 1,024 nodes.
+//!
+//! The finalize model is an I/O-wave model calibrated to those three
+//! points: agents write through a striped filesystem that absorbs
+//! [`IO_STRIPE_WIDTH`] concurrent writers per wave; each extra wave costs a
+//! full round trip.
+
+use simkit::SimDuration;
+
+/// Concurrent agent writes the I/O path absorbs before serializing.
+pub const IO_STRIPE_WIDTH: usize = 16;
+/// Base cost of one write wave.
+pub const WAVE_BASE: SimDuration = SimDuration::from_millis(150);
+/// Cost of each additional wave.
+pub const WAVE_EXTRA: SimDuration = SimDuration::from_millis(175);
+/// Per-agent metadata cost.
+pub const PER_AGENT: SimDuration = SimDuration::from_micros(300);
+/// Base initialization cost (data structures + timer registration).
+pub const INIT_BASE: SimDuration = SimDuration::from_micros(2_700);
+/// Initialization grows logarithmically with agent count (collective setup).
+pub const INIT_PER_LOG2: SimDuration = SimDuration::from_micros(120);
+
+/// Initialization time for a run with `agents` agent ranks.
+pub fn init_time(agents: usize) -> SimDuration {
+    assert!(agents >= 1);
+    let log2 = usize::BITS - 1 - agents.leading_zeros(); // floor(log2)
+    INIT_BASE + INIT_PER_LOG2 * u64::from(log2)
+}
+
+/// Finalize time for a run with `agents` agent ranks.
+pub fn finalize_time(agents: usize) -> SimDuration {
+    assert!(agents >= 1);
+    let waves = agents.div_ceil(IO_STRIPE_WIDTH) as u64;
+    WAVE_BASE + WAVE_EXTRA * (waves - 1) + PER_AGENT * agents as u64
+}
+
+/// Per-run overhead summary (one Table III column).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadReport {
+    /// Application runtime (virtual).
+    pub app_runtime: SimDuration,
+    /// Time spent in initialization.
+    pub init: SimDuration,
+    /// Time spent in finalize.
+    pub finalize: SimDuration,
+    /// Total time spent in periodic collection calls.
+    pub collection: SimDuration,
+    /// Number of polls performed.
+    pub polls: u64,
+}
+
+impl OverheadReport {
+    /// Total MonEQ time (the Table III bottom row).
+    pub fn total(&self) -> SimDuration {
+        self.init + self.finalize + self.collection
+    }
+
+    /// Total overhead as a fraction of the application runtime.
+    pub fn fraction(&self) -> f64 {
+        if self.app_runtime.is_zero() {
+            0.0
+        } else {
+            self.total().as_secs_f64() / self.app_runtime.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_matches_table3() {
+        // 32 nodes = 1 agent (one node card), 512 = 16, 1024 = 32.
+        let ms = |a: usize| init_time(a).as_secs_f64() * 1e3;
+        assert!((ms(1) - 2.7).abs() < 0.05, "1 agent: {}", ms(1));
+        assert!((ms(16) - 3.2).abs() < 0.1, "16 agents: {}", ms(16));
+        assert!((ms(32) - 3.3).abs() < 0.1, "32 agents: {}", ms(32));
+    }
+
+    #[test]
+    fn finalize_matches_table3() {
+        let s = |a: usize| finalize_time(a).as_secs_f64();
+        assert!((s(1) - 0.151).abs() < 0.002, "1 agent: {}", s(1));
+        assert!((s(16) - 0.155).abs() < 0.002, "16 agents: {}", s(16));
+        assert!((s(32) - 0.3347).abs() < 0.005, "32 agents: {}", s(32));
+    }
+
+    #[test]
+    fn finalize_is_monotone_in_agents() {
+        let mut last = SimDuration::ZERO;
+        for a in 1..200 {
+            let f = finalize_time(a);
+            assert!(f >= last, "finalize not monotone at {a}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn report_totals() {
+        let r = OverheadReport {
+            app_runtime: SimDuration::from_millis(202_740),
+            init: SimDuration::from_micros(2_700),
+            finalize: SimDuration::from_millis(151),
+            collection: SimDuration::from_millis(387),
+            polls: 352,
+        };
+        let total = r.total().as_secs_f64();
+        assert!((total - 0.5407).abs() < 0.001, "total {total}");
+        // ~0.27% of the application; "about 0.4%" at the 1K scale.
+        assert!(r.fraction() < 0.01);
+    }
+}

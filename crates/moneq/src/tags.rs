@@ -1,0 +1,128 @@
+//! The tagging feature (§III).
+//!
+//! "This feature allows for sections of code to be wrapped in start/end
+//! tags which inject special markers in the output files for later
+//! processing. … if an application had three 'work loops' and a user wanted
+//! to have separate profiles for each, all that is necessary is a total of
+//! 6 lines of code."
+
+use simkit::SimTime;
+
+/// Start or end of a tagged section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagKind {
+    /// Section start.
+    Start,
+    /// Section end.
+    End,
+}
+
+impl TagKind {
+    /// Marker text used in output files.
+    pub fn marker(self) -> &'static str {
+        match self {
+            TagKind::Start => "START",
+            TagKind::End => "END",
+        }
+    }
+}
+
+/// One tag marker recorded during the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagEvent {
+    /// Tag label.
+    pub label: String,
+    /// Start or end.
+    pub kind: TagKind,
+    /// When the tag call was made.
+    pub at: SimTime,
+}
+
+/// Pair up start/end markers into spans; unmatched markers are returned as
+/// errors by label (the post-processing step the paper defers to after the
+/// program completes).
+pub fn pair_tags(events: &[TagEvent]) -> Result<Vec<(String, SimTime, SimTime)>, String> {
+    let mut open: Vec<(String, SimTime)> = Vec::new();
+    let mut spans = Vec::new();
+    for e in events {
+        match e.kind {
+            TagKind::Start => open.push((e.label.clone(), e.at)),
+            TagKind::End => {
+                let idx = open
+                    .iter()
+                    .rposition(|(l, _)| *l == e.label)
+                    .ok_or_else(|| format!("END without START for tag '{}'", e.label))?;
+                let (label, start) = open.remove(idx);
+                if e.at < start {
+                    return Err(format!("tag '{label}' ends before it starts"));
+                }
+                spans.push((label, start, e.at));
+            }
+        }
+    }
+    if let Some((label, _)) = open.first() {
+        return Err(format!("START without END for tag '{label}'"));
+    }
+    spans.sort_by_key(|&(_, s, _)| s);
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &str, kind: TagKind, s: u64) -> TagEvent {
+        TagEvent {
+            label: label.into(),
+            kind,
+            at: SimTime::from_secs(s),
+        }
+    }
+
+    #[test]
+    fn three_work_loops_pair_up() {
+        let events = vec![
+            ev("loop1", TagKind::Start, 1),
+            ev("loop1", TagKind::End, 5),
+            ev("loop2", TagKind::Start, 6),
+            ev("loop2", TagKind::End, 9),
+            ev("loop3", TagKind::Start, 10),
+            ev("loop3", TagKind::End, 20),
+        ];
+        let spans = pair_tags(&events).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].0, "loop1");
+        assert_eq!(spans[2].2, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn nested_tags_allowed() {
+        let events = vec![
+            ev("outer", TagKind::Start, 1),
+            ev("inner", TagKind::Start, 2),
+            ev("inner", TagKind::End, 3),
+            ev("outer", TagKind::End, 4),
+        ];
+        let spans = pair_tags(&events).unwrap();
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn repeated_label_matches_innermost() {
+        let events = vec![
+            ev("x", TagKind::Start, 1),
+            ev("x", TagKind::Start, 2),
+            ev("x", TagKind::End, 3),
+            ev("x", TagKind::End, 4),
+        ];
+        let spans = pair_tags(&events).unwrap();
+        assert_eq!(spans[0], ("x".into(), SimTime::from_secs(1), SimTime::from_secs(4)));
+        assert_eq!(spans[1], ("x".into(), SimTime::from_secs(2), SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn unmatched_markers_error() {
+        assert!(pair_tags(&[ev("a", TagKind::Start, 1)]).is_err());
+        assert!(pair_tags(&[ev("a", TagKind::End, 1)]).is_err());
+    }
+}

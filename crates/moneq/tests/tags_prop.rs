@@ -1,0 +1,93 @@
+//! Property tests for tag pairing.
+
+use moneq::tags::{pair_tags, TagEvent, TagKind};
+use proptest::prelude::*;
+use simkit::SimTime;
+
+/// Generate a balanced, possibly nested tag sequence by simulating a stack
+/// of open tags over increasing timestamps.
+fn balanced_events() -> impl Strategy<Value = Vec<TagEvent>> {
+    prop::collection::vec((0u8..3, "[a-c]"), 1..40).prop_map(|ops| {
+        let mut events = Vec::new();
+        let mut open: Vec<String> = Vec::new();
+        let mut t = 0u64;
+        for (op, label) in ops {
+            t += 1;
+            match op {
+                // Open a new tag.
+                0 | 1 => {
+                    open.push(label.clone());
+                    events.push(TagEvent {
+                        label,
+                        kind: TagKind::Start,
+                        at: SimTime::from_secs(t),
+                    });
+                }
+                // Close the innermost open tag, if any.
+                _ => {
+                    if let Some(l) = open.pop() {
+                        events.push(TagEvent {
+                            label: l,
+                            kind: TagKind::End,
+                            at: SimTime::from_secs(t),
+                        });
+                    }
+                }
+            }
+        }
+        // Close whatever is still open, innermost first.
+        while let Some(l) = open.pop() {
+            t += 1;
+            events.push(TagEvent {
+                label: l,
+                kind: TagKind::End,
+                at: SimTime::from_secs(t),
+            });
+        }
+        events
+    })
+}
+
+proptest! {
+    #[test]
+    fn balanced_sequences_always_pair(events in balanced_events()) {
+        let spans = pair_tags(&events).expect("balanced input must pair");
+        prop_assert_eq!(spans.len() * 2, events.len());
+        for (label, start, end) in &spans {
+            prop_assert!(start <= end, "span {} inverted", label);
+        }
+        // Spans are sorted by start.
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn dropping_one_event_from_balanced_input_fails_or_shrinks(
+        events in balanced_events(),
+        drop_at in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(events.len() >= 2);
+        let mut mutated = events.clone();
+        mutated.remove(drop_at.index(mutated.len()));
+        match pair_tags(&mutated) {
+            // Usually the sequence becomes unbalanced…
+            Err(_) => {}
+            // …but dropping a whole start/end of a label that appears
+            // elsewhere can stay balanced; then one span must be lost.
+            Ok(spans) => {
+                let original = pair_tags(&events).unwrap();
+                prop_assert!(spans.len() < original.len());
+            }
+        }
+    }
+
+    #[test]
+    fn end_before_start_always_rejected(label in "[a-z]{1,5}", t in 1u64..1_000) {
+        let events = vec![
+            TagEvent { label: label.clone(), kind: TagKind::End, at: SimTime::from_secs(t) },
+            TagEvent { label, kind: TagKind::Start, at: SimTime::from_secs(t + 1) },
+        ];
+        prop_assert!(pair_tags(&events).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Clock domains and performance states.
+
+/// Clock domains queryable through `nvmlDeviceGetClockInfo`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockType {
+    /// Graphics engine clock.
+    Graphics,
+    /// Streaming-multiprocessor clock.
+    Sm,
+    /// Memory clock.
+    Memory,
+}
+
+/// Performance states (only the two the simulated boards use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PState {
+    /// Maximum performance.
+    P0,
+    /// Idle.
+    P8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_distinct() {
+        assert_ne!(PState::P0, PState::P8);
+        assert_ne!(ClockType::Sm, ClockType::Memory);
+    }
+}

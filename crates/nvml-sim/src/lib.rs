@@ -1,0 +1,109 @@
+//! # nvml-sim — an NVML-shaped management API over a simulated Kepler GPU
+//!
+//! "The NVIDIA Management Library (NVML) is a C-based API which allows for
+//! the monitoring and configuration of NVIDIA GPUs. The only NVIDIA GPUs
+//! which support power data collection are those based on the Kepler
+//! architecture, which at this time are only the K20 and K40 GPUs." (§II-C)
+//!
+//! The API surface mirrors NVML's: an explicit [`Nvml`] lifecycle handle,
+//! device enumeration, typed error codes (`NotSupported` on pre-Kepler
+//! boards), and the quirks the paper measures:
+//!
+//! * power is reported for the **entire board including memory**, ±5 W,
+//!   refreshed about every 60 ms ([`device::Device::power_usage`]);
+//! * every query crosses the PCI bus: ≈1.3 ms per call, the highest
+//!   per-query cost before the Xeon Phi in-band path ([`NVML_QUERY_COST`]);
+//! * the board ramps gradually under load (Figure 4's ~5 s settle).
+//!
+//! ```
+//! use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
+//! use hpc_workloads::Noop;
+//! use simkit::SimTime;
+//!
+//! let nvml = Nvml::init(
+//!     &[DeviceConfig {
+//!         spec: GpuSpec::k20(),
+//!         workload: Noop::figure4().profile(),
+//!         horizon: SimTime::from_secs(20),
+//!     }],
+//!     42,
+//! );
+//! let dev = nvml.device_by_index(0).unwrap();
+//! let mw = dev.power_usage(SimTime::from_secs(10)).unwrap();
+//! assert!((50_000..60_000).contains(&mw)); // the NOOP loop settles ~55 W
+//! nvml.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clocks;
+pub mod device;
+pub mod memory;
+pub mod profile;
+
+pub use clocks::{ClockType, PState};
+pub use device::{Device, DeviceConfig, Nvml, NvmlError};
+pub use memory::MemoryInfo;
+pub use profile::GpuSpec;
+
+use powermodel::{Metric, Platform, Support};
+use simkit::SimDuration;
+
+/// Virtual-time cost of one NVML query (§II-C: "each collection takes about
+/// 1.3 ms" — "any call to the GPU for data collection not only needs to go
+/// through the NVML library, it must also transfer data across the PCI
+/// bus").
+pub const NVML_QUERY_COST: SimDuration = SimDuration::from_micros(1_300);
+
+/// The NVML column of Table I.
+///
+/// NVML exposes board-level total power only (no voltage/current, no rail
+/// breakdown), GPU die temperature, memory occupancy and clocks, fan speed
+/// (on actively cooled boards), and power-limit control.
+pub fn capabilities() -> Vec<(Metric, Support)> {
+    use Metric::*;
+    use Support::*;
+    vec![
+        (TotalPower, Yes),
+        (Voltage, No),
+        (Current, No),
+        (PciExpressPower, No),
+        (MainMemoryPower, No),
+        (DieTemp, Yes),
+        (DdrGddrTemp, No),
+        (DeviceTemp, Yes),
+        (IntakeTemp, No),
+        (ExhaustTemp, No),
+        (MemUsed, Yes),
+        (MemFree, Yes),
+        (MemSpeed, No),
+        (MemFrequency, Yes),
+        (MemVoltage, No),
+        (MemClockRate, Yes),
+        (ProcVoltage, No),
+        (ProcFrequency, Yes),
+        (ProcClockRate, Yes),
+        (FanSpeed, Yes),
+        (PowerLimitGetSet, Yes),
+    ]
+}
+
+/// The platform this crate models.
+pub const PLATFORM: Platform = Platform::Nvml;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermodel::paper_matrix;
+
+    #[test]
+    fn capabilities_match_paper_table1_column() {
+        assert_eq!(capabilities(), paper_matrix().column(PLATFORM));
+    }
+
+    #[test]
+    fn query_cost_is_1_3ms() {
+        assert!((NVML_QUERY_COST.as_millis_f64() - 1.3).abs() < 1e-9);
+    }
+}

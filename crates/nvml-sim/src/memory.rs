@@ -1,0 +1,44 @@
+//! Board memory occupancy (`nvmlDeviceGetMemoryInfo`).
+
+/// Total/used/free board memory, bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryInfo {
+    /// Installed GDDR, bytes.
+    pub total_bytes: u64,
+    /// Currently allocated, bytes.
+    pub used_bytes: u64,
+    /// Currently free, bytes.
+    pub free_bytes: u64,
+}
+
+impl MemoryInfo {
+    /// Used fraction in `[0, 1]`.
+    pub fn used_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.used_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn used_fraction_basics() {
+        let m = MemoryInfo {
+            total_bytes: 100,
+            used_bytes: 25,
+            free_bytes: 75,
+        };
+        assert!((m.used_fraction() - 0.25).abs() < 1e-12);
+        let z = MemoryInfo {
+            total_bytes: 0,
+            used_bytes: 0,
+            free_bytes: 0,
+        };
+        assert_eq!(z.used_fraction(), 0.0);
+    }
+}

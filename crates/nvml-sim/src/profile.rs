@@ -1,0 +1,166 @@
+//! GPU board specifications.
+//!
+//! "The experiment was run on a NVIDIA K20 GPU which has a peak performance
+//! of 1.17 teraFLOPS at double precision, 5 GB of GDDR5 memory, and 2496
+//! CUDA cores." (§II-C)
+
+use powermodel::{ComponentSpec, ThermalSpec};
+use simkit::SimDuration;
+
+/// Static description of one GPU board model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Kepler boards support power telemetry; older ones return
+    /// `NotSupported` (§II-C).
+    pub is_kepler: bool,
+    /// CUDA core count.
+    pub cuda_cores: u32,
+    /// Peak double-precision teraFLOPS.
+    pub peak_tflops: f64,
+    /// GDDR5 capacity in MiB.
+    pub memory_mib: u64,
+    /// Board idle power, watts (Figure 4 starts at ≈44 W).
+    pub idle_watts: f64,
+    /// GPU-core dynamic power at full load, watts.
+    pub core_dynamic_watts: f64,
+    /// Memory-subsystem dynamic power at full load, watts.
+    pub mem_dynamic_watts: f64,
+    /// Board power-limit range (min, max, default), watts.
+    pub power_limit_range: (f64, f64, f64),
+    /// SM clock in P0 (full performance), MHz.
+    pub sm_clock_p0_mhz: u32,
+    /// SM clock in P8 (idle), MHz.
+    pub sm_clock_p8_mhz: u32,
+    /// Memory clock, MHz.
+    pub mem_clock_mhz: u32,
+}
+
+impl GpuSpec {
+    /// Tesla K20: the paper's primary board.
+    pub fn k20() -> Self {
+        GpuSpec {
+            name: "Tesla K20",
+            is_kepler: true,
+            cuda_cores: 2_496,
+            peak_tflops: 1.17,
+            memory_mib: 5 * 1_024,
+            idle_watts: 44.0,
+            core_dynamic_watts: 70.0,
+            mem_dynamic_watts: 30.0,
+            power_limit_range: (150.0, 225.0, 225.0),
+            sm_clock_p0_mhz: 706,
+            sm_clock_p8_mhz: 324,
+            mem_clock_mhz: 2_600,
+        }
+    }
+
+    /// Tesla K40: the other power-capable Kepler board.
+    pub fn k40() -> Self {
+        GpuSpec {
+            name: "Tesla K40",
+            is_kepler: true,
+            cuda_cores: 2_880,
+            peak_tflops: 1.43,
+            memory_mib: 12 * 1_024,
+            idle_watts: 47.0,
+            core_dynamic_watts: 80.0,
+            mem_dynamic_watts: 33.0,
+            power_limit_range: (180.0, 235.0, 235.0),
+            sm_clock_p0_mhz: 745,
+            sm_clock_p8_mhz: 324,
+            mem_clock_mhz: 3_004,
+        }
+    }
+
+    /// Tesla M2090 (Fermi): enumerates, but has no power telemetry —
+    /// exercising the `NotSupported` path the paper implies.
+    pub fn m2090() -> Self {
+        GpuSpec {
+            name: "Tesla M2090",
+            is_kepler: false,
+            cuda_cores: 512,
+            peak_tflops: 0.67,
+            memory_mib: 6 * 1_024,
+            idle_watts: 60.0,
+            core_dynamic_watts: 120.0,
+            mem_dynamic_watts: 45.0,
+            power_limit_range: (225.0, 225.0, 225.0),
+            sm_clock_p0_mhz: 650,
+            sm_clock_p8_mhz: 324,
+            mem_clock_mhz: 1_848,
+        }
+    }
+
+    /// The two power components of the board (core rail, memory subsystem).
+    /// The slow first-order ramp (τ ≈ 1.3 s → ~5 s to settle) reproduces
+    /// Figure 4's gradual rise — the paper's "lock-step thread
+    /// synchronization" conjecture rendered as board-level power lag.
+    pub fn components(&self) -> Vec<ComponentSpec> {
+        vec![
+            ComponentSpec {
+                name: "gpu-core",
+                idle_w: self.idle_watts * 0.7,
+                dynamic_w: self.core_dynamic_watts,
+                ramp_tau: SimDuration::from_millis(1_300),
+            },
+            ComponentSpec {
+                name: "gddr",
+                idle_w: self.idle_watts * 0.3,
+                dynamic_w: self.mem_dynamic_watts,
+                ramp_tau: SimDuration::from_millis(1_300),
+            },
+        ]
+    }
+
+    /// Thermal behaviour of the board (Figure 5: 40 → 65 °C over ~90 s).
+    pub fn thermal(&self) -> ThermalSpec {
+        ThermalSpec {
+            ambient_c: 32.0,
+            r_c_per_w: 0.25,
+            tau: SimDuration::from_secs(40),
+            step: SimDuration::from_millis(100),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20_matches_paper_datasheet() {
+        let k = GpuSpec::k20();
+        assert_eq!(k.cuda_cores, 2_496);
+        assert!((k.peak_tflops - 1.17).abs() < 1e-9);
+        assert_eq!(k.memory_mib, 5 * 1024);
+        assert!(k.is_kepler);
+    }
+
+    #[test]
+    fn component_idles_sum_to_board_idle() {
+        for spec in [GpuSpec::k20(), GpuSpec::k40(), GpuSpec::m2090()] {
+            let idle: f64 = spec.components().iter().map(|c| c.idle_w).sum();
+            assert!((idle - spec.idle_watts).abs() < 1e-9, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn k20_full_load_in_figure5_band() {
+        let k = GpuSpec::k20();
+        // acc 0.95, accmem 0.85 (the vecadd compute phase levels).
+        let p = k.idle_watts + 0.95 * k.core_dynamic_watts + 0.85 * k.mem_dynamic_watts;
+        assert!((120.0..160.0).contains(&p), "compute power {p}");
+    }
+
+    #[test]
+    fn thermal_steady_states_match_figure5_axis() {
+        let k = GpuSpec::k20();
+        let th = k.thermal();
+        let idle_t = th.steady_state(k.idle_watts);
+        let busy_t = th.steady_state(136.0);
+        assert!((40.0..46.0).contains(&idle_t), "idle temp {idle_t}");
+        assert!((60.0..70.0).contains(&busy_t), "busy temp {busy_t}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the NVML model.
+
+use hpc_workloads::{Channel, WorkloadProfile};
+use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
+use powermodel::PhaseBuilder;
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+fn nvml_for(acc: f64, mem: f64, seed: u64) -> Nvml {
+    let d = SimDuration::from_secs(120);
+    let mut p = WorkloadProfile::new("w", d);
+    p.set_demand(
+        Channel::Accelerator,
+        PhaseBuilder::new().phase(d, acc).build_open(),
+    );
+    p.set_demand(
+        Channel::AcceleratorMemory,
+        PhaseBuilder::new().phase(d, mem).build_open(),
+    );
+    Nvml::init(
+        &[DeviceConfig {
+            spec: GpuSpec::k20(),
+            workload: p,
+            horizon: SimTime::from_secs(120),
+        }],
+        seed,
+    )
+}
+
+proptest! {
+    #[test]
+    fn power_within_board_envelope_plus_accuracy(
+        acc in 0.0f64..=1.0,
+        mem in 0.0f64..=1.0,
+        t_ms in 0u64..120_000,
+        seed in 0u64..1_000,
+    ) {
+        let nvml = nvml_for(acc, mem, seed);
+        let dev = nvml.device_by_index(0).unwrap();
+        let w = f64::from(dev.power_usage(SimTime::from_millis(t_ms)).unwrap()) / 1e3;
+        let spec = GpuSpec::k20();
+        let floor = spec.idle_watts - 9.0; // ±5 W spec with 3.5-sigma slack
+        let ceil = spec.idle_watts + spec.core_dynamic_watts + spec.mem_dynamic_watts + 9.0;
+        prop_assert!(w >= floor, "{} below floor", w);
+        prop_assert!(w <= ceil, "{} above ceiling", w);
+    }
+
+    #[test]
+    fn memory_info_is_conserved_and_monotone_in_demand(
+        mem_lo in 0.0f64..0.5,
+        extra in 0.0f64..0.5,
+        t_ms in 0u64..120_000,
+    ) {
+        let t = SimTime::from_millis(t_ms);
+        let lo = nvml_for(0.5, mem_lo, 1);
+        let hi = nvml_for(0.5, mem_lo + extra, 1);
+        let mi_lo = lo.device_by_index(0).unwrap().memory_info(t).unwrap();
+        let mi_hi = hi.device_by_index(0).unwrap().memory_info(t).unwrap();
+        prop_assert_eq!(mi_lo.total_bytes, mi_lo.used_bytes + mi_lo.free_bytes);
+        prop_assert_eq!(mi_hi.total_bytes, mi_hi.used_bytes + mi_hi.free_bytes);
+        prop_assert!(mi_hi.used_bytes >= mi_lo.used_bytes);
+    }
+
+    #[test]
+    fn temperature_bounded_by_thermal_model(
+        acc in 0.0f64..=1.0,
+        mem in 0.0f64..=1.0,
+        t_ms in 0u64..120_000,
+    ) {
+        let nvml = nvml_for(acc, mem, 2);
+        let dev = nvml.device_by_index(0).unwrap();
+        let temp = dev.temperature(SimTime::from_millis(t_ms)).unwrap();
+        let th = GpuSpec::k20().thermal();
+        let max_steady = th.steady_state(GpuSpec::k20().idle_watts
+            + GpuSpec::k20().core_dynamic_watts
+            + GpuSpec::k20().mem_dynamic_watts);
+        prop_assert!(f64::from(temp) >= th.ambient_c - 1.0);
+        prop_assert!(f64::from(temp) <= max_steady + 2.0, "temp {} > {}", temp, max_steady);
+    }
+
+    #[test]
+    fn power_limit_setting_respects_range(limit_mw in 0u32..400_000) {
+        let nvml = nvml_for(0.1, 0.1, 3);
+        let dev = nvml.device_by_index(0).unwrap();
+        let (min_w, max_w, _) = GpuSpec::k20().power_limit_range;
+        let result = dev.set_power_management_limit(limit_mw);
+        let in_range =
+            (f64::from(limit_mw) / 1e3 >= min_w) && (f64::from(limit_mw) / 1e3 <= max_w);
+        prop_assert_eq!(result.is_ok(), in_range);
+        if in_range {
+            prop_assert_eq!(dev.power_management_limit().unwrap(), limit_mw);
+        }
+    }
+}

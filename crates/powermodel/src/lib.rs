@@ -1,0 +1,41 @@
+//! # powermodel — device power, thermal, and sensor models
+//!
+//! The paper's figures are all ultimately *sensor observations of a device
+//! executing a workload*. This crate is the shared physics layer between the
+//! workload generators (`hpc-workloads`) and the four vendor-mechanism crates
+//! (`bgq-sim`, `rapl-sim`, `nvml-sim`, `mic-sim`):
+//!
+//! ```text
+//! workload ──▶ DemandTrace ──▶ DevicePower (idle + dynamic, 1st-order ramp)
+//!                                   │                │
+//!                              ScalarSensor      EnergyCounter      ThermalTrace
+//!                              (cadence, ±W,     (unit, width,      (RC model,
+//!                               quantization)     wraparound)        Figure 5)
+//! ```
+//!
+//! * [`demand`] — per-component utilization as piecewise-constant traces;
+//! * [`device`] — power response with an analytic first-order low-pass (the
+//!   ~5 s NVIDIA ramp of Figure 4) and closed-form energy integrals;
+//! * [`sensor`] — sampled sensors: update grid, quantization, and
+//!   order-independent noise (the NVML ±5 W accuracy, RAPL update jitter);
+//! * [`energy`] — wrapping integer energy counters (the RAPL 32-bit
+//!   `*_ENERGY_STATUS` registers and their >60 s overflow hazard);
+//! * [`thermal`] — a first-order RC thermal model (Figure 5's temperature);
+//! * [`capability`] — the Table I environmental-data capability matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod demand;
+pub mod device;
+pub mod energy;
+pub mod sensor;
+pub mod thermal;
+
+pub use capability::{paper_matrix, CapabilityMatrix, Metric, MetricGroup, Platform, Support};
+pub use demand::{DemandTrace, PhaseBuilder};
+pub use device::{ComponentSpec, DevicePower, DeviceSpec};
+pub use energy::{EnergyCounter, EnergyCounterSpec};
+pub use sensor::{ScalarSensor, SensorSpec};
+pub use thermal::{ThermalSpec, ThermalTrace};

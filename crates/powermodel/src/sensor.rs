@@ -1,0 +1,287 @@
+//! Sampled scalar sensors.
+//!
+//! Real environmental sensors do not report the instantaneous truth: they
+//! refresh on an internal cadence (NVML power refreshes ~every 60 ms; RAPL
+//! energy counters update on a ~1 ms grid with ±50 k-cycle jitter), quantize
+//! to a reporting resolution, and carry accuracy error (NVML: ±5 W). A
+//! [`ScalarSensor`] wraps a ground-truth function with exactly those three
+//! distortions.
+//!
+//! Observation noise is drawn from an indexed [`NoiseStream`] keyed by the
+//! update-grid slot, so a value, once generated, is stable: two readers
+//! polling the same sensor in the same slot see the same value, and re-reads
+//! never perturb anything — the property the paper's cross-mechanism
+//! comparisons (Figure 7) implicitly rely on.
+
+use simkit::{NoiseStream, SimDuration, SimTime};
+
+/// Static description of a sampled sensor.
+#[derive(Clone, Copy, Debug)]
+pub struct SensorSpec {
+    /// Internal refresh period (queries between refreshes observe the same
+    /// generation of data).
+    pub update_period: SimDuration,
+    /// Grid anchor: the time of generation 0.
+    pub anchor: SimTime,
+    /// Reporting resolution; `0.0` disables quantization.
+    pub quantum: f64,
+    /// Standard deviation of per-generation Gaussian accuracy error.
+    pub noise_sigma: f64,
+    /// Cadence jitter: each generation is produced up to ± this far from its
+    /// nominal grid slot (the RAPL "±50,000 cycles" behaviour). Bounded by
+    /// half the update period.
+    pub jitter: SimDuration,
+}
+
+impl SensorSpec {
+    /// A perfectly accurate sensor with the given refresh period.
+    pub fn ideal(update_period: SimDuration) -> Self {
+        SensorSpec {
+            update_period,
+            anchor: SimTime::ZERO,
+            quantum: 0.0,
+            noise_sigma: 0.0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Builder-style: set quantization.
+    pub fn with_quantum(mut self, quantum: f64) -> Self {
+        assert!(quantum >= 0.0);
+        self.quantum = quantum;
+        self
+    }
+
+    /// Builder-style: set Gaussian accuracy error.
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Builder-style: set cadence jitter.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder-style: set the grid anchor.
+    pub fn with_anchor(mut self, anchor: SimTime) -> Self {
+        self.anchor = anchor;
+        self
+    }
+}
+
+/// A sensor instance: spec + independent noise stream.
+#[derive(Clone, Debug)]
+pub struct ScalarSensor {
+    spec: SensorSpec,
+    noise: NoiseStream,
+}
+
+impl ScalarSensor {
+    /// Create a sensor with its own noise stream (derive per-sensor streams
+    /// with [`NoiseStream::child`] so sensors never share noise).
+    pub fn new(spec: SensorSpec, noise: NoiseStream) -> Self {
+        assert!(
+            spec.jitter.as_nanos() * 2 <= spec.update_period.as_nanos(),
+            "jitter must not exceed half the update period"
+        );
+        ScalarSensor { spec, noise }
+    }
+
+    /// The sensor's static description.
+    pub fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    /// The instant at which slot `k`'s generation is produced: the slot start
+    /// plus a per-slot uniform jitter in `[-jitter, +jitter]` (clamped so
+    /// generation 0 never precedes the anchor).
+    fn slot_generation_time(&self, k: u64) -> SimTime {
+        let slot_start = self.spec.anchor
+            + self.spec.update_period.saturating_mul(k);
+        if self.spec.jitter.is_zero() || k == 0 {
+            // Generation 0 is pinned to the anchor so the sensor always has
+            // a value to report from the first query onward.
+            return slot_start;
+        }
+        // Jitter derives from the slot index on a dedicated sub-stream so it
+        // never correlates with value noise.
+        let j = self.noise.child("jitter").uniform_pm1(k);
+        let offset = self.spec.jitter.mul_f64(j.abs());
+        if j >= 0.0 {
+            slot_start + offset
+        } else if slot_start.saturating_since(self.spec.anchor) >= offset {
+            slot_start - offset
+        } else {
+            slot_start
+        }
+    }
+
+    /// The production instant of the generation observed by a query at `t`:
+    /// the most recent jittered generation not after `t`. With jitter, a
+    /// query early in a slot may still observe the previous generation —
+    /// exactly the RAPL short-window inaccuracy the paper describes.
+    pub fn generation_time(&self, t: SimTime) -> SimTime {
+        self.slot_generation_time(self.generation_index(t))
+    }
+
+    /// Index of the generation observed by a query at `t`.
+    pub fn generation_index(&self, t: SimTime) -> u64 {
+        let k = t.grid_index(self.spec.anchor, self.spec.update_period);
+        if t >= self.slot_generation_time(k) {
+            k
+        } else {
+            // Jitter <= period/2 guarantees generation k-1 precedes slot k,
+            // and generation 0 is clamped to the anchor.
+            k.saturating_sub(1)
+        }
+    }
+
+    /// Observe the sensor at time `t`, given the ground truth `truth(t)`.
+    ///
+    /// The observation is `quantize(truth(generation_time) + noise(slot))`.
+    pub fn observe<F: Fn(SimTime) -> f64>(&self, t: SimTime, truth: F) -> f64 {
+        let k = self.generation_index(t);
+        let gen_t = self.slot_generation_time(k);
+        let mut v = truth(gen_t);
+        if self.spec.noise_sigma > 0.0 {
+            v += self.spec.noise_sigma * self.noise.child("value").normal(k);
+        }
+        if self.spec.quantum > 0.0 {
+            v = (v / self.spec.quantum).round() * self.spec.quantum;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise() -> NoiseStream {
+        NoiseStream::new(7)
+    }
+
+    #[test]
+    fn ideal_sensor_tracks_grid_floor() {
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(60)),
+            noise(),
+        );
+        // truth(t) = t in ms
+        let truth = |t: SimTime| t.as_nanos() as f64 / 1e6;
+        assert_eq!(s.observe(SimTime::from_millis(0), truth), 0.0);
+        assert_eq!(s.observe(SimTime::from_millis(59), truth), 0.0);
+        assert_eq!(s.observe(SimTime::from_millis(60), truth), 60.0);
+        assert_eq!(s.observe(SimTime::from_millis(119), truth), 60.0);
+    }
+
+    #[test]
+    fn quantization_rounds_to_grid() {
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(10)).with_quantum(0.5),
+            noise(),
+        );
+        let v = s.observe(SimTime::from_millis(5), |_| 10.3);
+        assert_eq!(v, 10.5);
+        let v = s.observe(SimTime::from_millis(5), |_| 10.1);
+        assert_eq!(v, 10.0);
+    }
+
+    #[test]
+    fn same_slot_same_value_regardless_of_query_order() {
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(60)).with_noise(2.0),
+            noise(),
+        );
+        let truth = |_: SimTime| 100.0;
+        let a = s.observe(SimTime::from_millis(130), truth);
+        let _ = s.observe(SimTime::from_millis(10), truth);
+        let _ = s.observe(SimTime::from_millis(500), truth);
+        let b = s.observe(SimTime::from_millis(140), truth); // same slot as 130
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_has_roughly_requested_sigma() {
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(1)).with_noise(5.0),
+            noise(),
+        );
+        let truth = |_: SimTime| 50.0;
+        let n = 20_000u64;
+        let mut acc = simkit::RunningStats::new();
+        for k in 0..n {
+            acc.push(s.observe(SimTime::from_millis(k), truth));
+        }
+        assert!((acc.mean() - 50.0).abs() < 0.2, "mean {}", acc.mean());
+        assert!((acc.std_dev() - 5.0).abs() < 0.3, "sd {}", acc.std_dev());
+    }
+
+    #[test]
+    fn jittered_generations_are_causal_and_fresh() {
+        let period = SimDuration::from_millis(10);
+        let jitter = SimDuration::from_millis(3);
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(period).with_jitter(jitter),
+            noise(),
+        );
+        for q in 0..2_000u64 {
+            let t = SimTime::from_micros(q * 137 + 1); // irregular query times
+            let g = s.generation_time(t);
+            // Causal: the observed generation already exists.
+            assert!(g <= t, "generation {g:?} after query {t:?}");
+            // Fresh: never staler than one period plus jitter on both ends
+            // (current generation late by +jitter, previous early by -jitter).
+            let staleness = t - g;
+            assert!(
+                staleness <= period + jitter + jitter,
+                "staleness {staleness:?} at t={t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_moves_some_generation_times() {
+        let period = SimDuration::from_millis(10);
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(period).with_jitter(SimDuration::from_millis(3)),
+            noise(),
+        );
+        // Query exactly on nominal slot boundaries: with jitter, some slots'
+        // generations have not been produced yet, so the observed generation
+        // time differs from the nominal grid for some slots.
+        let moved = (1..100u64)
+            .filter(|&k| s.generation_time(SimTime::from_millis(k * 10)) != SimTime::from_millis(k * 10))
+            .count();
+        assert!(moved > 10, "jitter had no visible effect ({moved} moved)");
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must not exceed")]
+    fn oversized_jitter_rejected() {
+        ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(10))
+                .with_jitter(SimDuration::from_millis(8)),
+            noise(),
+        );
+    }
+
+    #[test]
+    fn different_sensors_have_independent_noise() {
+        let spec = SensorSpec::ideal(SimDuration::from_millis(1)).with_noise(1.0);
+        let root = NoiseStream::new(3);
+        let s1 = ScalarSensor::new(spec, root.child("a"));
+        let s2 = ScalarSensor::new(spec, root.child("b"));
+        let truth = |_: SimTime| 0.0;
+        let same = (0..100u64)
+            .filter(|&k| {
+                let t = SimTime::from_millis(k);
+                s1.observe(t, truth) == s2.observe(t, truth)
+            })
+            .count();
+        assert!(same < 5);
+    }
+}

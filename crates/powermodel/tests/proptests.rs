@@ -1,0 +1,174 @@
+//! Property-based tests for the power/sensor/energy models.
+
+use powermodel::{
+    ComponentSpec, DemandTrace, DevicePower, EnergyCounter, EnergyCounterSpec, PhaseBuilder,
+    ScalarSensor, SensorSpec,
+};
+use proptest::prelude::*;
+use simkit::{NoiseStream, SimDuration, SimTime};
+
+/// Strategy: a random phase plan as (duration_ms in 1..5000, level in [0,1]).
+fn phases() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((1u64..5_000, 0.0f64..=1.0), 1..12)
+}
+
+fn build_trace(phases: &[(u64, f64)]) -> DemandTrace {
+    let mut b = PhaseBuilder::new();
+    for &(ms, level) in phases {
+        b = b.phase(SimDuration::from_millis(ms), level);
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn demand_levels_always_in_unit_interval(ph in phases(), t_ms in 0u64..100_000) {
+        let tr = build_trace(&ph);
+        let v = tr.level_at(SimTime::from_millis(t_ms));
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn demand_integral_matches_riemann_sum(ph in phases()) {
+        let tr = build_trace(&ph);
+        let end_ms: u64 = ph.iter().map(|&(ms, _)| ms).sum::<u64>() + 500;
+        let exact = tr.integrate(SimTime::ZERO, SimTime::from_millis(end_ms));
+        // 1 ms Riemann sum (left rule is exact between breakpoints; error
+        // only where a breakpoint splits a step).
+        let mut approx = 0.0;
+        for k in 0..end_ms {
+            approx += tr.level_at(SimTime::from_millis(k)) * 1e-3;
+        }
+        prop_assert!((exact - approx).abs() < 1e-2 * (1.0 + exact.abs()),
+            "exact {} vs riemann {}", exact, approx);
+    }
+
+    #[test]
+    fn device_power_bounded_by_idle_and_peak(
+        ph in phases(),
+        idle in 0.0f64..100.0,
+        dynamic in 0.0f64..500.0,
+        tau_ms in 0u64..10_000,
+        t_ms in 0u64..120_000,
+    ) {
+        let tr = build_trace(&ph);
+        let comp = ComponentSpec {
+            name: "c",
+            idle_w: idle,
+            dynamic_w: dynamic,
+            ramp_tau: SimDuration::from_millis(tau_ms),
+        };
+        let dev = DevicePower::single("d", comp, &tr);
+        let p = dev.total_power(SimTime::from_millis(t_ms));
+        prop_assert!(p >= idle - 1e-9, "p {} below idle {}", p, idle);
+        prop_assert!(p <= idle + dynamic + 1e-9, "p {} above peak", p);
+    }
+
+    #[test]
+    fn device_energy_matches_numeric_integration(
+        ph in prop::collection::vec((1u64..2_000, 0.0f64..=1.0), 1..6),
+        tau_ms in 0u64..3_000,
+    ) {
+        let tr = build_trace(&ph);
+        let comp = ComponentSpec {
+            name: "c",
+            idle_w: 10.0,
+            dynamic_w: 90.0,
+            ramp_tau: SimDuration::from_millis(tau_ms),
+        };
+        let dev = DevicePower::single("d", comp, &tr);
+        let end_ms: u64 = ph.iter().map(|&(ms, _)| ms).sum::<u64>() + 1_000;
+        let to = SimTime::from_millis(end_ms);
+        let exact = dev.component_energy(0, SimTime::ZERO, to);
+        // Trapezoid with 1 ms steps.
+        let mut numeric = 0.0;
+        let mut prev = dev.component_power(0, SimTime::ZERO);
+        for k in 1..=end_ms {
+            let cur = dev.component_power(0, SimTime::from_millis(k));
+            numeric += 0.5 * (prev + cur) * 1e-3;
+            prev = cur;
+        }
+        prop_assert!((exact - numeric).abs() < 5e-3 * (1.0 + numeric.abs()),
+            "exact {} vs numeric {}", exact, numeric);
+    }
+
+    #[test]
+    fn device_energy_additive(
+        ph in prop::collection::vec((1u64..2_000, 0.0f64..=1.0), 1..6),
+        split_ms in 1u64..10_000,
+    ) {
+        let tr = build_trace(&ph);
+        let comp = ComponentSpec {
+            name: "c",
+            idle_w: 5.0,
+            dynamic_w: 45.0,
+            ramp_tau: SimDuration::from_millis(750),
+        };
+        let dev = DevicePower::single("d", comp, &tr);
+        let end = SimTime::from_secs(20);
+        let mid = SimTime::from_millis(split_ms.min(20_000));
+        let whole = dev.component_energy(0, SimTime::ZERO, end);
+        let parts = dev.component_energy(0, SimTime::ZERO, mid)
+            + dev.component_energy(0, mid, end);
+        prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()));
+    }
+
+    #[test]
+    fn sensor_observation_error_is_bounded(
+        truth_val in 0.0f64..500.0,
+        quantum in 0.01f64..10.0,
+        t_ms in 0u64..60_000,
+    ) {
+        // No noise: |observed - truth| <= quantum/2 for a constant signal.
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(60)).with_quantum(quantum),
+            NoiseStream::new(1),
+        );
+        let v = s.observe(SimTime::from_millis(t_ms), |_| truth_val);
+        prop_assert!((v - truth_val).abs() <= quantum / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn sensor_same_generation_same_value(
+        seed in any::<u64>(),
+        slot in 0u64..1_000,
+        off1 in 0u64..59_999,
+        off2 in 0u64..59_999,
+    ) {
+        // No jitter: any two queries inside one 60 ms slot agree exactly.
+        let s = ScalarSensor::new(
+            SensorSpec::ideal(SimDuration::from_millis(60)).with_noise(3.0),
+            NoiseStream::new(seed),
+        );
+        let base_us = slot * 60_000;
+        let t1 = SimTime::from_micros(base_us + off1.min(59_999));
+        let t2 = SimTime::from_micros(base_us + off2.min(59_999));
+        let truth = |_: SimTime| 123.0;
+        prop_assert_eq!(s.observe(t1, truth), s.observe(t2, truth));
+    }
+
+    #[test]
+    fn energy_counter_delta_correct_under_one_wrap(
+        power in 1.0f64..2_000.0,
+        t1_ms in 0u64..100_000,
+        dt_ms in 1u64..30_000,
+    ) {
+        let spec = EnergyCounterSpec {
+            unit_joules: 1.0 / 65_536.0,
+            width_bits: 32,
+            update_period: SimDuration::from_millis(1),
+        };
+        let c = EnergyCounter::new(spec);
+        let energy = |t: SimTime| power * t.as_secs_f64();
+        let t1 = SimTime::from_millis(t1_ms);
+        let t2 = SimTime::from_millis(t1_ms + dt_ms);
+        // Only test when at most one wrap can occur in the window.
+        prop_assume!(power * (dt_ms as f64 / 1e3) < spec.wrap_joules());
+        let j = c.counts_to_joules(c.delta_counts(c.raw(t1, energy), c.raw(t2, energy)));
+        let truth = power * (t2.grid_floor(SimTime::ZERO, spec.update_period)
+            - t1.grid_floor(SimTime::ZERO, spec.update_period)).as_secs_f64();
+        // Within one count unit + grid quantization of the power slope.
+        prop_assert!((j - truth).abs() <= spec.unit_joules + 1e-9,
+            "delta {} vs truth {}", j, truth);
+    }
+}

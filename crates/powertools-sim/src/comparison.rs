@@ -1,0 +1,176 @@
+//! The tool-capability comparison implicit in §III.
+//!
+//! The paper's prose states, tool by tool, which platforms each can collect
+//! power from and which MonEQ features it shares. This module renders that
+//! as a matrix and the tests pin it to the paper's sentences.
+
+use powermodel::Platform;
+
+/// The tools §III discusses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tool {
+    /// MonEQ — the paper's contribution.
+    MonEq,
+    /// PAPI (refs [14], [15]).
+    Papi,
+    /// TAU ≥ 2.23 (ref [16]).
+    Tau,
+    /// PowerPack 3.0 (ref [17]).
+    PowerPack,
+}
+
+impl Tool {
+    /// All tools, MonEQ first.
+    pub const ALL: [Tool; 4] = [Tool::MonEq, Tool::Papi, Tool::Tau, Tool::PowerPack];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tool::MonEq => "MonEQ",
+            Tool::Papi => "PAPI",
+            Tool::Tau => "TAU",
+            Tool::PowerPack => "PowerPack 3.0",
+        }
+    }
+}
+
+/// One tool's coverage and features, straight from §III.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ToolCapability {
+    /// The tool.
+    pub tool: Tool,
+    /// Platforms the tool can collect software-accessible power from.
+    pub platforms: Vec<Platform>,
+    /// Interval-based monitoring?
+    pub interval_monitoring: bool,
+    /// Code-section tagging with post-run marker injection?
+    pub tagging: bool,
+    /// Several accelerators in one node profiled simultaneously?
+    pub multi_device: bool,
+    /// External (hardware-meter) collection instead of vendor APIs?
+    pub external_metering: bool,
+}
+
+/// The §III matrix.
+pub fn tool_matrix() -> Vec<ToolCapability> {
+    use Platform::*;
+    vec![
+        ToolCapability {
+            tool: Tool::MonEq,
+            // "we have extended it to support the most common of devices
+            // now found in supercomputers" — all four platforms.
+            platforms: vec![BlueGeneQ, Rapl, Nvml, XeonPhi],
+            interval_monitoring: true,
+            tagging: true,
+            multi_device: true,
+            external_metering: false,
+        },
+        ToolCapability {
+            tool: Tool::Papi,
+            // "PAPI supports collecting power consumption information for
+            // Intel RAPL, NVML, and the Xeon Phi."
+            platforms: vec![Rapl, Nvml, XeonPhi],
+            // "PAPI allows for monitoring at designated intervals (similar
+            // to MonEQ)".
+            interval_monitoring: true,
+            tagging: false,
+            multi_device: true,
+            external_metering: false,
+        },
+        ToolCapability {
+            tool: Tool::Tau,
+            // "this is the only system that TAU supports".
+            platforms: vec![Rapl],
+            interval_monitoring: true,
+            tagging: true, // TAU instruments code regions
+            multi_device: false,
+            external_metering: false,
+        },
+        ToolCapability {
+            tool: Tool::PowerPack,
+            // "PowerPack does not allow for the collection of power data
+            // from newer generation hardware such as Intel RAPL, NVML, or
+            // the Xeon Phi."
+            platforms: vec![],
+            interval_monitoring: true,
+            tagging: false,
+            multi_device: false,
+            external_metering: true,
+        },
+    ]
+}
+
+/// Render the matrix.
+pub fn render_tool_matrix(rows: &[ToolCapability]) -> String {
+    let mut out = format!(
+        "{:<16}{:>7}{:>7}{:>13}{:>7}{:>10}{:>9}{:>8}{:>10}\n",
+        "Tool", "BG/Q", "RAPL", "NVML", "Phi", "interval", "tagging", "multi", "external"
+    );
+    for r in rows {
+        let has = |p: Platform| if r.platforms.contains(&p) { "Y" } else { "-" };
+        let b = |v: bool| if v { "Y" } else { "-" };
+        out.push_str(&format!(
+            "{:<16}{:>7}{:>7}{:>13}{:>7}{:>10}{:>9}{:>8}{:>10}\n",
+            r.tool.label(),
+            has(Platform::BlueGeneQ),
+            has(Platform::Rapl),
+            has(Platform::Nvml),
+            has(Platform::XeonPhi),
+            b(r.interval_monitoring),
+            b(r.tagging),
+            b(r.multi_device),
+            b(r.external_metering),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermodel::Platform;
+
+    fn row(tool: Tool) -> ToolCapability {
+        tool_matrix().into_iter().find(|r| r.tool == tool).unwrap()
+    }
+
+    #[test]
+    fn moneq_covers_everything_papi_lacks_bgq() {
+        let moneq = row(Tool::MonEq);
+        let papi = row(Tool::Papi);
+        assert_eq!(moneq.platforms.len(), 4);
+        assert!(!papi.platforms.contains(&Platform::BlueGeneQ));
+        assert_eq!(papi.platforms.len(), 3);
+    }
+
+    #[test]
+    fn tau_is_rapl_only() {
+        let tau = row(Tool::Tau);
+        assert_eq!(tau.platforms, vec![Platform::Rapl]);
+    }
+
+    #[test]
+    fn powerpack_has_no_vendor_mechanism_coverage() {
+        let pp = row(Tool::PowerPack);
+        assert!(pp.platforms.is_empty());
+        assert!(pp.external_metering);
+    }
+
+    #[test]
+    fn moneq_is_the_only_tool_with_all_four() {
+        for r in tool_matrix() {
+            if r.tool != Tool::MonEq {
+                assert!(r.platforms.len() < 4, "{:?}", r.tool);
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_all_tools() {
+        let text = render_tool_matrix(&tool_matrix());
+        for t in Tool::ALL {
+            assert!(text.contains(t.label()), "{}", t.label());
+        }
+        assert_eq!(text.lines().count(), 5);
+    }
+}

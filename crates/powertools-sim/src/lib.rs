@@ -1,0 +1,38 @@
+//! # powertools-sim — the §III comparison baselines
+//!
+//! The paper positions MonEQ against three existing tools (§III):
+//!
+//! * **PAPI** — "traditionally known for its ability to gather performance
+//!   data, however the authors have recently begun including the ability to
+//!   collect power data. PAPI supports collecting power consumption
+//!   information for Intel RAPL, NVML, and the Xeon Phi. PAPI allows for
+//!   monitoring at designated intervals (similar to MonEQ) for a given set
+//!   of data." → [`papi`]: a PAPI-5-shaped component/EventSet API over the
+//!   simulated platforms.
+//! * **TAU** — "as of version 2.23, TAU also supports power profiling
+//!   collection of RAPL through the MSR drivers. To the best of our
+//!   knowledge this is the only system that TAU supports." → [`tau`]: an
+//!   interval profiler that binds **only** the RAPL MSR path.
+//! * **PowerPack** — "historically gathered data from hardware tools such
+//!   as a WattsUp Pro meter connected to the power supply and a NI meter
+//!   connected to the CPU/memory/motherboard … even as of this latest
+//!   version PowerPack does not allow for the collection of power data from
+//!   newer generation hardware such as Intel RAPL, NVML, or the Xeon Phi."
+//!   → [`powerpack`]: external metering of whole-node wall power at meter
+//!   cadence, blind to device internals.
+//!
+//! [`comparison`] renders the implicit tool-capability matrix of §III and
+//! is asserted against the paper's statements in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod papi;
+pub mod powerpack;
+pub mod tau;
+
+pub use comparison::{tool_matrix, Tool, ToolCapability};
+pub use papi::{Component, EventSet, Papi, PapiError};
+pub use powerpack::{NodePowerModel, WattsUpMeter};
+pub use tau::{TauProfile, TauProfiler};

@@ -1,0 +1,344 @@
+//! A PAPI-5-shaped power API over the simulated platforms.
+//!
+//! Mirrors the component architecture of PAPI 5 (§III refs [14], [15]):
+//! the library enumerates *components* (`rapl`, `nvml`, `micpower`), events
+//! are named `component:::EVENT` strings, and an [`EventSet`] is started,
+//! read, and stopped. Reads return cumulative energy in nanojoules for
+//! energy events (PAPI's convention) and instantaneous milliwatts for
+//! power events.
+
+use mic_sim::micras::{PowerFileReading, POWER_FILE};
+use mic_sim::MicrasDaemon;
+use nvml_sim::Nvml;
+use rapl_sim::{PerfEventRapl, RaplDomain};
+use simkit::SimTime;
+use std::fmt;
+use std::rc::Rc;
+
+/// PAPI-style error codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PapiError {
+    /// `PAPI_ENOCMP`: no such component.
+    NoComponent(String),
+    /// `PAPI_ENOEVNT`: the component has no such event.
+    NoEvent(String),
+    /// `PAPI_EISRUN` / `PAPI_ENOTRUN`: bad state transition.
+    BadState(&'static str),
+}
+
+impl fmt::Display for PapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PapiError::NoComponent(c) => write!(f, "PAPI_ENOCMP: {c}"),
+            PapiError::NoEvent(e) => write!(f, "PAPI_ENOEVNT: {e}"),
+            PapiError::BadState(m) => write!(f, "PAPI state error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PapiError {}
+
+/// A PAPI component: one hardware mechanism's event namespace.
+pub enum Component {
+    /// The `rapl` component (kernel perf path, as PAPI uses).
+    Rapl(PerfEventRapl),
+    /// The `nvml` component.
+    Nvml(Rc<Nvml>),
+    /// The `micpower` component (MICRAS pseudo-files).
+    MicPower(Rc<MicrasDaemon>),
+}
+
+impl Component {
+    /// The component's registry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Rapl(_) => "rapl",
+            Component::Nvml(_) => "nvml",
+            Component::MicPower(_) => "micpower",
+        }
+    }
+
+    /// Events this component exposes.
+    pub fn events(&self) -> Vec<String> {
+        match self {
+            Component::Rapl(_) => vec![
+                "rapl:::PACKAGE_ENERGY:PACKAGE0".into(),
+                "rapl:::PP0_ENERGY:PACKAGE0".into(),
+                "rapl:::DRAM_ENERGY:PACKAGE0".into(),
+            ],
+            Component::Nvml(nvml) => (0..nvml.device_count())
+                .map(|i| format!("nvml:::power:device{i}"))
+                .collect(),
+            Component::MicPower(_) => vec!["micpower:::tot0:device0".into()],
+        }
+    }
+
+    fn read_event(&self, event: &str, t: SimTime) -> Result<i64, PapiError> {
+        match self {
+            Component::Rapl(perf) => {
+                let domain = if event.contains("PACKAGE_ENERGY") {
+                    RaplDomain::Pkg
+                } else if event.contains("PP0_ENERGY") {
+                    RaplDomain::Pp0
+                } else if event.contains("DRAM_ENERGY") {
+                    RaplDomain::Dram
+                } else {
+                    return Err(PapiError::NoEvent(event.to_owned()));
+                };
+                let joules = perf
+                    .read_energy_joules(domain, t)
+                    .map_err(|_| PapiError::NoEvent(event.to_owned()))?;
+                Ok((joules * 1e9) as i64) // PAPI reports nJ
+            }
+            Component::Nvml(nvml) => {
+                let idx: usize = event
+                    .rsplit("device")
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| PapiError::NoEvent(event.to_owned()))?;
+                let dev = nvml
+                    .device_by_index(idx)
+                    .map_err(|_| PapiError::NoEvent(event.to_owned()))?;
+                let mw = dev
+                    .power_usage(t)
+                    .map_err(|_| PapiError::NoEvent(event.to_owned()))?;
+                Ok(i64::from(mw))
+            }
+            Component::MicPower(daemon) => {
+                let text = daemon
+                    .read_file(POWER_FILE, t)
+                    .map_err(|_| PapiError::NoEvent(event.to_owned()))?;
+                let r = PowerFileReading::parse(&text)
+                    .ok_or_else(|| PapiError::NoEvent(event.to_owned()))?;
+                Ok((r.tot0_uw / 1_000) as i64) // mW
+            }
+        }
+    }
+}
+
+/// The library handle (`PAPI_library_init`).
+pub struct Papi {
+    components: Vec<Component>,
+}
+
+impl Papi {
+    /// Initialize with the discovered components.
+    pub fn library_init(components: Vec<Component>) -> Self {
+        Papi { components }
+    }
+
+    /// `PAPI_num_components`.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Enumerate every available event across components.
+    pub fn all_events(&self) -> Vec<String> {
+        self.components.iter().flat_map(|c| c.events()).collect()
+    }
+
+    /// Create an empty event set.
+    pub fn create_eventset(&self) -> EventSet<'_> {
+        EventSet {
+            papi: self,
+            events: Vec::new(),
+            running_since: None,
+            start_values: Vec::new(),
+        }
+    }
+
+    fn component_for(&self, event: &str) -> Result<&Component, PapiError> {
+        let prefix = event
+            .split(":::")
+            .next()
+            .ok_or_else(|| PapiError::NoEvent(event.to_owned()))?;
+        self.components
+            .iter()
+            .find(|c| c.name() == prefix)
+            .ok_or_else(|| PapiError::NoComponent(prefix.to_owned()))
+    }
+}
+
+/// An event set (`PAPI_create_eventset` … `PAPI_add_named_event` …
+/// `PAPI_start` / `PAPI_read` / `PAPI_stop`).
+pub struct EventSet<'p> {
+    papi: &'p Papi,
+    events: Vec<String>,
+    running_since: Option<SimTime>,
+    start_values: Vec<i64>,
+}
+
+impl EventSet<'_> {
+    /// `PAPI_add_named_event`.
+    pub fn add_named_event(&mut self, event: &str) -> Result<(), PapiError> {
+        if self.running_since.is_some() {
+            return Err(PapiError::BadState("cannot add events while running"));
+        }
+        let comp = self.papi.component_for(event)?;
+        if !comp.events().iter().any(|e| e == event) {
+            return Err(PapiError::NoEvent(event.to_owned()));
+        }
+        self.events.push(event.to_owned());
+        Ok(())
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff the set has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `PAPI_start`: latch the baseline values.
+    pub fn start(&mut self, t: SimTime) -> Result<(), PapiError> {
+        if self.running_since.is_some() {
+            return Err(PapiError::BadState("already running"));
+        }
+        self.start_values = self
+            .events
+            .iter()
+            .map(|e| self.papi.component_for(e)?.read_event(e, t))
+            .collect::<Result<_, _>>()?;
+        self.running_since = Some(t);
+        Ok(())
+    }
+
+    /// `PAPI_read`: current values relative to `start` (energy events count
+    /// up from zero; power events report the instantaneous value).
+    pub fn read(&self, t: SimTime) -> Result<Vec<i64>, PapiError> {
+        if self.running_since.is_none() {
+            return Err(PapiError::BadState("not running"));
+        }
+        self.events
+            .iter()
+            .zip(&self.start_values)
+            .map(|(e, &base)| {
+                let v = self.papi.component_for(e)?.read_event(e, t)?;
+                // Energy events are cumulative counters: report the delta.
+                // Power events (nvml/micpower) are levels: report as-is.
+                Ok(if e.contains("ENERGY") { v - base } else { v })
+            })
+            .collect()
+    }
+
+    /// `PAPI_stop`: final read, then the set can be modified again.
+    pub fn stop(&mut self, t: SimTime) -> Result<Vec<i64>, PapiError> {
+        let values = self.read(t)?;
+        self.running_since = None;
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_workloads::{GaussianElimination, Noop};
+    use nvml_sim::{DeviceConfig, GpuSpec};
+    use rapl_sim::{KernelVersion, SocketModel, SocketSpec};
+    use simkit::{NoiseStream, SimDuration};
+    use std::sync::Arc;
+
+    fn papi() -> Papi {
+        let socket = Arc::new(SocketModel::new(
+            SocketSpec::default(),
+            &GaussianElimination::figure3().profile(),
+        ));
+        let rapl = PerfEventRapl::open(socket, KernelVersion::new(3, 14)).unwrap();
+        let nvml = Rc::new(Nvml::init(
+            &[DeviceConfig {
+                spec: GpuSpec::k20(),
+                workload: Noop::figure4().profile(),
+                horizon: SimTime::from_secs(60),
+            }],
+            1,
+        ));
+        let profile = Noop::figure7().profile();
+        let card = Rc::new(mic_sim::PhiCard::new(
+            mic_sim::PhiSpec::default(),
+            &profile,
+            powermodel::DemandTrace::zero(),
+            SimTime::from_secs(200),
+        ));
+        let smc = Rc::new(mic_sim::Smc::new(NoiseStream::new(9)));
+        let daemon = Rc::new(MicrasDaemon::start(card, smc, &profile));
+        Papi::library_init(vec![
+            Component::Rapl(rapl),
+            Component::Nvml(nvml),
+            Component::MicPower(daemon),
+        ])
+    }
+
+    #[test]
+    fn papi_supports_the_three_platforms_of_section3() {
+        // "PAPI supports collecting power consumption information for Intel
+        // RAPL, NVML, and the Xeon Phi."
+        let p = papi();
+        assert_eq!(p.num_components(), 3);
+        let events = p.all_events();
+        assert!(events.iter().any(|e| e.starts_with("rapl:::")));
+        assert!(events.iter().any(|e| e.starts_with("nvml:::")));
+        assert!(events.iter().any(|e| e.starts_with("micpower:::")));
+        // Notably absent: any BG/Q component (MonEQ's differentiator).
+        assert!(!events.iter().any(|e| e.contains("bgq")));
+    }
+
+    #[test]
+    fn eventset_start_read_stop_lifecycle() {
+        let p = papi();
+        let mut set = p.create_eventset();
+        set.add_named_event("rapl:::PACKAGE_ENERGY:PACKAGE0").unwrap();
+        set.add_named_event("nvml:::power:device0").unwrap();
+        set.start(SimTime::from_secs(5)).unwrap();
+        let mid = set.read(SimTime::from_secs(6)).unwrap();
+        // ~47 W for 1 s ≈ 4.7e10 nJ on the package.
+        assert!((3.0e10..6.5e10).contains(&(mid[0] as f64)), "pkg nJ {}", mid[0]);
+        // NVML is a power event in mW.
+        assert!((40_000..60_000).contains(&mid[1]), "nvml mW {}", mid[1]);
+        let fin = set.stop(SimTime::from_secs(10)).unwrap();
+        assert!(fin[0] > mid[0]);
+        // Stopped: read errors, add works again.
+        assert!(set.read(SimTime::from_secs(11)).is_err());
+        assert!(set.add_named_event("rapl:::DRAM_ENERGY:PACKAGE0").is_ok());
+    }
+
+    #[test]
+    fn bad_events_and_states_error() {
+        let p = papi();
+        let mut set = p.create_eventset();
+        assert_eq!(
+            set.add_named_event("cuda:::something").err(),
+            Some(PapiError::NoComponent("cuda".into()))
+        );
+        assert_eq!(
+            set.add_named_event("rapl:::NOT_AN_EVENT").err(),
+            Some(PapiError::NoEvent("rapl:::NOT_AN_EVENT".into()))
+        );
+        set.add_named_event("rapl:::PP0_ENERGY:PACKAGE0").unwrap();
+        set.start(SimTime::ZERO).unwrap();
+        assert!(set.start(SimTime::from_secs(1)).is_err());
+        assert!(set
+            .add_named_event("rapl:::DRAM_ENERGY:PACKAGE0")
+            .is_err());
+    }
+
+    #[test]
+    fn interval_monitoring_like_moneq() {
+        // "PAPI allows for monitoring at designated intervals (similar to
+        // MonEQ) for a given set of data."
+        let p = papi();
+        let mut set = p.create_eventset();
+        set.add_named_event("micpower:::tot0:device0").unwrap();
+        set.start(SimTime::from_secs(1)).unwrap();
+        let mut samples = Vec::new();
+        let mut t = SimTime::from_secs(10);
+        for _ in 0..20 {
+            samples.push(set.read(t).unwrap()[0]);
+            t += SimDuration::from_millis(100);
+        }
+        let mean = samples.iter().sum::<i64>() as f64 / samples.len() as f64;
+        assert!((105_000.0..120_000.0).contains(&mean), "phi mW {mean}");
+    }
+}

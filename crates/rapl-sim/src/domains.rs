@@ -1,0 +1,106 @@
+//! RAPL sensor domains — Table II.
+//!
+//! | Domain | Description |
+//! |---|---|
+//! | Package (PKG) | Whole CPU package. |
+//! | Power Plane 0 (PP0) | Processor cores. |
+//! | Power Plane 1 (PP1) | A specific uncore device (e.g. integrated GPU — not useful in server platforms). |
+//! | DRAM | Sum of the socket's DIMM power(s). |
+
+/// The four RAPL domains of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaplDomain {
+    /// Whole CPU package.
+    Pkg,
+    /// Processor cores.
+    Pp0,
+    /// Uncore device power plane (integrated GPU; idle on servers).
+    Pp1,
+    /// Sum of the socket's DIMM power.
+    Dram,
+}
+
+impl RaplDomain {
+    /// All domains in Table II order.
+    pub const ALL: [RaplDomain; 4] = [
+        RaplDomain::Pkg,
+        RaplDomain::Pp0,
+        RaplDomain::Pp1,
+        RaplDomain::Dram,
+    ];
+
+    /// Short name as printed in Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            RaplDomain::Pkg => "Package (PGK)",
+            RaplDomain::Pp0 => "Power Plane 0 (PP0)",
+            RaplDomain::Pp1 => "Power Plane 1 (PP1)",
+            RaplDomain::Dram => "DRAM",
+        }
+    }
+
+    /// Description as printed in Table II.
+    pub fn description(self) -> &'static str {
+        match self {
+            RaplDomain::Pkg => "Whole CPU package.",
+            RaplDomain::Pp0 => "Processor cores.",
+            RaplDomain::Pp1 => {
+                "The power plane of a specific device in the uncore (such as a \
+                 integrated GPU--not useful in server platforms)."
+            }
+            RaplDomain::Dram => "Sum of socket's DIMM power(s).",
+        }
+    }
+
+    /// `*_ENERGY_STATUS` MSR address for the domain.
+    pub fn energy_status_msr(self) -> u32 {
+        match self {
+            RaplDomain::Pkg => crate::msr::MSR_PKG_ENERGY_STATUS,
+            RaplDomain::Pp0 => crate::msr::MSR_PP0_ENERGY_STATUS,
+            RaplDomain::Pp1 => crate::msr::MSR_PP1_ENERGY_STATUS,
+            RaplDomain::Dram => crate::msr::MSR_DRAM_ENERGY_STATUS,
+        }
+    }
+}
+
+/// Render Table II.
+pub fn render_table2() -> String {
+    let mut out = format!("{:<22}{}\n", "Domain", "Description");
+    for d in RaplDomain::ALL {
+        out.push_str(&format!("{:<22}{}\n", d.name(), d.description()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_domains_in_order() {
+        assert_eq!(RaplDomain::ALL.len(), 4);
+        assert_eq!(RaplDomain::ALL[0], RaplDomain::Pkg);
+        assert_eq!(RaplDomain::ALL[3], RaplDomain::Dram);
+    }
+
+    #[test]
+    fn table2_render_contains_every_row() {
+        let t = render_table2();
+        assert!(t.contains("Package (PGK)")); // the paper's own typo, kept
+        assert!(t.contains("Power Plane 0"));
+        assert!(t.contains("integrated GPU"));
+        assert!(t.contains("DIMM"));
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn distinct_msr_addresses() {
+        let mut addrs: Vec<u32> = RaplDomain::ALL
+            .iter()
+            .map(|d| d.energy_status_msr())
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 4);
+    }
+}

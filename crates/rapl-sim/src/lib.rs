@@ -1,0 +1,117 @@
+//! # rapl-sim — register-accurate Intel RAPL emulation
+//!
+//! "As of the Sandy Bridge architecture, Intel has provided the 'Running
+//! Average Power Limit' (RAPL) interface. While the original design goal of
+//! RAPL was to provide a way to keep processors inside of a given power
+//! limit over a given sliding window of time, it can also be used to
+//! calculate power consumption over time." (§II-B)
+//!
+//! The crate models the full §II-B stack:
+//!
+//! * [`units`] — the `MSR_RAPL_POWER_UNIT` register and its bit fields;
+//! * [`domains`] — the Table II domain list (PKG, PP0, PP1, DRAM);
+//! * [`socket`] — the socket's ground-truth power/energy oracle;
+//! * [`msr`] — the per-logical-CPU MSR character devices, including the
+//!   root-only access control the paper spends two paragraphs on, the
+//!   32-bit wrapping `*_ENERGY_STATUS` counters, and the ~1 ms update grid;
+//! * [`perf`] — the `perf_event` path, available only on kernels ≥ 3.14;
+//! * [`limit`] — `MSR_PKG_POWER_LIMIT` encoding plus a working sliding-
+//!   window limiter (the interface's eponymous purpose, built as the
+//!   paper-motivated extension);
+//! * [`reader`] — a wrap-correcting power reader and sampling helper
+//!   (Figure 3 and the >60 s overflow hazard).
+//!
+//! ```
+//! use rapl_sim::{MsrAccess, MsrDevice, PowerReader, RaplDomain, SocketModel, SocketSpec};
+//! use hpc_workloads::GaussianElimination;
+//! use simkit::{NoiseStream, SimDuration, SimTime};
+//! use std::sync::Arc;
+//!
+//! let socket = Arc::new(SocketModel::new(
+//!     SocketSpec::default(),
+//!     &GaussianElimination::figure3().profile(),
+//! ));
+//! // Root (or a chmod'ed msr device) is required — exactly as on Linux.
+//! let dev = MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(1)).unwrap();
+//! let reader = PowerReader::new(dev);
+//! let t1 = SimTime::from_secs(10);
+//! let t2 = t1 + SimDuration::from_millis(60);
+//! let watts = reader.power_between(
+//!     reader.snapshot(RaplDomain::Pkg, t1).unwrap(),
+//!     reader.snapshot(RaplDomain::Pkg, t2).unwrap(),
+//!     t2 - t1,
+//! );
+//! assert!((40.0..55.0).contains(&watts)); // the Figure 3 plateau
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod limit;
+pub mod msr;
+pub mod perf;
+pub mod reader;
+pub mod socket;
+pub mod units;
+
+pub use domains::RaplDomain;
+pub use limit::{PowerLimit, RaplLimiter};
+pub use msr::{
+    MsrAccess, MsrDevice, MsrError, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_INFO, MSR_PKG_POWER_LIMIT, MSR_PP0_ENERGY_STATUS, MSR_PP1_ENERGY_STATUS,
+    MSR_QUERY_COST, MSR_RAPL_POWER_UNIT,
+};
+pub use perf::{KernelVersion, PerfEventRapl, PerfError};
+pub use reader::{PowerReader, SamplingLoop};
+pub use socket::{SocketModel, SocketSpec};
+pub use units::PowerUnits;
+
+use powermodel::{Metric, Platform, Support};
+
+/// The RAPL column of Table I.
+///
+/// RAPL exposes energy (hence power) for the package and DRAM planes and
+/// power-limit control; it has no voltage/current/temperature/fan telemetry,
+/// and PCIe/fan/intake rows are not applicable to a CPU power interface.
+pub fn capabilities() -> Vec<(Metric, Support)> {
+    use Metric::*;
+    use Support::*;
+    vec![
+        (TotalPower, Yes),
+        (Voltage, No),
+        (Current, No),
+        (PciExpressPower, NotApplicable),
+        (MainMemoryPower, Yes),
+        (DieTemp, No),
+        (DdrGddrTemp, No),
+        (DeviceTemp, No),
+        (IntakeTemp, NotApplicable),
+        (ExhaustTemp, NotApplicable),
+        (MemUsed, No),
+        (MemFree, No),
+        (MemSpeed, No),
+        (MemFrequency, No),
+        (MemVoltage, No),
+        (MemClockRate, No),
+        (ProcVoltage, No),
+        (ProcFrequency, No),
+        (ProcClockRate, No),
+        (FanSpeed, NotApplicable),
+        (PowerLimitGetSet, Yes),
+    ]
+}
+
+/// The platform this crate models.
+pub const PLATFORM: Platform = Platform::Rapl;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermodel::paper_matrix;
+
+    #[test]
+    fn capabilities_match_paper_table1_column() {
+        assert_eq!(capabilities(), paper_matrix().column(PLATFORM));
+    }
+}

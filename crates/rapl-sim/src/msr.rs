@@ -1,0 +1,365 @@
+//! Model-specific register devices (`/dev/cpu/*/msr`).
+//!
+//! "Accessing these MSRs requires elevated access to the hardware …. Once
+//! the MSR driver is built and loaded, it creates a character device for
+//! each logical processor under /dev/cpu/*/msr. … The MSR driver must be
+//! given the correct read-only, root-only access before it is accessible by
+//! any process running on the system." (§II-B)
+//!
+//! [`MsrDevice::open`] reproduces that access-control dance, and reads
+//! reproduce the hardware behaviour: energy-status counters tick on a ~1 ms
+//! grid with ±50,000-cycle jitter, hold 32 significant bits, and wrap.
+//! Each read costs [`MSR_QUERY_COST`] = 0.03 ms, "the fastest access time …
+//! for all of the hardware discussed in this paper".
+
+use powermodel::{EnergyCounter, EnergyCounterSpec, ScalarSensor, SensorSpec};
+use simkit::{NoiseStream, SimDuration, SimTime};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domains::RaplDomain;
+use crate::limit::PowerLimit;
+use crate::socket::SocketModel;
+use crate::units::PowerUnits;
+
+/// `MSR_RAPL_POWER_UNIT`.
+pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
+/// `MSR_PKG_POWER_LIMIT`.
+pub const MSR_PKG_POWER_LIMIT: u32 = 0x610;
+/// `MSR_PKG_ENERGY_STATUS`.
+pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
+/// `MSR_PKG_POWER_INFO`.
+pub const MSR_PKG_POWER_INFO: u32 = 0x614;
+/// `MSR_DRAM_ENERGY_STATUS`.
+pub const MSR_DRAM_ENERGY_STATUS: u32 = 0x619;
+/// `MSR_PP0_ENERGY_STATUS`.
+pub const MSR_PP0_ENERGY_STATUS: u32 = 0x639;
+/// `MSR_PP1_ENERGY_STATUS`.
+pub const MSR_PP1_ENERGY_STATUS: u32 = 0x641;
+
+/// Virtual-time cost of one MSR read (§II-B: "about 0.03 ms per query").
+pub const MSR_QUERY_COST: SimDuration = SimDuration::from_micros(30);
+
+/// Caller privilege and driver configuration when opening the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsrAccess {
+    /// Whether the calling process is root.
+    pub is_root: bool,
+    /// Whether the administrator has applied the read-only/root-only
+    /// chmod/chown the paper describes, allowing non-root reads.
+    pub readonly_configured: bool,
+}
+
+impl MsrAccess {
+    /// A root process.
+    pub fn root() -> Self {
+        MsrAccess {
+            is_root: true,
+            readonly_configured: false,
+        }
+    }
+
+    /// A plain user on an unconfigured system.
+    pub fn user() -> Self {
+        MsrAccess {
+            is_root: false,
+            readonly_configured: false,
+        }
+    }
+
+    /// A plain user after the admin configured read-only access.
+    pub fn user_with_readonly() -> Self {
+        MsrAccess {
+            is_root: false,
+            readonly_configured: true,
+        }
+    }
+}
+
+/// Errors from the MSR device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsrError {
+    /// Open/read refused: not root and no read-only configuration.
+    PermissionDenied,
+    /// The logical CPU does not exist.
+    NoSuchCpu(usize),
+    /// The register is not implemented on this model.
+    UnknownRegister(u32),
+    /// Write attempted to a read-only register or without privilege.
+    WriteDenied(u32),
+}
+
+impl fmt::Display for MsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsrError::PermissionDenied => write!(f, "permission denied opening /dev/cpu/*/msr"),
+            MsrError::NoSuchCpu(c) => write!(f, "no such logical cpu {c}"),
+            MsrError::UnknownRegister(r) => write!(f, "unknown MSR {r:#x}"),
+            MsrError::WriteDenied(r) => write!(f, "write denied to MSR {r:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+/// An open MSR character device for one logical CPU.
+///
+/// All logical CPUs of the socket expose the same package-scope RAPL
+/// registers — the per-core granularity the paper notes RAPL *lacks*.
+#[derive(Clone, Debug)]
+pub struct MsrDevice {
+    socket: Arc<SocketModel>,
+    units: PowerUnits,
+    cpu: usize,
+    access: MsrAccess,
+    counters: [EnergyCounter; 4],
+    /// Jittered update-grid sensors (one per domain) that decide which
+    /// counter generation a read observes.
+    grid: [ScalarSensor; 4],
+    power_limit: PowerLimit,
+}
+
+impl MsrDevice {
+    /// Open `/dev/cpu/{cpu}/msr`.
+    pub fn open(
+        socket: Arc<SocketModel>,
+        cpu: usize,
+        access: MsrAccess,
+        noise: &NoiseStream,
+    ) -> Result<Self, MsrError> {
+        if !(access.is_root || access.readonly_configured) {
+            return Err(MsrError::PermissionDenied);
+        }
+        if cpu >= socket.spec().logical_cpus {
+            return Err(MsrError::NoSuchCpu(cpu));
+        }
+        let units = PowerUnits::sandy_bridge_sim();
+        // ±50,000 cycles at the socket clock (§II-B).
+        let jitter =
+            SimDuration::from_secs_f64(50_000.0 / socket.spec().frequency_hz);
+        let update = SimDuration::from_millis(1);
+        let counter_spec = EnergyCounterSpec {
+            unit_joules: units.joules_per_count(),
+            width_bits: 32,
+            update_period: update,
+        };
+        let mk_grid = |label: &str| {
+            ScalarSensor::new(
+                SensorSpec::ideal(update).with_jitter(jitter),
+                noise.child(label),
+            )
+        };
+        let tdp = socket.spec().tdp_watts;
+        Ok(MsrDevice {
+            socket,
+            units,
+            cpu,
+            access,
+            counters: [EnergyCounter::new(counter_spec); 4],
+            grid: [
+                mk_grid("pkg"),
+                mk_grid("pp0"),
+                mk_grid("pp1"),
+                mk_grid("dram"),
+            ],
+            power_limit: PowerLimit::default_for_tdp(tdp),
+        })
+    }
+
+    /// The logical CPU this device represents.
+    pub fn cpu(&self) -> usize {
+        self.cpu
+    }
+
+    /// The decoded units (what a reader gets from `MSR_RAPL_POWER_UNIT`).
+    pub fn units(&self) -> PowerUnits {
+        self.units
+    }
+
+    fn domain_index(domain: RaplDomain) -> usize {
+        match domain {
+            RaplDomain::Pkg => 0,
+            RaplDomain::Pp0 => 1,
+            RaplDomain::Pp1 => 2,
+            RaplDomain::Dram => 3,
+        }
+    }
+
+    /// Raw energy-status counter for `domain` at time `t`.
+    pub fn read_energy_status(&self, domain: RaplDomain, t: SimTime) -> u64 {
+        let idx = Self::domain_index(domain);
+        // The jittered grid decides which 1 ms generation the read observes…
+        let gen_t = self.grid[idx].generation_time(t);
+        // …and the counter value is the cumulative energy at that instant.
+        let socket = &self.socket;
+        self.counters[idx].raw(gen_t, |at| socket.domain_energy(domain, at))
+    }
+
+    /// Read any implemented register.
+    pub fn read(&self, reg: u32, t: SimTime) -> Result<u64, MsrError> {
+        match reg {
+            MSR_RAPL_POWER_UNIT => Ok(self.units.encode()),
+            MSR_PKG_ENERGY_STATUS => Ok(self.read_energy_status(RaplDomain::Pkg, t)),
+            MSR_PP0_ENERGY_STATUS => Ok(self.read_energy_status(RaplDomain::Pp0, t)),
+            MSR_PP1_ENERGY_STATUS => Ok(self.read_energy_status(RaplDomain::Pp1, t)),
+            MSR_DRAM_ENERGY_STATUS => Ok(self.read_energy_status(RaplDomain::Dram, t)),
+            MSR_PKG_POWER_LIMIT => Ok(self.power_limit.encode(&self.units)),
+            MSR_PKG_POWER_INFO => {
+                // Bits 14:0 — TDP in power units.
+                let counts =
+                    (self.socket.spec().tdp_watts / self.units.watts_per_count()) as u64;
+                Ok(counts & 0x7FFF)
+            }
+            other => Err(MsrError::UnknownRegister(other)),
+        }
+    }
+
+    /// Write a register (only `MSR_PKG_POWER_LIMIT`, and only as root).
+    pub fn write(&mut self, reg: u32, value: u64) -> Result<(), MsrError> {
+        if reg != MSR_PKG_POWER_LIMIT {
+            return Err(MsrError::WriteDenied(reg));
+        }
+        if !self.access.is_root {
+            return Err(MsrError::WriteDenied(reg));
+        }
+        self.power_limit = PowerLimit::decode(value, &self.units);
+        Ok(())
+    }
+
+    /// The currently programmed package power limit.
+    pub fn power_limit(&self) -> &PowerLimit {
+        &self.power_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::SocketSpec;
+    use hpc_workloads::GaussianElimination;
+
+    fn device(access: MsrAccess) -> Result<MsrDevice, MsrError> {
+        let socket = Arc::new(SocketModel::new(
+            SocketSpec::default(),
+            &GaussianElimination::figure3().profile(),
+        ));
+        MsrDevice::open(socket, 0, access, &NoiseStream::new(5))
+    }
+
+    #[test]
+    fn user_without_config_is_denied() {
+        assert_eq!(
+            device(MsrAccess::user()).err(),
+            Some(MsrError::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn root_and_configured_user_can_open() {
+        assert!(device(MsrAccess::root()).is_ok());
+        assert!(device(MsrAccess::user_with_readonly()).is_ok());
+    }
+
+    #[test]
+    fn nonexistent_cpu_rejected() {
+        let socket = Arc::new(SocketModel::idle(SocketSpec::default()));
+        let r = MsrDevice::open(socket, 99, MsrAccess::root(), &NoiseStream::new(5));
+        assert_eq!(r.err(), Some(MsrError::NoSuchCpu(99)));
+    }
+
+    #[test]
+    fn unit_register_reads_back() {
+        let d = device(MsrAccess::root()).unwrap();
+        let raw = d.read(MSR_RAPL_POWER_UNIT, SimTime::ZERO).unwrap();
+        assert_eq!(PowerUnits::decode(raw), PowerUnits::sandy_bridge_sim());
+    }
+
+    #[test]
+    fn unknown_register_errors() {
+        let d = device(MsrAccess::root()).unwrap();
+        assert_eq!(
+            d.read(0x123, SimTime::ZERO).err(),
+            Some(MsrError::UnknownRegister(0x123))
+        );
+    }
+
+    #[test]
+    fn energy_counter_increases_with_time() {
+        let d = device(MsrAccess::root()).unwrap();
+        let a = d.read(MSR_PKG_ENERGY_STATUS, SimTime::from_secs(1)).unwrap();
+        let b = d.read(MSR_PKG_ENERGY_STATUS, SimTime::from_secs(2)).unwrap();
+        assert!(b > a, "counter did not advance: {a} -> {b}");
+        // At ~50 W for 1 s with 1.9 uJ units: ~26M counts.
+        let joules = (b - a) as f64 * d.units().joules_per_count();
+        assert!((40.0..60.0).contains(&joules), "1s delta {joules} J");
+    }
+
+    #[test]
+    fn rereads_at_same_time_are_stable() {
+        let d = device(MsrAccess::root()).unwrap();
+        let t = SimTime::from_millis(12_345);
+        assert_eq!(
+            d.read(MSR_PKG_ENERGY_STATUS, t).unwrap(),
+            d.read(MSR_PKG_ENERGY_STATUS, t).unwrap()
+        );
+    }
+
+    #[test]
+    fn user_cannot_write_power_limit() {
+        let mut d = device(MsrAccess::user_with_readonly()).unwrap();
+        assert_eq!(
+            d.write(MSR_PKG_POWER_LIMIT, 0).err(),
+            Some(MsrError::WriteDenied(MSR_PKG_POWER_LIMIT))
+        );
+    }
+
+    #[test]
+    fn root_write_roundtrips_power_limit() {
+        let mut d = device(MsrAccess::root()).unwrap();
+        let units = d.units();
+        let limit = PowerLimit {
+            enabled: true,
+            limit_watts: 95.0,
+            window_secs: 1.0,
+        };
+        d.write(MSR_PKG_POWER_LIMIT, limit.encode(&units)).unwrap();
+        let back = d.power_limit();
+        assert!(back.enabled);
+        assert!((back.limit_watts - 95.0).abs() < 0.25);
+        assert!((back.window_secs - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn energy_status_only_writes_denied() {
+        let mut d = device(MsrAccess::root()).unwrap();
+        assert_eq!(
+            d.write(MSR_PKG_ENERGY_STATUS, 0).err(),
+            Some(MsrError::WriteDenied(MSR_PKG_ENERGY_STATUS))
+        );
+    }
+
+    #[test]
+    fn power_info_reports_tdp() {
+        let d = device(MsrAccess::root()).unwrap();
+        let raw = d.read(MSR_PKG_POWER_INFO, SimTime::ZERO).unwrap();
+        let tdp = raw as f64 * d.units().watts_per_count();
+        assert!((tdp - 130.0).abs() < 0.25, "tdp {tdp}");
+    }
+
+    #[test]
+    fn all_logical_cpus_see_package_scope_values() {
+        // "For the CPU, the collected metrics are for the whole socket."
+        let socket = Arc::new(SocketModel::new(
+            SocketSpec::default(),
+            &GaussianElimination::figure3().profile(),
+        ));
+        let noise = NoiseStream::new(5);
+        let d0 = MsrDevice::open(socket.clone(), 0, MsrAccess::root(), &noise).unwrap();
+        let d7 = MsrDevice::open(socket, 7, MsrAccess::root(), &noise).unwrap();
+        let t = SimTime::from_secs(10);
+        assert_eq!(
+            d0.read(MSR_PKG_ENERGY_STATUS, t).unwrap(),
+            d7.read(MSR_PKG_ENERGY_STATUS, t).unwrap()
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The socket's ground-truth power oracle.
+//!
+//! A simulated Sandy Bridge server socket with three physical planes —
+//! cores (PP0), uncore, and DRAM — driven by a workload profile. The RAPL
+//! domain readings derive from these: `PKG = PP0 + uncore`, `PP1` is the
+//! (idle) integrated-GPU plane, `DRAM` stands alone.
+//!
+//! Calibration targets Figure 3: package idle ≈7 W, Gaussian-elimination
+//! plateau ≈50 W with ~5 W barrier dips and small spikes.
+
+use hpc_workloads::{Channel, WorkloadProfile};
+use powermodel::{ComponentSpec, DemandTrace, DevicePower, DeviceSpec};
+use simkit::{SimDuration, SimTime};
+
+use crate::domains::RaplDomain;
+
+/// Static socket parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SocketSpec {
+    /// Thermal design power, watts (used by the limiter's defaults).
+    pub tdp_watts: f64,
+    /// Nominal core frequency, Hz (the ±50,000-cycle update jitter is
+    /// expressed in cycles of this clock).
+    pub frequency_hz: f64,
+    /// Logical CPUs exposed as `/dev/cpu/*/msr` devices.
+    pub logical_cpus: usize,
+}
+
+impl Default for SocketSpec {
+    fn default() -> Self {
+        SocketSpec {
+            tdp_watts: 130.0,
+            frequency_hz: 2.6e9,
+            logical_cpus: 16,
+        }
+    }
+}
+
+/// Indices of the physical planes inside the internal [`DevicePower`].
+const CORES: usize = 0;
+const UNCORE: usize = 1;
+const DRAM: usize = 2;
+const IGPU: usize = 3;
+
+/// The socket bound to a workload.
+#[derive(Clone, Debug)]
+pub struct SocketModel {
+    spec: SocketSpec,
+    power: DevicePower,
+}
+
+impl SocketModel {
+    /// Build a socket running `profile` (pass an empty profile for idle).
+    pub fn new(spec: SocketSpec, profile: &WorkloadProfile) -> Self {
+        let components = vec![
+            ComponentSpec {
+                name: "cores",
+                idle_w: 4.0,
+                dynamic_w: 38.0,
+                ramp_tau: SimDuration::from_millis(20),
+            },
+            ComponentSpec {
+                name: "uncore",
+                idle_w: 3.0,
+                dynamic_w: 5.0,
+                ramp_tau: SimDuration::from_millis(20),
+            },
+            ComponentSpec {
+                name: "dram",
+                idle_w: 2.0,
+                dynamic_w: 9.0,
+                ramp_tau: SimDuration::from_millis(50),
+            },
+            ComponentSpec {
+                name: "igpu",
+                idle_w: 0.0,
+                dynamic_w: 15.0,
+                ramp_tau: SimDuration::from_millis(20),
+            },
+        ];
+        let demands = vec![
+            profile.demand(Channel::Cpu),
+            // Uncore activity follows the busier of CPU and memory traffic.
+            profile
+                .demand(Channel::Cpu)
+                .max_with(&profile.demand(Channel::Memory)),
+            profile.demand(Channel::Memory),
+            DemandTrace::zero(), // server platform: iGPU never active (§II-B)
+        ];
+        SocketModel {
+            spec,
+            power: DevicePower::new(
+                DeviceSpec {
+                    name: "sandy-bridge-socket".into(),
+                    components,
+                },
+                &demands,
+            ),
+        }
+    }
+
+    /// An idle socket.
+    pub fn idle(spec: SocketSpec) -> Self {
+        SocketModel::new(spec, &WorkloadProfile::new("idle", SimDuration::ZERO))
+    }
+
+    /// The socket parameters.
+    pub fn spec(&self) -> &SocketSpec {
+        &self.spec
+    }
+
+    /// True instantaneous power of a RAPL domain, watts.
+    pub fn domain_power(&self, domain: RaplDomain, t: SimTime) -> f64 {
+        match domain {
+            RaplDomain::Pkg => {
+                self.power.component_power(CORES, t)
+                    + self.power.component_power(UNCORE, t)
+                    + self.power.component_power(IGPU, t)
+            }
+            RaplDomain::Pp0 => self.power.component_power(CORES, t),
+            RaplDomain::Pp1 => self.power.component_power(IGPU, t),
+            RaplDomain::Dram => self.power.component_power(DRAM, t),
+        }
+    }
+
+    /// Exact cumulative energy of a RAPL domain since `t = 0`, joules.
+    pub fn domain_energy(&self, domain: RaplDomain, t: SimTime) -> f64 {
+        match domain {
+            RaplDomain::Pkg => {
+                self.power.component_energy(CORES, SimTime::ZERO, t)
+                    + self.power.component_energy(UNCORE, SimTime::ZERO, t)
+                    + self.power.component_energy(IGPU, SimTime::ZERO, t)
+            }
+            RaplDomain::Pp0 => self.power.component_energy(CORES, SimTime::ZERO, t),
+            RaplDomain::Pp1 => self.power.component_energy(IGPU, SimTime::ZERO, t),
+            RaplDomain::Dram => self.power.component_energy(DRAM, SimTime::ZERO, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_workloads::GaussianElimination;
+
+    #[test]
+    fn idle_package_near_7w() {
+        let s = SocketModel::idle(SocketSpec::default());
+        let p = s.domain_power(RaplDomain::Pkg, SimTime::from_secs(1));
+        assert!((p - 7.0).abs() < 1e-9, "idle pkg {p}");
+    }
+
+    #[test]
+    fn gaussian_plateau_near_50w_with_5w_dips() {
+        let g = GaussianElimination::figure3();
+        let s = SocketModel::new(SocketSpec::default(), &g.profile());
+        let block = g.virtual_runtime / g.blocks as u64;
+        // Mid-compute plateau.
+        let plateau = s.domain_power(RaplDomain::Pkg, SimTime::ZERO + block.mul_f64(0.25));
+        assert!((44.0..53.0).contains(&plateau), "plateau {plateau}");
+        // Sag at block boundary.
+        let sag = s.domain_power(RaplDomain::Pkg, SimTime::ZERO + block.mul_f64(0.99));
+        let drop = plateau - sag;
+        assert!((3.0..8.0).contains(&drop), "dip of {drop} W");
+        // Spike mid-block.
+        let spike = s.domain_power(RaplDomain::Pkg, SimTime::ZERO + block.mul_f64(0.46));
+        assert!(spike > plateau + 1.0, "spike {spike} vs plateau {plateau}");
+    }
+
+    #[test]
+    fn pp1_always_idle_on_server() {
+        let g = GaussianElimination::figure3();
+        let s = SocketModel::new(SocketSpec::default(), &g.profile());
+        for sec in [0u64, 10, 30, 60] {
+            assert_eq!(s.domain_power(RaplDomain::Pp1, SimTime::from_secs(sec)), 0.0);
+        }
+    }
+
+    #[test]
+    fn pkg_contains_pp0() {
+        let g = GaussianElimination::figure3();
+        let s = SocketModel::new(SocketSpec::default(), &g.profile());
+        let t = SimTime::from_secs(20);
+        assert!(s.domain_power(RaplDomain::Pkg, t) > s.domain_power(RaplDomain::Pp0, t));
+    }
+
+    #[test]
+    fn dram_energy_grows_monotonically() {
+        let g = GaussianElimination::figure3();
+        let s = SocketModel::new(SocketSpec::default(), &g.profile());
+        let mut last = -1.0;
+        for sec in 0..70 {
+            let e = s.domain_energy(RaplDomain::Dram, SimTime::from_secs(sec));
+            assert!(e > last, "energy not monotone at {sec}s");
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `MSR_RAPL_POWER_UNIT` (0x606) and its bit fields.
+//!
+//! Per the Intel SDM the register encodes three exponents:
+//!
+//! * bits 3:0 — power unit, `1 / 2^PU` watts;
+//! * bits 12:8 — energy status unit, `1 / 2^ESU` joules;
+//! * bits 19:16 — time unit, `1 / 2^TU` seconds.
+//!
+//! The simulated socket uses `ESU = 19` (≈1.9 µJ). The unit is model-
+//! specific on real silicon; 19 is chosen so a 32-bit counter wraps after
+//! `2^32 / 2^19 = 8192 J` — about 63 s at the socket's 130 W TDP — which is
+//! exactly the paper's guidance that "a sampling of more than about 60
+//! seconds will result in erroneous data".
+
+/// Decoded RAPL units.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerUnits {
+    /// Power unit exponent (bits 3:0).
+    pub power_exp: u8,
+    /// Energy status unit exponent (bits 12:8).
+    pub energy_exp: u8,
+    /// Time unit exponent (bits 19:16).
+    pub time_exp: u8,
+}
+
+impl PowerUnits {
+    /// The simulated socket's units: PU=3 (0.125 W), ESU=19 (≈1.9 µJ),
+    /// TU=10 (≈0.977 ms).
+    pub fn sandy_bridge_sim() -> Self {
+        PowerUnits {
+            power_exp: 3,
+            energy_exp: 19,
+            time_exp: 10,
+        }
+    }
+
+    /// Encode into the raw MSR value.
+    pub fn encode(&self) -> u64 {
+        assert!(self.power_exp <= 0xF && self.energy_exp <= 0x1F && self.time_exp <= 0xF);
+        u64::from(self.power_exp)
+            | (u64::from(self.energy_exp) << 8)
+            | (u64::from(self.time_exp) << 16)
+    }
+
+    /// Decode from the raw MSR value.
+    pub fn decode(raw: u64) -> Self {
+        PowerUnits {
+            power_exp: (raw & 0xF) as u8,
+            energy_exp: ((raw >> 8) & 0x1F) as u8,
+            time_exp: ((raw >> 16) & 0xF) as u8,
+        }
+    }
+
+    /// Watts per power-limit count.
+    pub fn watts_per_count(&self) -> f64 {
+        1.0 / f64::from(1u32 << self.power_exp)
+    }
+
+    /// Joules per energy-status count.
+    pub fn joules_per_count(&self) -> f64 {
+        1.0 / (1u64 << self.energy_exp) as f64
+    }
+
+    /// Seconds per time-window count.
+    pub fn seconds_per_count(&self) -> f64 {
+        1.0 / f64::from(1u32 << self.time_exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let u = PowerUnits::sandy_bridge_sim();
+        assert_eq!(PowerUnits::decode(u.encode()), u);
+        assert_eq!(u.encode(), 0x000A_1303);
+    }
+
+    #[test]
+    fn unit_magnitudes() {
+        let u = PowerUnits::sandy_bridge_sim();
+        assert!((u.watts_per_count() - 0.125).abs() < 1e-12);
+        assert!((u.joules_per_count() - 1.0 / 524_288.0).abs() < 1e-18);
+        assert!((u.seconds_per_count() - 0.0009765625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_horizon_near_60s_at_tdp() {
+        // The property the ESU choice encodes (see module docs).
+        let u = PowerUnits::sandy_bridge_sim();
+        let wrap_joules = u.joules_per_count() * 2f64.powi(32);
+        let wrap_secs_at_tdp = wrap_joules / 130.0;
+        assert!(
+            (55.0..70.0).contains(&wrap_secs_at_tdp),
+            "wrap at {wrap_secs_at_tdp}s"
+        );
+    }
+
+    #[test]
+    fn decode_masks_reserved_bits() {
+        let u = PowerUnits::decode(u64::MAX);
+        assert_eq!(u.power_exp, 0xF);
+        assert_eq!(u.energy_exp, 0x1F);
+        assert_eq!(u.time_exp, 0xF);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the RAPL model.
+
+use hpc_workloads::{Channel, WorkloadProfile};
+use powermodel::{ComponentSpec, DevicePower, PhaseBuilder};
+use proptest::prelude::*;
+use rapl_sim::{
+    MsrAccess, MsrDevice, PowerLimit, PowerReader, PowerUnits, RaplDomain, RaplLimiter,
+    SocketModel, SocketSpec,
+};
+use simkit::{NoiseStream, SimDuration, SimTime};
+use std::sync::Arc;
+
+proptest! {
+    #[test]
+    fn power_units_roundtrip(pu in 0u8..16, esu in 0u8..32, tu in 0u8..16) {
+        let u = PowerUnits { power_exp: pu, energy_exp: esu, time_exp: tu };
+        prop_assert_eq!(PowerUnits::decode(u.encode()), u);
+    }
+
+    #[test]
+    fn power_limit_roundtrips_within_quantization(
+        limit in 1.0f64..4_000.0,
+        window_log in -6.0f64..4.0, // ~1 ms .. ~16 s windows
+        enabled in any::<bool>(),
+    ) {
+        let units = PowerUnits::sandy_bridge_sim();
+        let window = 2f64.powf(window_log);
+        let pl = PowerLimit { enabled, limit_watts: limit, window_secs: window };
+        let back = PowerLimit::decode(pl.encode(&units), &units);
+        prop_assert_eq!(back.enabled, enabled);
+        prop_assert!((back.limit_watts - limit).abs() <= units.watts_per_count() + 1e-9,
+            "limit {} -> {}", limit, back.limit_watts);
+        // Window encoding is 2^Y(1+Z/4): within 12% of any target in range.
+        prop_assert!((back.window_secs / window).ln().abs() < 0.12_f64.ln().abs(),
+            "window {} -> {}", window, back.window_secs);
+    }
+
+    #[test]
+    fn energy_counter_monotone_between_reads_modulo_wrap(
+        level in 0.0f64..=1.0,
+        t1_ms in 10u64..60_000,
+        dt_ms in 1u64..5_000,
+    ) {
+        let mut profile = WorkloadProfile::new("w", SimDuration::from_secs(120));
+        profile.set_demand(
+            Channel::Cpu,
+            PhaseBuilder::new().phase(SimDuration::from_secs(120), level).build_open(),
+        );
+        let socket = Arc::new(SocketModel::new(SocketSpec::default(), &profile));
+        let dev = MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(1)).unwrap();
+        let reader = PowerReader::new(dev);
+        let t1 = SimTime::from_millis(t1_ms);
+        let t2 = SimTime::from_millis(t1_ms + dt_ms);
+        let (r1, r2) = (
+            reader.snapshot(RaplDomain::Pkg, t1).unwrap(),
+            reader.snapshot(RaplDomain::Pkg, t2).unwrap(),
+        );
+        // Wrap-corrected power is within the socket's physical envelope
+        // (one wrap max over <=5 s at <=52 W is guaranteed).
+        let p = reader.power_between(r1, r2, t2 - t1);
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= 80.0, "pkg power {} implausible", p);
+    }
+
+    #[test]
+    fn limiter_never_exceeds_cap_nor_inflates_demand(
+        levels in prop::collection::vec((1u64..3_000, 0.0f64..=1.0), 1..6),
+        cap in 10.0f64..50.0,
+    ) {
+        let mut b = PhaseBuilder::new();
+        for &(ms, level) in &levels {
+            b = b.phase(SimDuration::from_millis(ms), level);
+        }
+        let demand = b.build();
+        let cores = ComponentSpec {
+            name: "cores",
+            idle_w: 4.0,
+            dynamic_w: 46.0,
+            ramp_tau: SimDuration::ZERO,
+        };
+        let limiter = RaplLimiter::new(PowerLimit {
+            enabled: true,
+            limit_watts: cap,
+            window_secs: 1.0,
+        });
+        let horizon = SimTime::from_secs(30);
+        let granted = limiter.throttle(cores, &demand, horizon);
+        let dev = DevicePower::single("cpu", cores, &granted);
+        for s in 2..28u64 {
+            let avg = limiter.windowed_average(&dev, SimTime::from_secs(s));
+            prop_assert!(avg <= cap + 0.75, "avg {} above cap {} at {}s", avg, cap, s);
+        }
+        // Never grants more than was asked.
+        for ms in (0..30_000).step_by(250) {
+            let t = SimTime::from_millis(ms);
+            prop_assert!(granted.level_at(t) <= demand.level_at(t) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn msr_reads_are_pure(reg_choice in 0usize..5, t_ms in 0u64..100_000) {
+        let socket = Arc::new(SocketModel::new(
+            SocketSpec::default(),
+            &hpc_workloads::GaussianElimination::figure3().profile(),
+        ));
+        let dev = MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(2)).unwrap();
+        let regs = [
+            rapl_sim::MSR_RAPL_POWER_UNIT,
+            rapl_sim::MSR_PKG_ENERGY_STATUS,
+            rapl_sim::MSR_PP0_ENERGY_STATUS,
+            rapl_sim::MSR_DRAM_ENERGY_STATUS,
+            rapl_sim::MSR_PKG_POWER_INFO,
+        ];
+        let reg = regs[reg_choice];
+        let t = SimTime::from_millis(t_ms);
+        let a = dev.read(reg, t).unwrap();
+        let b = dev.read(reg, t).unwrap();
+        prop_assert_eq!(a, b, "MSR {:#x} read differently twice at the same instant", reg);
+    }
+}

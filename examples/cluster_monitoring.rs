@@ -1,0 +1,67 @@
+//! Facility-side monitoring: the environmental database view of a rack.
+//!
+//! The other half of the paper's BG/Q story (§II-A): no application
+//! involvement at all — the polling daemon walks the bulk power modules and
+//! the coolant loop every ~4 minutes and lands rows in the environmental
+//! database, where an operator queries them later.
+//!
+//! ```text
+//! cargo run --example cluster_monitoring
+//! ```
+
+use bgq_sim::envdb::SensorKind;
+use bgq_sim::{CoolantLoop, EnvDatabase, EnvDbConfig, PollingDaemon};
+use envmon::prelude::*;
+
+fn main() {
+    // A rack runs an MMPS job for 25 minutes in the middle of a 75-minute
+    // observation window.
+    let mut machine = BgqMachine::new(BgqConfig::default(), 4242);
+    let job = Mmps::figure1();
+    let lead_in = SimDuration::from_secs(900);
+    let profile = job.profile().with_lead_in(lead_in);
+    let boards: Vec<usize> = (0..machine.cards().len()).collect();
+    machine.assign_job(&boards, &profile);
+    let horizon = SimTime::ZERO + lead_in + job.virtual_runtime + SimDuration::from_secs(900);
+
+    // The site daemon at the default ~4-minute interval.
+    let daemon = PollingDaemon::new(EnvDbConfig::default_4min()).expect("valid interval");
+    let mut db = EnvDatabase::new();
+    daemon.run(&machine, &mut db, horizon);
+    println!(
+        "environmental database: {} rows over {} ({} dropped)",
+        db.rows().len(),
+        horizon,
+        db.dropped_rows
+    );
+
+    // Operator query 1: rack input power per poll (Figure 1's view).
+    let power = db.sum_by_cycle(SensorKind::BpmInputWatts, "R00");
+    println!("\nrack input power per poll cycle:");
+    for (t, w) in power.points_secs() {
+        println!("  {:>7.0}s  {w:>9.0} W", t);
+    }
+
+    // Operator query 2: coolant response of the same job.
+    let coolant = db.sum_by_cycle(SensorKind::CoolantTempC, "R00-COOLANT");
+    let stats = coolant.stats();
+    println!(
+        "\ncoolant outlet: min {:.1} C, max {:.1} C (inlet {:.1} C, {:.0} L/min)",
+        stats.min(),
+        stats.max(),
+        CoolantLoop::new(&machine, 0).inlet_temp_c,
+        CoolantLoop::new(&machine, 0).nominal_flow_lpm,
+    );
+
+    // Operator query 3: one BPM's detail rows around the job start.
+    let rows = db.query(
+        SensorKind::BpmInputWatts,
+        "R00-M0-B00",
+        SimTime::ZERO + lead_in - SimDuration::from_secs(400),
+        SimTime::ZERO + lead_in + SimDuration::from_secs(700),
+    );
+    println!("\nBPM R00-M0-B00 around job start:");
+    for r in rows {
+        println!("  cycle {:>3}  {}  {:>7.1} W", r.cycle, r.timestamp, r.value);
+    }
+}

@@ -1,0 +1,94 @@
+//! A node with a GPU *and* a Xeon Phi, profiled at the same time.
+//!
+//! §III: "if a system has both a NVIDIA GPU as well as an Intel Xeon Phi,
+//! profiling is possible for both of these devices at the same time" —
+//! each accelerator "is accounted for individually within the file produced
+//! for the node".
+//!
+//! ```text
+//! cargo run --example multi_device_node
+//! ```
+
+use envmon::prelude::*;
+use simkit::NoiseStream;
+use std::rc::Rc;
+
+fn main() {
+    // The vector-add workload: the host generates, then the accelerators
+    // compute. Both devices see the same offloaded phases.
+    let workload = VectorAdd::figure5();
+    let vr = workload.run();
+    assert_eq!(vr.max_error, 0.0);
+    let profile = workload.profile();
+    let horizon = SimTime::ZERO + workload.virtual_runtime;
+
+    // Device 1: a K20 behind NVML.
+    let nvml = Rc::new(Nvml::init(
+        &[DeviceConfig {
+            spec: GpuSpec::k20(),
+            workload: profile.clone(),
+            horizon,
+        }],
+        7,
+    ));
+
+    // Device 2: a Xeon Phi behind the MICRAS daemon.
+    let card = Rc::new(PhiCard::new(
+        PhiSpec::default(),
+        &profile,
+        DemandTrace::zero(),
+        horizon,
+    ));
+    let smc = Rc::new(Smc::new(NoiseStream::new(7)));
+
+    // One session, two backends: the node file carries gpu0 and mic0 rows.
+    let mut session = MonEq::initialize(
+        0,
+        vec![
+            Box::new(NvmlBackend::new(nvml)),
+            Box::new(MicDaemonBackend::new(card, smc, &profile)),
+        ],
+        MonEqConfig {
+            agent_name: "node17".into(),
+            ..MonEqConfig::default()
+        },
+        SimTime::ZERO,
+    );
+    session.run_until(horizon);
+    let result = session.finalize(horizon);
+
+    let count = |device: &str| {
+        result
+            .file
+            .points
+            .iter()
+            .filter(|p| p.device == device)
+            .count()
+    };
+    let mean = |device: &str| {
+        let pts: Vec<f64> = result
+            .file
+            .points
+            .iter()
+            .filter(|p| p.device == device)
+            .map(|p| p.watts)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len() as f64
+    };
+    println!("node file from backends: {:?}", result.file.backends);
+    println!(
+        "gpu0: {} records, mean {:.1} W (K20 board)",
+        count("gpu0"),
+        mean("gpu0")
+    );
+    println!(
+        "mic0: {} records, mean {:.1} W (Phi card)",
+        count("mic0"),
+        mean("mic0")
+    );
+    println!(
+        "combined accelerator energy over the run: ~{:.0} J",
+        (mean("gpu0") + mean("mic0")) * workload.virtual_runtime.as_secs_f64()
+    );
+    assert!(count("gpu0") > 0 && count("mic0") > 0);
+}

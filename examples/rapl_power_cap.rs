@@ -1,0 +1,70 @@
+//! RAPL doing its original job: running-average power limiting.
+//!
+//! §II-B: "the original design goal of RAPL was to provide a way to keep
+//! processors inside of a given power limit over a given sliding window of
+//! time". This example programs `MSR_PKG_POWER_LIMIT` and shows the
+//! limiter throttling the Gaussian-elimination workload.
+//!
+//! ```text
+//! cargo run --example rapl_power_cap
+//! ```
+
+use envmon::prelude::*;
+use powermodel::{ComponentSpec, DevicePower};
+use rapl_sim::{MsrDevice, PowerLimit, RaplLimiter, MSR_PKG_POWER_LIMIT};
+use simkit::NoiseStream;
+use std::sync::Arc;
+
+fn main() {
+    let g = GaussianElimination::figure3();
+    let profile = g.profile();
+    let horizon = SimTime::ZERO + g.virtual_runtime;
+
+    // Program the limit through the MSR, as a privileged agent would.
+    let socket = Arc::new(SocketModel::new(SocketSpec::default(), &profile));
+    let mut msr = MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(1))
+        .expect("root can open /dev/cpu/0/msr");
+    let cap = PowerLimit {
+        enabled: true,
+        limit_watts: 30.0,
+        window_secs: 1.0,
+    };
+    msr.write(MSR_PKG_POWER_LIMIT, cap.encode(&msr.units()))
+        .expect("root can program PL1");
+    println!(
+        "programmed PL1: {:.1} W over {:.2} s (raw {:#x})",
+        msr.power_limit().limit_watts,
+        msr.power_limit().window_secs,
+        cap.encode(&msr.units()),
+    );
+
+    // The firmware-side limiter throttles the cores' demand.
+    let cores = ComponentSpec {
+        name: "cores",
+        idle_w: 4.0,
+        dynamic_w: 38.0,
+        ramp_tau: SimDuration::ZERO,
+    };
+    let limiter = RaplLimiter::new(*msr.power_limit());
+    let wanted = profile.demand(Channel::Cpu);
+    let granted = limiter.throttle(cores, &wanted, horizon);
+
+    let free = DevicePower::single("uncapped", cores, &wanted);
+    let capped = DevicePower::single("capped", cores, &granted);
+    println!("\n{:>6} {:>12} {:>12} {:>10}", "t[s]", "uncapped W", "capped W", "avg(1s)");
+    for s in (0..=60).step_by(5) {
+        let t = SimTime::from_secs(s);
+        println!(
+            "{s:>6} {:>12.1} {:>12.1} {:>10.1}",
+            free.total_power(t),
+            capped.total_power(t),
+            limiter.windowed_average(&capped, t),
+        );
+    }
+    let e_free = free.total_energy(SimTime::ZERO, horizon);
+    let e_capped = capped.total_energy(SimTime::ZERO, horizon);
+    println!(
+        "\nenergy: uncapped {e_free:.0} J, capped {e_capped:.0} J ({:.1}% saved; work deferred)",
+        (1.0 - e_capped / e_free) * 100.0
+    );
+}

@@ -1,0 +1,96 @@
+//! §III side by side: MonEQ, PAPI, TAU, and PowerPack watching the *same*
+//! node run the same workload — and each seeing a different slice of it.
+//!
+//! ```text
+//! cargo run --example tool_comparison
+//! ```
+
+use envmon::powertools::comparison::{render_tool_matrix, tool_matrix};
+use envmon::powertools::papi::{Component, Papi};
+use envmon::powertools::powerpack::{NodePowerModel, WattsUpMeter};
+use envmon::powertools::tau::TauProfiler;
+use envmon::prelude::*;
+use rapl_sim::{KernelVersion, PerfEventRapl};
+use simkit::NoiseStream;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn main() {
+    // The node: one Sandy Bridge socket running Gaussian elimination, one
+    // K20 running vector add, one Phi running a NOOP soak.
+    let gauss = GaussianElimination::figure3();
+    let socket = Arc::new(SocketModel::new(SocketSpec::default(), &gauss.profile()));
+    let nvml = Rc::new(Nvml::init(
+        &[DeviceConfig {
+            spec: GpuSpec::k20(),
+            workload: VectorAdd::figure5().profile(),
+            horizon: SimTime::from_secs(120),
+        }],
+        11,
+    ));
+    let phi_profile = Noop::figure7().profile();
+    let card = Rc::new(PhiCard::new(
+        PhiSpec::default(),
+        &phi_profile,
+        DemandTrace::zero(),
+        SimTime::from_secs(120),
+    ));
+    let smc = Rc::new(Smc::new(NoiseStream::new(11)));
+    let t = SimTime::from_secs(30);
+
+    println!("{}", render_tool_matrix(&tool_matrix()));
+
+    // --- PAPI: RAPL + NVML + Phi, but no BG/Q ---------------------------
+    let daemon = Rc::new(mic_sim::MicrasDaemon::start(
+        card.clone(),
+        smc.clone(),
+        &phi_profile,
+    ));
+    let papi = Papi::library_init(vec![
+        Component::Rapl(PerfEventRapl::open(socket.clone(), KernelVersion::new(4, 4)).unwrap()),
+        Component::Nvml(nvml.clone()),
+        Component::MicPower(daemon),
+    ]);
+    let mut set = papi.create_eventset();
+    set.add_named_event("rapl:::PACKAGE_ENERGY:PACKAGE0").unwrap();
+    set.add_named_event("nvml:::power:device0").unwrap();
+    set.add_named_event("micpower:::tot0:device0").unwrap();
+    set.start(t).unwrap();
+    let vals = set.stop(t + SimDuration::from_secs(10)).unwrap();
+    println!("PAPI over 10 s:");
+    println!("  rapl:::PACKAGE_ENERGY  {} nJ (= {:.1} W avg)", vals[0], vals[0] as f64 / 1e10);
+    println!("  nvml:::power           {} mW", vals[1]);
+    println!("  micpower:::tot0        {} mW", vals[2]);
+
+    // --- TAU: RAPL only --------------------------------------------------
+    let mut tau = TauProfiler::attach(
+        socket.clone(),
+        MsrAccess::user_with_readonly(),
+        SimDuration::from_millis(100),
+        11,
+    )
+    .unwrap();
+    tau.profile_region("solve", SimTime::from_secs(5), SimTime::from_secs(55));
+    tau.profile_region("idle", SimTime::from_secs(62), SimTime::from_secs(68));
+    println!("\nTAU profile (RAPL only — the GPU and Phi are invisible to it):");
+    print!("{}", tau.into_profile().render());
+
+    // --- PowerPack: the wall socket --------------------------------------
+    let node = NodePowerModel {
+        sockets: vec![&socket],
+        gpus: vec![nvml.device_by_index(0).unwrap()],
+        mics: vec![&card],
+        baseboard_w: 60.0,
+        psu_efficiency: 0.90,
+    };
+    let meter = WattsUpMeter::new(NoiseStream::new(11));
+    let series = meter.record(&node, SimTime::ZERO, SimTime::from_secs(110));
+    let stats = series.stats();
+    println!(
+        "\nPowerPack/WattsUp wall meter: {} samples, {:.1}-{:.1} W (whole node, \
+         no per-device attribution possible)",
+        stats.count(),
+        stats.min(),
+        stats.max()
+    );
+}

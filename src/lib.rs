@@ -1,0 +1,61 @@
+//! # envmon — unified environmental-data collection across simulated HPC platforms
+//!
+//! A full Rust reproduction of *"Comparison of Vendor Supplied Environmental
+//! Data Collection Mechanisms"* (Wallace et al., IEEE CLUSTER 2015): the
+//! MonEQ unified power-profiling library plus register/protocol/database-
+//! level simulations of the four vendor mechanisms it profiles through —
+//! IBM Blue Gene/Q (EMON + environmental database), Intel RAPL (MSRs),
+//! NVIDIA NVML, and the Intel Xeon Phi (SCIF SysMgmt, MICRAS daemon, and
+//! BMC/IPMB out-of-band).
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users need a single dependency:
+//!
+//! ```
+//! use envmon::prelude::*;
+//!
+//! // Listing 1 of the paper, on the simulated BG/Q: two calls around the
+//! // user code.
+//! let mut machine = BgqMachine::new(BgqConfig::default(), 42);
+//! machine.assign_job(&[0], &Mmps::figure1().profile());
+//! let session = MonEq::initialize(
+//!     0,
+//!     vec![Box::new(BgqBackend::new(std::rc::Rc::new(machine), 0))],
+//!     MonEqConfig::default(),
+//!     SimTime::ZERO,
+//! );
+//! let result = session.finalize(SimTime::from_secs(100));
+//! assert!(result.file.points.len() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bgq_sim;
+pub use envmon_analysis as analysis;
+pub use hpc_workloads as workloads;
+pub use mic_sim;
+pub use moneq;
+pub use nvml_sim;
+pub use powermodel;
+pub use powertools_sim as powertools;
+pub use rapl_sim;
+pub use simkit;
+
+/// The commonly used names, flattened.
+pub mod prelude {
+    pub use bgq_sim::{BgqConfig, BgqMachine, EmonApi};
+    pub use hpc_workloads::{
+        Channel, FixedRuntime, GaussianElimination, Mmps, Noop, TaggedLoops, VectorAdd,
+        WorkloadProfile,
+    };
+    pub use mic_sim::{PhiCard, PhiSpec, Smc, SysMgmtSession};
+    pub use moneq::backends::{
+        BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend,
+    };
+    pub use moneq::{EnvBackend, MonEq, MonEqConfig};
+    pub use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
+    pub use powermodel::{DemandTrace, Metric, Platform, Support};
+    pub use rapl_sim::{MsrAccess, RaplDomain, SocketModel, SocketSpec};
+    pub use simkit::{SimDuration, SimTime, TimeSeries};
+}

@@ -1,0 +1,123 @@
+//! Integration: cross-experiment consistency and determinism of the
+//! regenerated figures — the claims the paper makes *between* figures.
+
+use envmon::analysis::figures;
+use envmon::prelude::*;
+
+/// §II-A: "the power consumption of the node card matches that of the data
+/// collected at the BPM in terms of total power consumption" — Figure 2's
+/// node-card totals must agree with Figure 1's BPM view up to the AC/DC
+/// conversion loss.
+#[test]
+fn figure1_and_figure2_tell_the_same_power_story() {
+    let f1 = figures::figure1(2015);
+    let f2 = figures::figure2(2015);
+    // Figure 1's mid-job per-BPM input power (one BPM carries one card's
+    // load in the default calibration).
+    let (start, end) = f1.job_window;
+    let bpm_input = f1
+        .midplane0
+        .window_mean(start + SimDuration::from_secs(300), end - SimDuration::from_secs(120))
+        .expect("mid-job polls");
+    // Figure 2's node-card DC power.
+    let card_dc = f2
+        .total
+        .window_mean(SimTime::from_secs(200), SimTime::from_secs(1_200))
+        .expect("mid-job samples");
+    let implied_input = card_dc / 0.94; // the configured conversion efficiency
+    let rel = (bpm_input - implied_input).abs() / implied_input;
+    assert!(
+        rel < 0.05,
+        "BPM input {bpm_input} vs node card implied {implied_input} ({:.1}% apart)",
+        rel * 100.0
+    );
+}
+
+/// §II-A: "because of the higher sampling frequency, there are many more
+/// data points than observed from the BPM."
+#[test]
+fn figure2_has_many_more_points_than_figure1() {
+    let f1 = figures::figure1(2015);
+    let f2 = figures::figure2(2015);
+    assert!(
+        f2.total.len() > f1.midplane0.len() * 50,
+        "{} vs {}",
+        f2.total.len(),
+        f1.midplane0.len()
+    );
+}
+
+/// Same seed ⇒ byte-identical regenerated data (the determinism contract
+/// every experiment depends on).
+#[test]
+fn experiments_are_deterministic_in_the_seed() {
+    let a = figures::figure3(7).pkg.to_tsv();
+    let b = figures::figure3(7).pkg.to_tsv();
+    assert_eq!(a, b);
+    let c = figures::figure3(8).pkg.to_tsv();
+    assert_ne!(a, c, "different seeds produced identical noise");
+
+    let f7a = figures::figure7(7);
+    let f7b = figures::figure7(7);
+    assert_eq!(f7a.api_samples, f7b.api_samples);
+    assert_eq!(f7a.daemon_samples, f7b.daemon_samples);
+}
+
+/// The Figure 7 effect direction must be stable across seeds — the paper's
+/// finding is not a noise artifact.
+#[test]
+fn figure7_offset_direction_is_seed_independent() {
+    for seed in [1u64, 42, 99] {
+        let f = figures::figure7(seed);
+        assert!(
+            f.welch.mean_diff > 0.5,
+            "seed {seed}: API-daemon offset {}",
+            f.welch.mean_diff
+        );
+        assert!(
+            f.welch.significant_at(0.01),
+            "seed {seed}: p = {}",
+            f.welch.p_two_sided
+        );
+    }
+}
+
+/// Figure 8's 16-card variant (the paper's "preserving allocation" remark)
+/// has the same shape as the 128-card run, scaled by 8.
+#[test]
+fn figure8_scales_linearly_with_cards() {
+    let f16 = figures::figure8_with_cards(3, 16);
+    let f32 = figures::figure8_with_cards(3, 32);
+    let mid = |f: &figures::Figure8| {
+        f.sum_power
+            .window_mean(
+                f.datagen_end + SimDuration::from_secs(20),
+                SimTime::from_secs(240),
+            )
+            .unwrap()
+    };
+    let ratio = mid(&f32) / mid(&f16);
+    assert!((ratio - 2.0).abs() < 0.05, "scaling ratio {ratio}");
+}
+
+/// The energy of Figure 3's capture (trapezoid over the series) must match
+/// the socket's closed-form energy within the sampling error.
+#[test]
+fn figure3_series_integrates_to_the_true_energy() {
+    let f = figures::figure3(9);
+    let measured_j = f.pkg.integrate();
+    // Reconstruct the oracle.
+    let g = GaussianElimination::figure3();
+    let profile = g.profile().with_lead_in(SimDuration::from_secs(4));
+    let socket = SocketModel::new(SocketSpec::default(), &profile);
+    let start = f.pkg.start().unwrap();
+    let end = f.pkg.end().unwrap();
+    let truth_j = socket.domain_energy(RaplDomain::Pkg, end)
+        - socket.domain_energy(RaplDomain::Pkg, start);
+    let rel = (measured_j - truth_j).abs() / truth_j;
+    assert!(
+        rel < 0.02,
+        "measured {measured_j:.1} J vs truth {truth_j:.1} J ({:.2}%)",
+        rel * 100.0
+    );
+}

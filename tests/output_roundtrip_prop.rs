@@ -1,0 +1,91 @@
+//! Property test: the MonEQ output format round-trips arbitrary sessions.
+
+use moneq::{DataPoint, OutputFile, TagEvent, TagKind};
+use proptest::prelude::*;
+use simkit::SimTime;
+
+fn arb_point() -> impl Strategy<Value = DataPoint> {
+    (
+        0u64..10_000_000_000,
+        "[a-z][a-z0-9]{0,8}",
+        "[A-Za-z][A-Za-z ]{0,12}",
+        0.0f64..10_000.0,
+        prop::option::of(0.1f64..50.0),
+        prop::option::of(0.0f64..2_000.0),
+        prop::option::of(-20.0f64..120.0),
+    )
+        .prop_map(|(ns, device, domain, watts, volts, amps, temp_c)| DataPoint {
+            timestamp: SimTime::from_nanos(ns),
+            device,
+            // The regex guarantees a leading letter, so trimming trailing
+            // spaces never empties the field.
+            domain: domain.trim_end().to_owned(),
+            watts,
+            volts,
+            amps,
+            temp_c,
+        })
+}
+
+fn arb_tag() -> impl Strategy<Value = TagEvent> {
+    ("[a-z]{1,10}", prop::bool::ANY, 0u64..10_000_000_000).prop_map(|(label, start, ns)| {
+        TagEvent {
+            label,
+            kind: if start { TagKind::Start } else { TagKind::End },
+            at: SimTime::from_nanos(ns),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_parse_roundtrip(
+        rank in 0u32..100_000,
+        agent in "[A-Za-z0-9-]{1,20}",
+        backends in prop::collection::vec("[a-z-]{1,12}", 1..4),
+        interval_ns in 1u64..10_000_000_000,
+        mut points in prop::collection::vec(arb_point(), 0..60),
+        tags in prop::collection::vec(arb_tag(), 0..10),
+    ) {
+        points.sort_by_key(|p| p.timestamp);
+        let f = OutputFile {
+            rank,
+            agent,
+            backends,
+            interval_ns,
+            points,
+            tags,
+        };
+        let text = f.render();
+        let back = OutputFile::parse(&text).expect("own output parses");
+        // Timestamps and structure are preserved exactly; floats through
+        // the %.6f formatter are preserved to 1e-6 absolute.
+        prop_assert_eq!(back.rank, f.rank);
+        prop_assert_eq!(&back.agent, &f.agent);
+        prop_assert_eq!(&back.backends, &f.backends);
+        prop_assert_eq!(back.interval_ns, f.interval_ns);
+        prop_assert_eq!(back.points.len(), f.points.len());
+        prop_assert_eq!(&back.tags, &f.tags);
+        for (a, b) in back.points.iter().zip(&f.points) {
+            prop_assert_eq!(a.timestamp, b.timestamp);
+            prop_assert_eq!(&a.device, &b.device);
+            prop_assert_eq!(&a.domain, &b.domain);
+            prop_assert!((a.watts - b.watts).abs() < 1e-6);
+            prop_assert_eq!(a.volts.is_some(), b.volts.is_some());
+            prop_assert_eq!(a.amps.is_some(), b.amps.is_some());
+            prop_assert_eq!(a.temp_c.is_some(), b.temp_c.is_some());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Whatever bytes arrive, parse returns Ok or Err — never panics.
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = OutputFile::parse(text);
+        }
+    }
+}
