@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the full test suite.
+#
+#   ./ci.sh          # everything (what a PR must pass)
+#   ./ci.sh --quick  # skip the release build, debug tests only
+#
+# Lints are hard errors (-D warnings) so the tree stays clippy-clean.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q --no-fail-fast
+
+echo "CI OK"

@@ -66,8 +66,8 @@ impl CoolantLoop {
     pub fn read(&self, machine: &BgqMachine, t: SimTime) -> CoolantReading {
         let rack = self.rack;
         let outlet_truth = |at: SimTime| {
-            let rack_power = machine.midplane_power(rack, 0, at)
-                + machine.midplane_power(rack, 1, at);
+            let rack_power =
+                machine.midplane_power(rack, 0, at) + machine.midplane_power(rack, 1, at);
             self.outlet_for_power(rack_power)
         };
         CoolantReading {

@@ -113,10 +113,7 @@ impl Domain {
 
 /// Idle power of a whole node card (sum of domain idles), watts.
 pub fn node_card_idle_watts() -> f64 {
-    Domain::ALL
-        .iter()
-        .map(|d| d.component_spec().idle_w)
-        .sum()
+    Domain::ALL.iter().map(|d| d.component_spec().idle_w).sum()
 }
 
 #[cfg(test)]

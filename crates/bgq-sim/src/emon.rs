@@ -97,9 +97,7 @@ impl EmonApi {
         let generation = self.generation_read_at(t);
         let gen_index = generation.grid_index(SimTime::ZERO, EMON_GENERATION_PERIOD);
         let card = machine.card(self.board_index);
-        let noise = machine
-            .noise()
-            .child(&format!("emon-{}", self.board_index));
+        let noise = machine.noise().child(&format!("emon-{}", self.board_index));
         Domain::ALL.map(|domain| {
             let sample_t = generation + self.domain_skew(domain);
             let truth = card.domain_power(domain, sample_t);
@@ -145,7 +143,10 @@ mod tests {
             api.generation_read_at(SimTime::from_millis(1_500)),
             SimTime::from_millis(560)
         );
-        assert_eq!(api.generation_read_at(SimTime::from_millis(100)), SimTime::ZERO);
+        assert_eq!(
+            api.generation_read_at(SimTime::from_millis(100)),
+            SimTime::ZERO
+        );
     }
 
     #[test]
@@ -164,7 +165,10 @@ mod tests {
         let api = EmonApi::open(0);
         let a = api.total_power(&m, SimTime::from_secs(10));
         let b = api.total_power(&m, SimTime::from_secs(20));
-        assert_ne!(a, b, "EMON readings implausibly identical across generations");
+        assert_ne!(
+            a, b,
+            "EMON readings implausibly identical across generations"
+        );
         // But re-reads within one 560 ms generation are stable
         // (10.00 s and 10.05 s share generation slot 17).
         let c = api.total_power(&m, SimTime::from_millis(10_050));
@@ -204,7 +208,10 @@ mod tests {
             after > before + 100.0,
             "step not visible: before {before}, after {after}"
         );
-        assert!((before - node_card_idle_watts()).abs() < 30.0, "before {before}");
+        assert!(
+            (before - node_card_idle_watts()).abs() < 30.0,
+            "before {before}"
+        );
     }
 
     #[test]

@@ -191,14 +191,10 @@ impl PollingDaemon {
     pub fn run(&self, machine: &BgqMachine, db: &mut EnvDatabase, horizon: SimTime) {
         let racks = machine.config().topology.racks;
         let groups: Vec<BpmGroup> = (0..racks)
-            .flat_map(|r| {
-                (0..MIDPLANES_PER_RACK as u8).map(move |m| (r, m))
-            })
+            .flat_map(|r| (0..MIDPLANES_PER_RACK as u8).map(move |m| (r, m)))
             .map(|(r, m)| BpmGroup::new(machine, r, m))
             .collect();
-        let coolants: Vec<CoolantLoop> = (0..racks)
-            .map(|r| CoolantLoop::new(machine, r))
-            .collect();
+        let coolants: Vec<CoolantLoop> = (0..racks).map(|r| CoolantLoop::new(machine, r)).collect();
         let mut skew_rng = DetRng::new(0x05EE_DDB2).child("collection-skew");
         let capacity_per_cycle =
             (self.config.capacity_rows_per_sec * self.config.poll_interval.as_secs_f64()) as u64;
@@ -236,9 +232,27 @@ impl PollingDaemon {
                     let ts = poll_t + skew;
                     let reading = g.read(machine, i, ts);
                     let loc = format!("R{rack:02}-M{midplane}-B{i:02}");
-                    push(db, ts, loc.clone(), SensorKind::BpmInputWatts, reading.input_watts);
-                    push(db, ts, loc.clone(), SensorKind::BpmOutputWatts, reading.output_watts);
-                    push(db, ts, loc.clone(), SensorKind::BpmInputAmps, reading.input_amps);
+                    push(
+                        db,
+                        ts,
+                        loc.clone(),
+                        SensorKind::BpmInputWatts,
+                        reading.input_watts,
+                    );
+                    push(
+                        db,
+                        ts,
+                        loc.clone(),
+                        SensorKind::BpmOutputWatts,
+                        reading.output_watts,
+                    );
+                    push(
+                        db,
+                        ts,
+                        loc.clone(),
+                        SensorKind::BpmInputAmps,
+                        reading.input_amps,
+                    );
                     push(db, ts, loc, SensorKind::BpmOutputAmps, reading.output_amps);
                 }
             }
@@ -247,9 +261,27 @@ impl PollingDaemon {
                 let ts = poll_t + skew;
                 let reading = loop_.read(machine, ts);
                 let loc = format!("R{r:02}-COOLANT");
-                push(db, ts, loc.clone(), SensorKind::CoolantTempC, reading.outlet_temp_c);
-                push(db, ts, loc.clone(), SensorKind::CoolantFlowLpm, reading.flow_lpm);
-                push(db, ts, loc, SensorKind::CoolantPressureBar, reading.pressure_bar);
+                push(
+                    db,
+                    ts,
+                    loc.clone(),
+                    SensorKind::CoolantTempC,
+                    reading.outlet_temp_c,
+                );
+                push(
+                    db,
+                    ts,
+                    loc.clone(),
+                    SensorKind::CoolantFlowLpm,
+                    reading.flow_lpm,
+                );
+                push(
+                    db,
+                    ts,
+                    loc,
+                    SensorKind::CoolantPressureBar,
+                    reading.pressure_bar,
+                );
             }
             // Node-board temperatures: water-cooled boards sit a few
             // degrees above the coolant, scaled by their own dissipation.
@@ -316,8 +348,7 @@ mod tests {
         daemon.run(&machine, &mut db, SimTime::from_secs(3_600));
         // 3600/240 = 15 cycles; one rack: 32 BPMs * 4 rows + 3 coolant
         // rows + 32 board-temperature rows.
-        let cycles: std::collections::BTreeSet<u64> =
-            db.rows().iter().map(|r| r.cycle).collect();
+        let cycles: std::collections::BTreeSet<u64> = db.rows().iter().map(|r| r.cycle).collect();
         assert_eq!(cycles.len(), 15);
         assert_eq!(db.rows().len(), 15 * (32 * 4 + 3 + 32));
         assert_eq!(db.dropped_rows, 0);
@@ -352,7 +383,9 @@ mod tests {
         daemon.run(&machine, &mut db, SimTime::from_secs(3_600));
         let series = db.sum_by_cycle(SensorKind::BpmInputWatts, "R00-M0");
         // Idle cycles before the job are far below mid-job cycles.
-        let idle = series.window_mean(SimTime::ZERO, SimTime::from_secs(500)).unwrap();
+        let idle = series
+            .window_mean(SimTime::ZERO, SimTime::from_secs(500))
+            .unwrap();
         let busy = series
             .window_mean(SimTime::from_secs(900), SimTime::from_secs(1_800))
             .unwrap();
@@ -361,7 +394,10 @@ mod tests {
         let tail = series
             .window_mean(SimTime::from_secs(2_400), SimTime::from_secs(3_600))
             .unwrap();
-        assert!((tail - idle).abs() < idle * 0.05, "tail {tail} vs idle {idle}");
+        assert!(
+            (tail - idle).abs() < idle * 0.05,
+            "tail {tail} vs idle {idle}"
+        );
     }
 
     #[test]
@@ -399,7 +435,7 @@ mod tests {
             SimTime::from_secs(1_000),
         );
         assert_eq!(temps.len(), 32 * 2); // 32 boards x 2 remaining cycles
-        // Busy boards (midplane 0) run hotter than idle ones (midplane 1).
+                                         // Busy boards (midplane 0) run hotter than idle ones (midplane 1).
         let mean = |prefix: &str| {
             let v: Vec<f64> = temps
                 .iter()

@@ -41,7 +41,10 @@ pub struct Location {
 impl Location {
     /// A node-board location.
     pub fn board(rack: u16, midplane: u8, board: u8) -> Self {
-        assert!((midplane as usize) < MIDPLANES_PER_RACK, "midplane out of range");
+        assert!(
+            (midplane as usize) < MIDPLANES_PER_RACK,
+            "midplane out of range"
+        );
         assert!((board as usize) < BOARDS_PER_MIDPLANE, "board out of range");
         Location {
             rack,
@@ -62,13 +65,15 @@ impl Location {
 
     /// The node board containing this location.
     pub fn board_of(&self) -> Location {
-        Location { card: None, ..*self }
+        Location {
+            card: None,
+            ..*self
+        }
     }
 
     /// Flat index of the node board within the whole machine.
     pub fn board_index(&self) -> usize {
-        (self.rack as usize * MIDPLANES_PER_RACK + self.midplane as usize)
-            * BOARDS_PER_MIDPLANE
+        (self.rack as usize * MIDPLANES_PER_RACK + self.midplane as usize) * BOARDS_PER_MIDPLANE
             + self.board as usize
     }
 }
@@ -199,8 +204,8 @@ mod tests {
         for bad in [
             "",
             "R00",
-            "R00-M2-N00",    // midplane out of range
-            "R00-M0-N16",    // board out of range
+            "R00-M2-N00",     // midplane out of range
+            "R00-M0-N16",     // board out of range
             "R00-M0-N00-J32", // card out of range
             "R00-M0-N00-J01-X",
             "X00-M0-N00",

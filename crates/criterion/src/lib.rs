@@ -1,0 +1,217 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a small benchmark harness with the criterion API its
+//! benches use (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups, `Bencher::iter`). Timing is a straightforward
+//! warmup-then-measure loop: it reports mean ns/iter without criterion's
+//! statistical machinery, which is enough to compare the simulated access
+//! paths against each other.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Passed to the closure given to `bench_function`; runs the measured code.
+pub struct Bencher {
+    iters_hint: u64,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    result_ns: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly. The return value is passed through
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that fills the
+        // measurement window without running for minutes.
+        let mut calib_iters = 1u64;
+        let calib_start = Instant::now();
+        loop {
+            black_box(f());
+            if calib_start.elapsed() > self.measurement_time / 20 || calib_iters >= 10_000 {
+                break;
+            }
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let iters = ((budget / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000)
+            .max(self.iters_hint.min(1_000));
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.total_iters = iters;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    label: &str,
+    measurement_time: Duration,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_hint: sample_size as u64,
+        measurement_time,
+        result_ns: 0.0,
+        total_iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench: {:<40} {:>12}/iter  ({} iters)",
+        label,
+        human_ns(b.result_ns),
+        b.total_iters
+    );
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measurement_time, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let (measurement_time, sample_size) = (self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            measurement_time,
+            sample_size,
+        }
+    }
+
+    /// Criterion-compatibility hook (CLI args are ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target sample count (shim: used as an iteration hint).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.measurement_time, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 10,
+        };
+        let mut ran = 0u64;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_configuration_chains() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 10,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5)
+            .measurement_time(Duration::from_millis(2))
+            .bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_ns(12.0).contains("ns"));
+        assert!(human_ns(12_000.0).contains("µs"));
+        assert!(human_ns(12_000_000.0).contains("ms"));
+        assert!(human_ns(2.0e9).contains('s'));
+    }
+}

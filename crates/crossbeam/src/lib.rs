@@ -1,0 +1,178 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of the `crossbeam` API the workloads use:
+//!
+//! * [`scope`] — scoped threads whose closures receive the scope handle
+//!   (so they can spawn siblings), built on `std::thread::scope`;
+//! * [`channel::bounded`] — a bounded MPSC channel over
+//!   `std::sync::mpsc::sync_channel`.
+//!
+//! Like crossbeam, [`scope`] returns `Err` instead of unwinding when a
+//! spawned thread panics.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Bounded channels (the `crossbeam-channel` subset used here).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full. Errors when every
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the channel is empty. Errors when every
+        /// sender is gone and the buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterate until the channel closes.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Create a bounded channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// thread's closure.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to join a thread spawned in a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// handle, so it can spawn further siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowing, scoped threads can be spawned.
+/// All spawned threads are joined before `scope` returns. Returns `Err`
+/// with the panic payload if `f` or any unjoined spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut total = 0u64;
+        scope(|s| {
+            let h1 = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let h2 = s.spawn(|_| data[2..].iter().sum::<u64>());
+            total = h1.join().unwrap() + h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn panicking_child_yields_err() {
+        let r = scope(|s| {
+            s.spawn::<_, ()>(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_delivers_in_order_and_closes() {
+        let (tx, rx) = channel::bounded::<u64>(4);
+        scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let h = s.spawn(move |_| {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let got = h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+}

@@ -6,11 +6,9 @@ use moneq::backends::{BgqBackend, MicApiBackend, MicDaemonBackend};
 use moneq::{EnvBackend, MonEq, MonEqConfig};
 use powermodel::{ComponentSpec, DemandTrace, DevicePower, PhaseBuilder};
 use rapl_sim::{
-    MsrAccess, MsrDevice, PowerLimit, PowerReader, RaplDomain, RaplLimiter, SocketModel,
-    SocketSpec,
+    MsrAccess, MsrDevice, PowerLimit, PowerReader, RaplDomain, RaplLimiter, SocketModel, SocketSpec,
 };
 use simkit::{NoiseStream, SimDuration, SimTime};
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// One row of the RAPL interval sweep: measured-vs-true power error at a
@@ -39,8 +37,8 @@ pub fn rapl_interval_sweep(seed: u64) -> Vec<IntervalSweepRow> {
             .build_open(),
     );
     let socket = Arc::new(SocketModel::new(SocketSpec::default(), &profile));
-    let device = MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(seed))
-        .expect("root");
+    let device =
+        MsrDevice::open(socket, 0, MsrAccess::root(), &NoiseStream::new(seed)).expect("root");
     let reader = PowerReader::new(device);
     let truth = 50.0; // cores 4+38 + uncore 3+5 at 100% load
     let wrap_secs = 8_192.0 / truth; // 2^32 counts at 2^-19 J/count
@@ -91,7 +89,7 @@ pub fn phi_access_paths(seed: u64) -> Vec<PhiPathRow> {
     let t_probe = SimTime::from_secs(60);
 
     // Baseline card (no collection side effects).
-    let card_plain = Rc::new(PhiCard::new(
+    let card_plain = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &profile,
         DemandTrace::zero(),
@@ -99,7 +97,7 @@ pub fn phi_access_paths(seed: u64) -> Vec<PhiPathRow> {
     ));
     // Card perturbed by in-band polling.
     let mgmt = SysMgmtSession::mgmt_demand(interval, SimTime::ZERO, horizon);
-    let card_api = Rc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
+    let card_api = Arc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
     let perturbation = card_api.total_power(t_probe) - card_plain.total_power(t_probe);
 
     // Out-of-band latency measured through the live BMC path.
@@ -204,7 +202,7 @@ pub fn moneq_interval_sweep(seed: u64) -> Vec<MoneqIntervalRow> {
             machine.assign_job(&[0], &profile);
             let session = MonEq::initialize(
                 0,
-                vec![Box::new(BgqBackend::new(Rc::new(machine), 0))],
+                vec![Box::new(BgqBackend::new(Arc::new(machine), 0))],
                 MonEqConfig {
                     interval: Some(SimDuration::from_millis(ms)),
                     ..MonEqConfig::default()
@@ -264,20 +262,15 @@ pub fn figure7_offset_sweep(seed: u64) -> Vec<Fig7SweepRow> {
         .map(|&ms| {
             let interval = SimDuration::from_millis(ms);
             let mgmt = SysMgmtSession::mgmt_demand(interval, SimTime::ZERO, horizon);
-            let card_api = Rc::new(PhiCard::new(
-                PhiSpec::default(),
-                &profile,
-                mgmt,
-                horizon,
-            ));
-            let card_plain = Rc::new(PhiCard::new(
+            let card_api = Arc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
+            let card_plain = Arc::new(PhiCard::new(
                 PhiSpec::default(),
                 &profile,
                 DemandTrace::zero(),
                 horizon,
             ));
-            let smc_a = Rc::new(Smc::new(NoiseStream::new(seed).child("a")));
-            let smc_b = Rc::new(Smc::new(NoiseStream::new(seed).child("b")));
+            let smc_a = Arc::new(Smc::new(NoiseStream::new(seed).child("a")));
+            let smc_b = Arc::new(Smc::new(NoiseStream::new(seed).child("b")));
             let mut api = MicApiBackend::new(card_api, smc_a);
             let mut daemon = MicDaemonBackend::new(card_plain, smc_b, &profile);
             let mut diff = 0.0;
@@ -515,7 +508,11 @@ mod tests {
         // A small machine survives fast polling; the full 48-rack Mira at
         // 60 s exceeds the server's capacity and drops data.
         assert_eq!(find(1, 60).dropped_fraction, 0.0);
-        assert!(find(48, 60).dropped_fraction > 0.3, "{}", find(48, 60).dropped_fraction);
+        assert!(
+            find(48, 60).dropped_fraction > 0.3,
+            "{}",
+            find(48, 60).dropped_fraction
+        );
         // The default ~4 min interval keeps even the full machine whole...
         assert!(find(48, 240).dropped_fraction < 0.05);
         // ...and 1800 s is safe everywhere.

@@ -17,7 +17,6 @@ use rapl_sim::{MsrAccess, SocketModel, SocketSpec};
 use simkit::{
     welch_t_test, BoxplotSummary, NoiseStream, SimDuration, SimTime, TimeSeries, WelchResult,
 };
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Figure 1: BPM input power of an MMPS job, as the environmental database
@@ -87,7 +86,7 @@ pub fn figure2(seed: u64) -> Figure2 {
     let profile = mmps.profile();
     let mut machine = BgqMachine::new(BgqConfig::default(), seed);
     machine.assign_job(&[0], &profile);
-    let machine = Rc::new(machine);
+    let machine = Arc::new(machine);
 
     let mut session = MonEq::initialize(
         0,
@@ -191,7 +190,7 @@ pub fn figure4(seed: u64) -> Figure4 {
     let lead_in = SimDuration::from_millis(300);
     let profile = noop.profile().with_lead_in(lead_in);
     let horizon = SimTime::ZERO + lead_in + noop.virtual_runtime;
-    let nvml = Rc::new(Nvml::init(
+    let nvml = Arc::new(Nvml::init(
         &[DeviceConfig {
             spec: GpuSpec::k20(),
             workload: profile,
@@ -231,7 +230,7 @@ pub fn figure5(seed: u64) -> Figure5 {
     let lead_in = SimDuration::from_secs(1);
     let profile = v.profile().with_lead_in(lead_in);
     let horizon = SimTime::ZERO + lead_in + v.virtual_runtime;
-    let nvml = Rc::new(Nvml::init(
+    let nvml = Arc::new(Nvml::init(
         &[DeviceConfig {
             spec: GpuSpec::k20(),
             workload: profile,
@@ -286,18 +285,18 @@ pub fn figure7(seed: u64) -> Figure7 {
     // Scenario A: in-band polling. The collection activity physically runs
     // on the card, so the card is built *with* the mgmt demand.
     let mgmt = SysMgmtSession::mgmt_demand(interval, SimTime::ZERO, horizon);
-    let card_api = Rc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
-    let smc_api = Rc::new(Smc::new(NoiseStream::new(seed).child("api")));
+    let card_api = Arc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
+    let smc_api = Arc::new(Smc::new(NoiseStream::new(seed).child("api")));
     let mut api_backend = MicApiBackend::new(card_api, smc_api);
 
     // Scenario B: daemon polling. No host-induced activity.
-    let card_d = Rc::new(PhiCard::new(
+    let card_d = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &profile,
         DemandTrace::zero(),
         horizon,
     ));
-    let smc_d = Rc::new(Smc::new(NoiseStream::new(seed).child("daemon")));
+    let smc_d = Arc::new(Smc::new(NoiseStream::new(seed).child("daemon")));
     let mut daemon_backend = MicDaemonBackend::new(card_d, smc_d, &profile);
 
     let mut api_samples = Vec::new();
@@ -357,13 +356,13 @@ pub fn figure8_with_cards(seed: u64, cards: usize) -> Figure8 {
         cards,
         Some(SimDuration::from_secs(1)),
         |rank| {
-            let card = Rc::new(PhiCard::new(
+            let card = Arc::new(PhiCard::new(
                 PhiSpec::default(),
                 &profile,
                 DemandTrace::zero(),
                 horizon,
             ));
-            let smc = Rc::new(Smc::new(root.child(&format!("card{rank}"))));
+            let smc = Arc::new(Smc::new(root.child(&format!("card{rank}"))));
             Box::new(MicDaemonBackend::new(card, smc, &profile))
         },
         |rank| format!("c401-{:03}", rank),
@@ -445,23 +444,33 @@ mod tests {
         assert!((5.0..10.0).contains(&idle), "idle {idle}");
         let plateau = f
             .pkg
-            .window_mean(start + SimDuration::from_secs(10), end - SimDuration::from_secs(10))
+            .window_mean(
+                start + SimDuration::from_secs(10),
+                end - SimDuration::from_secs(10),
+            )
             .unwrap();
         assert!((42.0..52.0).contains(&plateau), "plateau {plateau}");
         // Rhythmic dips: within a 10 s window the min is >=3 W below the mean.
-        let w = f
-            .pkg
-            .slice(start + SimDuration::from_secs(10), start + SimDuration::from_secs(20));
+        let w = f.pkg.slice(
+            start + SimDuration::from_secs(10),
+            start + SimDuration::from_secs(20),
+        );
         let lo = w.values().into_iter().fold(f64::INFINITY, f64::min);
         assert!(plateau - lo > 3.0, "no dip: plateau {plateau}, lo {lo}");
-        let tail = f.pkg.window_mean(end + SimDuration::from_secs(2), SimTime::MAX).unwrap();
+        let tail = f
+            .pkg
+            .window_mean(end + SimDuration::from_secs(2), SimTime::MAX)
+            .unwrap();
         assert!(tail < 12.0, "tail {tail}");
     }
 
     #[test]
     fn figure4_gradual_ramp_then_flat() {
         let f = figure4(11);
-        let early = f.power.window_mean(SimTime::ZERO, SimTime::from_millis(400)).unwrap();
+        let early = f
+            .power
+            .window_mean(SimTime::ZERO, SimTime::from_millis(400))
+            .unwrap();
         assert!((40.0..48.0).contains(&early), "early {early}");
         let settled = f
             .power
@@ -505,7 +514,11 @@ mod tests {
         assert!(f.api_samples.len() > 1_000);
         // Slight but real offset, API higher (paper: 111–119 W axis).
         assert!(f.welch.mean_diff > 0.8, "offset {}", f.welch.mean_diff);
-        assert!(f.welch.mean_diff < 4.0, "offset too large {}", f.welch.mean_diff);
+        assert!(
+            f.welch.mean_diff < 4.0,
+            "offset too large {}",
+            f.welch.mean_diff
+        );
         assert!(
             f.welch.significant_at(0.001),
             "not significant: p = {}",
@@ -524,7 +537,10 @@ mod tests {
         let per_card_scale = 16.0;
         let datagen = f
             .sum_power
-            .window_mean(SimTime::from_secs(20), f.datagen_end - SimDuration::from_secs(10))
+            .window_mean(
+                SimTime::from_secs(20),
+                f.datagen_end - SimDuration::from_secs(10),
+            )
             .unwrap();
         let compute = f
             .sum_power

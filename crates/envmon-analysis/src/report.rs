@@ -94,13 +94,55 @@ pub fn generate(seed: u64) -> Report {
     // Table III.
     let t3 = tables::table3(seed);
     let col = |i: usize| &t3.columns[i].overhead;
-    push("Table III", "init @ 32 nodes (s)", 0.0027, col(0).init.as_secs_f64(), 0.05);
-    push("Table III", "init @ 1024 nodes (s)", 0.0033, col(2).init.as_secs_f64(), 0.05);
-    push("Table III", "finalize @ 32 nodes (s)", 0.1510, col(0).finalize.as_secs_f64(), 0.02);
-    push("Table III", "finalize @ 512 nodes (s)", 0.1550, col(1).finalize.as_secs_f64(), 0.02);
-    push("Table III", "finalize @ 1024 nodes (s)", 0.3347, col(2).finalize.as_secs_f64(), 0.02);
-    push("Table III", "collection (s, any scale)", 0.3871, col(1).collection.as_secs_f64(), 0.05);
-    push("Table III", "total @ 1024 nodes (s)", 0.7251, col(2).total().as_secs_f64(), 0.05);
+    push(
+        "Table III",
+        "init @ 32 nodes (s)",
+        0.0027,
+        col(0).init.as_secs_f64(),
+        0.05,
+    );
+    push(
+        "Table III",
+        "init @ 1024 nodes (s)",
+        0.0033,
+        col(2).init.as_secs_f64(),
+        0.05,
+    );
+    push(
+        "Table III",
+        "finalize @ 32 nodes (s)",
+        0.1510,
+        col(0).finalize.as_secs_f64(),
+        0.02,
+    );
+    push(
+        "Table III",
+        "finalize @ 512 nodes (s)",
+        0.1550,
+        col(1).finalize.as_secs_f64(),
+        0.02,
+    );
+    push(
+        "Table III",
+        "finalize @ 1024 nodes (s)",
+        0.3347,
+        col(2).finalize.as_secs_f64(),
+        0.02,
+    );
+    push(
+        "Table III",
+        "collection (s, any scale)",
+        0.3871,
+        col(1).collection.as_secs_f64(),
+        0.05,
+    );
+    push(
+        "Table III",
+        "total @ 1024 nodes (s)",
+        0.7251,
+        col(2).total().as_secs_f64(),
+        0.05,
+    );
 
     // Per-query costs.
     for r in tables::cost_comparison() {
@@ -123,20 +165,35 @@ pub fn generate(seed: u64) -> Report {
 
     // Figure 2: collection overhead at 560 ms ≈ 0.19 %.
     let f2 = figures::figure2(seed);
-    push("§II-A", "EMON overhead fraction", 0.0019, f2.overhead_fraction, 0.1);
+    push(
+        "§II-A",
+        "EMON overhead fraction",
+        0.0019,
+        f2.overhead_fraction,
+        0.1,
+    );
     // Figure 2: node-card magnitude ~Figure 1's BPM view × efficiency.
     let card = f2
         .total
         .window_mean(SimTime::from_secs(200), SimTime::from_secs(1_200))
         .unwrap_or(0.0);
-    push("Fig 1/2", "MMPS node card DC power (W)", 1_650.0, card, 0.06);
+    push(
+        "Fig 1/2",
+        "MMPS node card DC power (W)",
+        1_650.0,
+        card,
+        0.06,
+    );
 
     // Figure 3: plateau ~50 W, idle <10 W, dip ~5 W.
     let f3 = figures::figure3(seed);
     let (s3, e3) = f3.job_window;
     let plateau = f3
         .pkg
-        .window_mean(s3 + simkit::SimDuration::from_secs(10), e3 - simkit::SimDuration::from_secs(10))
+        .window_mean(
+            s3 + simkit::SimDuration::from_secs(10),
+            e3 - simkit::SimDuration::from_secs(10),
+        )
         .unwrap_or(0.0);
     push("Fig 3", "GE package plateau (W)", 50.0, plateau, 0.12);
 
@@ -163,7 +220,13 @@ pub fn generate(seed: u64) -> Report {
 
     // Figure 7: offset direction and significance.
     let f7 = figures::figure7(seed);
-    push("Fig 7", "API - daemon offset (W)", 2.0, f7.welch.mean_diff, 0.35);
+    push(
+        "Fig 7",
+        "API - daemon offset (W)",
+        2.0,
+        f7.welch.mean_diff,
+        0.35,
+    );
     push(
         "Fig 7",
         "significant at 0.1% (1=yes)",
@@ -176,7 +239,10 @@ pub fn generate(seed: u64) -> Report {
     let f8 = figures::figure8_with_cards(seed, 16);
     let datagen = f8
         .sum_power
-        .window_mean(SimTime::from_secs(20), f8.datagen_end - simkit::SimDuration::from_secs(10))
+        .window_mean(
+            SimTime::from_secs(20),
+            f8.datagen_end - simkit::SimDuration::from_secs(10),
+        )
         .unwrap_or(1.0);
     let compute8 = f8
         .sum_power
@@ -185,7 +251,13 @@ pub fn generate(seed: u64) -> Report {
             SimTime::from_secs(240),
         )
         .unwrap_or(0.0);
-    push("Fig 8", "compute / datagen power ratio", 1.85, compute8 / datagen, 0.12);
+    push(
+        "Fig 8",
+        "compute / datagen power ratio",
+        1.85,
+        compute8 / datagen,
+        0.12,
+    );
 
     Report { rows }
 }
@@ -209,7 +281,11 @@ mod tests {
                 r.tolerance * 100.0
             );
         }
-        assert!(report.rows.len() >= 18, "report too thin: {}", report.rows.len());
+        assert!(
+            report.rows.len() >= 18,
+            "report too thin: {}",
+            report.rows.len()
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use moneq::backends::BgqBackend;
 use moneq::{MonEq, MonEqConfig, OverheadReport};
 use powermodel::{paper_matrix, CapabilityMatrix, Platform};
 use simkit::{SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Table I, rebuilt from each platform crate's own introspection.
 pub struct Table1 {
@@ -73,11 +73,10 @@ pub fn table3(seed: u64) -> Table3 {
         .iter()
         .map(|&nodes| {
             let agents = nodes / 32;
-            let mut machine =
-                bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
+            let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
             let boards: Vec<usize> = (0..agents).collect();
             machine.assign_job(&boards, &profile);
-            let machine = Rc::new(machine);
+            let machine = Arc::new(machine);
             // All agents behave identically (homogeneous nodes, §III); run
             // one representative session with the collective scale set.
             let session = MonEq::initialize(
@@ -104,9 +103,8 @@ pub fn table3(seed: u64) -> Table3 {
 impl Table3 {
     /// Render in the paper's row layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "TABLE III: Time overhead for MonEQ in seconds on simulated Mira\n\n",
-        );
+        let mut out =
+            String::from("TABLE III: Time overhead for MonEQ in seconds on simulated Mira\n\n");
         out.push_str(&format!("{:<26}", ""));
         for c in &self.columns {
             out.push_str(&format!("{:>14}", format!("{} Nodes", c.nodes)));
@@ -192,9 +190,8 @@ pub fn cost_comparison() -> Vec<CostRow> {
 
 /// Render the cost comparison.
 pub fn render_cost_comparison(rows: &[CostRow]) -> String {
-    let mut out = String::from(
-        "Per-query collection cost and overhead (paper §II measurements)\n\n",
-    );
+    let mut out =
+        String::from("Per-query collection cost and overhead (paper §II measurements)\n\n");
     out.push_str(&format!(
         "{:<24}{:>12}{:>12}{:>12}\n",
         "Mechanism", "per query", "interval", "overhead"

@@ -19,7 +19,6 @@ use powermodel::DemandTrace;
 use rapl_sim::{MsrAccess, SocketModel, SocketSpec};
 use simkit::{NoiseStream, SimTime};
 use std::hint::black_box;
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,7 +32,7 @@ fn bench_access_paths(c: &mut Criterion) {
     {
         let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), DEFAULT_SEED);
         machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
-        let mut backend = BgqBackend::new(Rc::new(machine), 0);
+        let mut backend = BgqBackend::new(Arc::new(machine), 0);
         let mut k = 0u64;
         g.bench_function("bgq_emon", |b| {
             b.iter(|| {
@@ -61,7 +60,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // NVML.
     {
-        let nvml = Rc::new(Nvml::init(
+        let nvml = Arc::new(Nvml::init(
             &[DeviceConfig {
                 spec: GpuSpec::k20(),
                 workload: profile.clone(),
@@ -81,13 +80,13 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // Phi in-band (SCIF round trip per poll).
     {
-        let card = Rc::new(PhiCard::new(
+        let card = Arc::new(PhiCard::new(
             PhiSpec::default(),
             &profile,
             DemandTrace::zero(),
             horizon,
         ));
-        let smc = Rc::new(Smc::new(NoiseStream::new(DEFAULT_SEED)));
+        let smc = Arc::new(Smc::new(NoiseStream::new(DEFAULT_SEED)));
         let mut backend = MicApiBackend::new(card, smc);
         let mut k = 0u64;
         g.bench_function("mic_sysmgmt_inband", |b| {
@@ -100,13 +99,13 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // Phi MICRAS daemon (pseudo-file read + parse per poll).
     {
-        let card = Rc::new(PhiCard::new(
+        let card = Arc::new(PhiCard::new(
             PhiSpec::default(),
             &profile,
             DemandTrace::zero(),
             horizon,
         ));
-        let smc = Rc::new(Smc::new(NoiseStream::new(DEFAULT_SEED)));
+        let smc = Arc::new(Smc::new(NoiseStream::new(DEFAULT_SEED)));
         let mut backend = MicDaemonBackend::new(card, smc, &profile);
         let mut k = 0u64;
         g.bench_function("mic_micras_daemon", |b| {
@@ -119,12 +118,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // Phi out-of-band (IPMB frame encode/decode + SMC read).
     {
-        let card = PhiCard::new(
-            PhiSpec::default(),
-            &profile,
-            DemandTrace::zero(),
-            horizon,
-        );
+        let card = PhiCard::new(PhiSpec::default(), &profile, DemandTrace::zero(), horizon);
         let smc = Smc::new(NoiseStream::new(DEFAULT_SEED));
         let mut bmc = Bmc::new();
         let mut k = 0u64;

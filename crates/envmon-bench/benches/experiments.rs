@@ -60,7 +60,13 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(figures::figure8(DEFAULT_SEED).sum_power.len()))
     });
     g8.bench_function("f8_stampede_sum_16", |b| {
-        b.iter(|| black_box(figures::figure8_with_cards(DEFAULT_SEED, 16).sum_power.len()))
+        b.iter(|| {
+            black_box(
+                figures::figure8_with_cards(DEFAULT_SEED, 16)
+                    .sum_power
+                    .len(),
+            )
+        })
     });
     g8.finish();
 }

@@ -1,0 +1,186 @@
+//! `cluster_sweep` — wall-clock benchmark of the parallel [`ClusterRun`].
+//!
+//! Runs the Table III–style cluster fan-out serially and on the worker
+//! pool at Mira scales — 1,536 node-card agents (the paper's full-system
+//! run), then 16k and 49k node-level agents — and a Figure 8–style
+//! machine-wide sum reduction. Wall-clock times and speedups are written
+//! as JSON (default `BENCH_cluster.json` in the working directory).
+//!
+//! ```text
+//! cluster_sweep [--seed N] [--out FILE] [--workers N] [--quick]
+//! ```
+
+use envmon_bench::DEFAULT_SEED;
+use hpc_workloads::{Channel, WorkloadProfile};
+use moneq::{ClusterResult, ClusterRun};
+use simkit::{SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct SweepRow {
+    agents: usize,
+    virtual_secs: u64,
+    launch_ms: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    records: usize,
+}
+
+fn profile(virtual_secs: u64) -> WorkloadProfile {
+    let mut p = WorkloadProfile::new("sweep", SimDuration::from_secs(virtual_secs));
+    p.set_demand(
+        Channel::Cpu,
+        powermodel::PhaseBuilder::new()
+            .phase(SimDuration::from_secs(virtual_secs), 0.6)
+            .build(),
+    );
+    p
+}
+
+fn drive(
+    seed: u64,
+    agents: usize,
+    virtual_secs: u64,
+    workers: usize,
+    chunk: usize,
+) -> (f64, f64, ClusterResult) {
+    let prof = profile(virtual_secs);
+    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
+    machine.assign_job(&(0..32).collect::<Vec<_>>(), &prof);
+    let machine = Arc::new(machine);
+    let t0 = Instant::now();
+    let mut run = ClusterRun::launch(
+        agents,
+        None,
+        |rank| Box::new(moneq::backends::BgqBackend::new(machine.clone(), rank % 32)),
+        |rank| format!("agent{rank:05}"),
+        SimTime::ZERO,
+    )
+    .with_par_agents(workers)
+    .with_chunk_size(chunk);
+    let launch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let end = SimTime::from_secs(virtual_secs);
+    let t1 = Instant::now();
+    run.run_until(end);
+    let result = run.finalize(end);
+    let drive_ms = t1.elapsed().as_secs_f64() * 1e3;
+    (launch_ms, drive_ms, result)
+}
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut out = std::path::PathBuf::from("BENCH_cluster.json");
+    let mut workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = args.next().map(Into::into).expect("--out FILE"),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N")
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("cluster_sweep: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let chunk = 64;
+    // (agents, virtual seconds): the 1,536-agent row is the paper's full
+    // Mira run at node-card granularity over a longer window; the 16k/49k
+    // rows stress scheduler + memory at node granularity with a short
+    // window so the serial baseline stays measurable.
+    let sweep: &[(usize, u64)] = if quick {
+        &[(256, 4), (1_536, 2)]
+    } else {
+        &[(1_536, 10), (16_384, 2), (49_152, 2)]
+    };
+
+    // Sanity: the parallel path must be indistinguishable from serial.
+    {
+        let (_, _, a) = drive(seed, 64, 4, 1, 1);
+        let (_, _, b) = drive(seed, 64, 4, workers, 5);
+        assert_eq!(a.files, b.files, "parallel diverged from serial");
+        assert_eq!(a.overheads, b.overheads, "ledger diverged");
+    }
+
+    let mut rows = Vec::new();
+    for &(agents, virtual_secs) in sweep {
+        // Discarded warm-up leg: the first run at a given footprint pays
+        // the allocator/page-fault cost, which would otherwise be billed
+        // to whichever leg ran first.
+        drop(drive(seed, agents, virtual_secs, workers, chunk));
+        let (launch_ms, serial_ms, serial) = drive(seed, agents, virtual_secs, 1, chunk);
+        let records: usize = serial.files.iter().map(|f| f.points.len()).sum();
+        drop(serial);
+        let (_, parallel_ms, parallel) = drive(seed, agents, virtual_secs, workers, chunk);
+        assert_eq!(parallel.files.len(), agents);
+        drop(parallel);
+        eprintln!(
+            "agents {agents:>6}  serial {serial_ms:>9.1} ms  parallel {parallel_ms:>9.1} ms  \
+             speedup {:.2}x",
+            serial_ms / parallel_ms
+        );
+        rows.push(SweepRow {
+            agents,
+            virtual_secs,
+            launch_ms,
+            serial_ms,
+            parallel_ms,
+            records,
+        });
+    }
+
+    // Figure 8-style reduction on the first sweep's scale: machine-wide sum
+    // of node-card power across all agents.
+    let (fig8_agents, fig8_secs) = sweep[0];
+    let (_, _, result) = drive(seed, fig8_agents, fig8_secs, workers, chunk);
+    let t = Instant::now();
+    let sum = result.sum_series("nodecard");
+    let reduce_ms = t.elapsed().as_secs_f64() * 1e3;
+    let sum_mean_w = sum.stats().mean();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"cluster_parallel_sweep\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(0)
+    ));
+    json.push_str(&format!("  \"chunk_size\": {chunk},\n"));
+    json.push_str("  \"sweeps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"agents\": {}, \"virtual_secs\": {}, \"records\": {}, \
+             \"launch_ms\": {:.1}, \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.agents,
+            r.virtual_secs,
+            r.records,
+            r.launch_ms,
+            r.serial_ms,
+            r.parallel_ms,
+            r.serial_ms / r.parallel_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"figure8_sum\": {{\"agents\": {fig8_agents}, \"reduce_ms\": {reduce_ms:.1}, \
+         \"sum_mean_w\": {sum_mean_w:.1}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("writable output path");
+    eprintln!("[wrote {}]", out.display());
+}

@@ -25,7 +25,8 @@ fn main() {
             }
             "--out" => {
                 out_dir = Some(std::path::PathBuf::from(
-                    args.next().unwrap_or_else(|| die("--out needs a directory")),
+                    args.next()
+                        .unwrap_or_else(|| die("--out needs a directory")),
                 ));
             }
             "--help" | "-h" => {
@@ -96,7 +97,10 @@ fn main() {
         );
         save("fig2_nodecard_total", &f.total);
         for d in &f.domains {
-            save(&format!("fig2_{}", d.name().replace(' ', "_").to_lowercase()), d);
+            save(
+                &format!("fig2_{}", d.name().replace(' ', "_").to_lowercase()),
+                d,
+            );
         }
     }
     if want("fig3") {
@@ -145,7 +149,11 @@ fn main() {
         );
         println!(
             "statistically significant at 0.1%: {}",
-            if f.welch.significant_at(0.001) { "YES" } else { "NO" }
+            if f.welch.significant_at(0.001) {
+                "YES"
+            } else {
+                "NO"
+            }
         );
     }
     if want("fig8") {
@@ -158,7 +166,10 @@ fn main() {
     }
     if want("overheads") {
         section("PER-QUERY COSTS (paper §II)");
-        print!("{}", tables::render_cost_comparison(&tables::cost_comparison()));
+        print!(
+            "{}",
+            tables::render_cost_comparison(&tables::cost_comparison())
+        );
     }
     if want("report") {
         section("PAPER vs MEASURED — headline numbers, compared programmatically");
@@ -172,27 +183,27 @@ fn main() {
     if want("limitations") {
         section("STATED LIMITATIONS (paper §IV's 'looking forward' ask, implemented)");
         use moneq::EnvBackend;
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
         machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
-        let bgq = moneq::backends::BgqBackend::new(Rc::new(machine), 0);
+        let bgq = moneq::backends::BgqBackend::new(Arc::new(machine), 0);
         let socket = std::sync::Arc::new(rapl_sim::SocketModel::new(
             rapl_sim::SocketSpec::default(),
             &hpc_workloads::GaussianElimination::figure3().profile(),
         ));
         let rapl =
             moneq::backends::RaplBackend::new(socket, rapl_sim::MsrAccess::root(), seed).unwrap();
-        let nvml = moneq::backends::NvmlBackend::new(Rc::new(nvml_sim::Nvml::init(&[], seed)));
+        let nvml = moneq::backends::NvmlBackend::new(Arc::new(nvml_sim::Nvml::init(&[], seed)));
         let profile = hpc_workloads::Noop::figure7().profile();
         let mk_card = || {
-            Rc::new(mic_sim::PhiCard::new(
+            Arc::new(mic_sim::PhiCard::new(
                 mic_sim::PhiSpec::default(),
                 &profile,
                 powermodel::DemandTrace::zero(),
                 simkit::SimTime::from_secs(10),
             ))
         };
-        let smc = || Rc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed)));
+        let smc = || Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed)));
         let mic_api = moneq::backends::MicApiBackend::new(mk_card(), smc());
         let mic_daemon = moneq::backends::MicDaemonBackend::new(mk_card(), smc(), &profile);
         let backends: [&dyn EnvBackend; 5] = [&bgq, &rapl, &nvml, &mic_api, &mic_daemon];
@@ -215,7 +226,10 @@ fn main() {
     }
     if want("ablations") {
         section("ABLATION — RAPL sampling-interval sweep");
-        println!("{:<12}{:>18}{:>14}", "interval", "mean |err| (W)", "beyond wrap");
+        println!(
+            "{:<12}{:>18}{:>14}",
+            "interval", "mean |err| (W)", "beyond wrap"
+        );
         for r in ablations::rapl_interval_sweep(seed) {
             println!(
                 "{:<12}{:>18.3}{:>14}",

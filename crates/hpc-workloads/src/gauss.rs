@@ -101,10 +101,7 @@ impl GaussianElimination {
             let chunk = elim_rows.len().div_ceil(self.threads.max(1));
             if chunk > 0 {
                 crossbeam::scope(|s| {
-                    for (rows, bs) in elim_rows
-                        .chunks_mut(chunk)
-                        .zip(b_elim.chunks_mut(chunk))
-                    {
+                    for (rows, bs) in elim_rows.chunks_mut(chunk).zip(b_elim.chunks_mut(chunk)) {
                         s.spawn(move |_| {
                             for (row, bi) in rows.iter_mut().zip(bs) {
                                 let factor = row[k] / pivot[k];
@@ -133,9 +130,7 @@ impl GaussianElimination {
         let residual = a_orig
             .iter()
             .zip(&b_orig)
-            .map(|(row, bi)| {
-                (row.iter().zip(&x).map(|(aij, xj)| aij * xj).sum::<f64>() - bi).abs()
-            })
+            .map(|(row, bi)| (row.iter().zip(&x).map(|(aij, xj)| aij * xj).sum::<f64>() - bi).abs())
             .fold(0.0f64, f64::max);
         GaussResult {
             flops_per_step,

@@ -44,7 +44,10 @@ impl Mmps {
     /// Run the real kernel: rank pairs ping messages over bounded channels;
     /// the measured rate is returned.
     pub fn run(&self) -> MmpsResult {
-        assert!(self.ranks >= 2 && self.ranks.is_multiple_of(2), "ranks must be an even count >= 2");
+        assert!(
+            self.ranks >= 2 && self.ranks.is_multiple_of(2),
+            "ranks must be an even count >= 2"
+        );
         let pairs = self.ranks / 2;
         let per_rank = self.messages_per_rank;
         let start = std::time::Instant::now();
@@ -85,24 +88,31 @@ impl Mmps {
     /// The MMPS demand profile: saturated interconnect, moderate CPU (the
     /// cores mostly drive message injection), light memory traffic.
     pub fn profile(&self) -> WorkloadProfile {
-        let mut p = WorkloadProfile::new(
-            format!("mmps(ranks={})", self.ranks),
-            self.virtual_runtime,
-        );
+        let mut p =
+            WorkloadProfile::new(format!("mmps(ranks={})", self.ranks), self.virtual_runtime);
         // Short ramp-in while ranks connect, then a steady saturated phase.
         let ramp = self.virtual_runtime.mul_f64(0.02);
         let steady = self.virtual_runtime - ramp;
         p.set_demand(
             Channel::Network,
-            PhaseBuilder::new().phase(ramp, 0.50).phase(steady, 0.95).build(),
+            PhaseBuilder::new()
+                .phase(ramp, 0.50)
+                .phase(steady, 0.95)
+                .build(),
         );
         p.set_demand(
             Channel::Cpu,
-            PhaseBuilder::new().phase(ramp, 0.40).phase(steady, 0.65).build(),
+            PhaseBuilder::new()
+                .phase(ramp, 0.40)
+                .phase(steady, 0.65)
+                .build(),
         );
         p.set_demand(
             Channel::Memory,
-            PhaseBuilder::new().phase(ramp, 0.20).phase(steady, 0.35).build(),
+            PhaseBuilder::new()
+                .phase(ramp, 0.20)
+                .phase(steady, 0.35)
+                .build(),
         );
         p
     }

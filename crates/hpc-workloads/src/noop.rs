@@ -100,11 +100,15 @@ impl FixedRuntime {
         let mut p = WorkloadProfile::new("fixed-runtime-toy", self.virtual_runtime);
         p.set_demand(
             Channel::Cpu,
-            PhaseBuilder::new().phase(self.virtual_runtime, 0.60).build(),
+            PhaseBuilder::new()
+                .phase(self.virtual_runtime, 0.60)
+                .build(),
         );
         p.set_demand(
             Channel::Memory,
-            PhaseBuilder::new().phase(self.virtual_runtime, 0.40).build(),
+            PhaseBuilder::new()
+                .phase(self.virtual_runtime, 0.40)
+                .build(),
         );
         p
     }
@@ -130,7 +134,10 @@ mod tests {
         assert_eq!(acc.level_at(SimTime::from_secs(13)), 0.0);
         // The memory controller carries the same launch-loop level.
         assert!(
-            (p.demand(Channel::AcceleratorMemory).level_at(SimTime::from_secs(1)) - 0.11).abs()
+            (p.demand(Channel::AcceleratorMemory)
+                .level_at(SimTime::from_secs(1))
+                - 0.11)
+                .abs()
                 < 1e-12
         );
         // No host channel is loaded.

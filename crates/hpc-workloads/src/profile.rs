@@ -165,11 +165,15 @@ mod tests {
         });
         let shifted = p.with_lead_in(SimDuration::from_secs(60));
         assert_eq!(
-            shifted.demand(Channel::Cpu).level_at(SimTime::from_secs(30)),
+            shifted
+                .demand(Channel::Cpu)
+                .level_at(SimTime::from_secs(30)),
             0.0
         );
         assert_eq!(
-            shifted.demand(Channel::Cpu).level_at(SimTime::from_secs(65)),
+            shifted
+                .demand(Channel::Cpu)
+                .level_at(SimTime::from_secs(65)),
             1.0
         );
         assert_eq!(shifted.tags[0].start, SimTime::from_secs(62));

@@ -118,7 +118,10 @@ mod tests {
         let p = TaggedLoops::three_loops().profile();
         // During "compute": CPU hot, network silent.
         assert!(p.demand(Channel::Cpu).level_at(SimTime::from_secs(20)) > 0.9);
-        assert_eq!(p.demand(Channel::Network).level_at(SimTime::from_secs(20)), 0.0);
+        assert_eq!(
+            p.demand(Channel::Network).level_at(SimTime::from_secs(20)),
+            0.0
+        );
         // In the gap (t=41s): everything idle.
         assert_eq!(p.demand(Channel::Cpu).level_at(SimTime::from_secs(41)), 0.0);
         // During "exchange": network hot.

@@ -89,10 +89,7 @@ impl VectorAdd {
         let total = self.virtual_runtime;
         let datagen = total.mul_f64(self.datagen_fraction);
         let transfer = total.mul_f64(0.02);
-        let mut p = WorkloadProfile::new(
-            format!("vector-add(n={})", self.elements),
-            total,
-        );
+        let mut p = WorkloadProfile::new(format!("vector-add(n={})", self.elements), total);
         // Host busy generating; GPU has merely been attached (a small launch
         // level that produces Figure 5's gentle early ramp, like the NOOP).
         let mut cpu = DemandTrace::zero();
@@ -145,15 +142,28 @@ mod tests {
         let p = VectorAdd::figure5().profile();
         // t=5s: host generating, GPU nearly idle.
         assert!(p.demand(Channel::Cpu).level_at(SimTime::from_secs(5)) > 0.7);
-        assert!(p.demand(Channel::Accelerator).level_at(SimTime::from_secs(5)) < 0.2);
+        assert!(
+            p.demand(Channel::Accelerator)
+                .level_at(SimTime::from_secs(5))
+                < 0.2
+        );
         // t=50s: GPU computing hard.
-        assert!(p.demand(Channel::Accelerator).level_at(SimTime::from_secs(50)) > 0.9);
-        assert!(p.demand(Channel::AcceleratorMemory).level_at(SimTime::from_secs(50)) > 0.8);
+        assert!(
+            p.demand(Channel::Accelerator)
+                .level_at(SimTime::from_secs(50))
+                > 0.9
+        );
+        assert!(
+            p.demand(Channel::AcceleratorMemory)
+                .level_at(SimTime::from_secs(50))
+                > 0.8
+        );
         // PCIe burst at the hand-off (~10-12 s).
         assert!(p.demand(Channel::Pcie).level_at(SimTime::from_secs(11)) > 0.8);
         // Everything idle after 100 s.
         assert_eq!(
-            p.demand(Channel::Accelerator).level_at(SimTime::from_secs(101)),
+            p.demand(Channel::Accelerator)
+                .level_at(SimTime::from_secs(101)),
             0.0
         );
     }

@@ -1,7 +1,7 @@
 //! Property tests for the instrumented kernels.
 
-use hpc_workloads::{Channel, GaussianElimination, Mmps, TaggedLoops, VectorAdd};
 use hpc_workloads::tagged::LoopSpec;
+use hpc_workloads::{Channel, GaussianElimination, Mmps, TaggedLoops, VectorAdd};
 use proptest::prelude::*;
 use simkit::{SimDuration, SimTime};
 

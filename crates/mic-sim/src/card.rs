@@ -282,6 +282,11 @@ mod tests {
         let e1 = c.total_energy(SimTime::from_secs(10));
         let e2 = c.total_energy(SimTime::from_secs(11));
         let p = c.total_power(SimTime::from_millis(10_500));
-        assert!(((e2 - e1) - p).abs() < 1.0, "1s energy {} vs power {}", e2 - e1, p);
+        assert!(
+            ((e2 - e1) - p).abs() < 1.0,
+            "1s energy {} vs power {}",
+            e2 - e1,
+            p
+        );
     }
 }

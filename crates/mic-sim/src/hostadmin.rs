@@ -254,7 +254,9 @@ mod tests {
         assert_eq!(a.read_log(RasSeverity::Info).len(), 256);
         // Severity filter.
         let corrected = a.read_log(RasSeverity::Corrected);
-        assert!(corrected.iter().all(|e| e.severity >= RasSeverity::Corrected));
+        assert!(corrected
+            .iter()
+            .all(|e| e.severity >= RasSeverity::Corrected));
         assert!(!corrected.is_empty());
         // Oldest entries were evicted.
         assert_eq!(a.read_log(RasSeverity::Info)[0].message, "event 44");

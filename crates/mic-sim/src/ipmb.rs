@@ -212,7 +212,10 @@ mod tests {
         let f = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 1, vec![9]);
         let mut wire = f.encode();
         wire[1] ^= 0xFF;
-        assert_eq!(IpmbFrame::decode(&wire).err(), Some(IpmbError::BadHeaderChecksum));
+        assert_eq!(
+            IpmbFrame::decode(&wire).err(),
+            Some(IpmbError::BadHeaderChecksum)
+        );
         let mut wire2 = f.encode();
         let last = wire2.len() - 2;
         wire2[last] ^= 0x01;
@@ -220,7 +223,10 @@ mod tests {
             IpmbFrame::decode(&wire2).err(),
             Some(IpmbError::BadPayloadChecksum)
         );
-        assert_eq!(IpmbFrame::decode(&[1, 2, 3]).err(), Some(IpmbError::Truncated));
+        assert_eq!(
+            IpmbFrame::decode(&[1, 2, 3]).err(),
+            Some(IpmbError::Truncated)
+        );
     }
 
     #[test]
@@ -252,7 +258,10 @@ mod tests {
         assert!(elapsed > SimDuration::from_millis(2), "elapsed {elapsed:?}");
         // …but slower than in-band? No — cheaper than in-band *and* slower
         // than a local MSR; the key property is it is not charged to the app.
-        assert!(elapsed < SimDuration::from_millis(10), "elapsed {elapsed:?}");
+        assert!(
+            elapsed < SimDuration::from_millis(10),
+            "elapsed {elapsed:?}"
+        );
     }
 
     #[test]
@@ -268,7 +277,8 @@ mod tests {
         let t = SimTime::from_secs(20);
         bmc.query_power(&card, &smc, t).unwrap();
         let s1 = bmc.seq;
-        bmc.query_power(&card, &smc, t + SimDuration::from_secs(1)).unwrap();
+        bmc.query_power(&card, &smc, t + SimDuration::from_secs(1))
+            .unwrap();
         assert_eq!(bmc.seq, s1 + 1);
     }
 

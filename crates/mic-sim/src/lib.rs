@@ -30,16 +30,16 @@
 //! use hpc_workloads::Noop;
 //! use powermodel::DemandTrace;
 //! use simkit::{NoiseStream, SimTime};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let profile = Noop::figure7().profile();
-//! let card = Rc::new(PhiCard::new(
+//! let card = Arc::new(PhiCard::new(
 //!     PhiSpec::default(),
 //!     &profile,
 //!     DemandTrace::zero(),
 //!     SimTime::from_secs(150),
 //! ));
-//! let smc = Rc::new(Smc::new(NoiseStream::new(42)));
+//! let smc = Arc::new(Smc::new(NoiseStream::new(42)));
 //! let daemon = MicrasDaemon::start(card, smc, &profile);
 //! // Collecting is "simply a process of reading the appropriate file and
 //! // parsing the data":
@@ -62,7 +62,7 @@ pub mod vfs;
 
 pub use card::{PhiCard, PhiSpec};
 pub use hostadmin::{EccMode, HostAdmin, PowerMgmtConfig, RasEvent, RasSeverity};
-pub use ipmb::{Bmc, IpmbFrame, IpmbError};
+pub use ipmb::{Bmc, IpmbError, IpmbFrame};
 pub use micras::{MicrasDaemon, PowerFileReading};
 pub use scif::{ScifEndpoint, ScifError, ScifNetwork, ScifPort};
 pub use smc::{Smc, SmcReading};

@@ -20,7 +20,7 @@ use crate::smc::Smc;
 use crate::vfs::{VfsError, VirtFs};
 use hpc_workloads::{Channel, WorkloadProfile};
 use simkit::SimTime;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Path of the power pseudo-file.
 pub const POWER_FILE: &str = "/sys/class/micras/power";
@@ -39,7 +39,7 @@ pub struct MicrasDaemon {
 impl MicrasDaemon {
     /// Start the daemon for `card`/`smc`, exposing the pseudo-files.
     /// `profile` drives the memory-occupancy file.
-    pub fn start(card: Rc<PhiCard>, smc: Rc<Smc>, profile: &WorkloadProfile) -> Self {
+    pub fn start(card: Arc<PhiCard>, smc: Arc<Smc>, profile: &WorkloadProfile) -> Self {
         let mut fs = VirtFs::new();
         let memory_mib = card.spec().memory_mib;
         let accmem = profile.demand(Channel::AcceleratorMemory);
@@ -76,8 +76,7 @@ impl MicrasDaemon {
         });
         fs.register(MEM_FILE, move |t| {
             let total_kib = memory_mib * 1024;
-            let used_kib =
-                (total_kib as f64 * (0.05 + 0.65 * accmem.level_at(t))).round() as u64;
+            let used_kib = (total_kib as f64 * (0.05 + 0.65 * accmem.level_at(t))).round() as u64;
             format!(
                 "total: {} kB\nused: {} kB\nfree: {} kB\n",
                 total_kib,
@@ -162,13 +161,13 @@ mod tests {
 
     fn daemon() -> MicrasDaemon {
         let profile = Noop::figure7().profile();
-        let card = Rc::new(PhiCard::new(
+        let card = Arc::new(PhiCard::new(
             PhiSpec::default(),
             &profile,
             DemandTrace::zero(),
             SimTime::from_secs(200),
         ));
-        let smc = Rc::new(Smc::new(NoiseStream::new(33)));
+        let smc = Arc::new(Smc::new(NoiseStream::new(33)));
         MicrasDaemon::start(card, smc, &profile)
     }
 

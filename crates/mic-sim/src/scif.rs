@@ -249,8 +249,14 @@ mod tests {
             net.listen(1, ScifPort(5)).err(),
             Some(ScifError::PortInUse(ScifPort(5)))
         );
-        assert_eq!(net.connect(0, 9, ScifPort(5)).err(), Some(ScifError::NoSuchNode(9)));
-        assert_eq!(net.connect(9, 1, ScifPort(5)).err(), Some(ScifError::NoSuchNode(9)));
+        assert_eq!(
+            net.connect(0, 9, ScifPort(5)).err(),
+            Some(ScifError::NoSuchNode(9))
+        );
+        assert_eq!(
+            net.connect(9, 1, ScifPort(5)).err(),
+            Some(ScifError::NoSuchNode(9))
+        );
     }
 
     #[test]
@@ -283,9 +289,7 @@ mod tests {
         net.listen(1, ScifPort(2)).unwrap();
         let (h, _) = net.connect(0, 1, ScifPort(2)).unwrap();
         let d_small = net.send(h, b"x", SimTime::ZERO).unwrap();
-        let d_big = net
-            .send(h, &vec![0u8; 6_000_000], SimTime::ZERO)
-            .unwrap();
+        let d_big = net.send(h, &vec![0u8; 6_000_000], SimTime::ZERO).unwrap();
         // 6 MB at 6 GB/s = 1 ms extra.
         let extra = d_big - d_small;
         assert!(

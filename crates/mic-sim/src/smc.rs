@@ -88,7 +88,8 @@ impl Smc {
             let earlier = generation - self.window;
             let raw0 = self.counter.raw(earlier, |at| card.total_energy(at));
             let raw1 = self.counter.raw(generation, |at| card.total_energy(at));
-            self.counter.counts_to_joules(self.counter.delta_counts(raw0, raw1))
+            self.counter
+                .counts_to_joules(self.counter.delta_counts(raw0, raw1))
                 / self.window.as_secs_f64()
         } else {
             card.total_power(generation)
@@ -135,7 +136,10 @@ mod tests {
         let r = smc.read(&card, t);
         let truth = card.total_power(t);
         let read_w = r.total_power_uw as f64 / 1e6;
-        assert!((read_w - truth).abs() < 3.0, "read {read_w} vs truth {truth}");
+        assert!(
+            (read_w - truth).abs() < 3.0,
+            "read {read_w} vs truth {truth}"
+        );
     }
 
     #[test]

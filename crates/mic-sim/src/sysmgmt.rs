@@ -146,7 +146,9 @@ mod tests {
 
     #[test]
     fn constant_matches_breakdown() {
-        let total = HOST_LIB_COST + SimDuration::from_micros(50) + CARD_COLLECT_COST
+        let total = HOST_LIB_COST
+            + SimDuration::from_micros(50)
+            + CARD_COLLECT_COST
             + SimDuration::from_micros(50);
         assert_eq!(total, MIC_API_QUERY_COST);
     }

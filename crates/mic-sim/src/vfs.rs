@@ -29,7 +29,9 @@ impl fmt::Display for VfsError {
 
 impl std::error::Error for VfsError {}
 
-type Generator = Box<dyn Fn(SimTime) -> String>;
+// Send + Sync so a daemon (and any MonEQ session holding one) can move to a
+// worker thread during parallel cluster runs.
+type Generator = Box<dyn Fn(SimTime) -> String + Send + Sync>;
 
 /// The virtual filesystem.
 #[derive(Default)]
@@ -44,7 +46,11 @@ impl VirtFs {
     }
 
     /// Register (or replace) a pseudo-file.
-    pub fn register<F: Fn(SimTime) -> String + 'static>(&mut self, path: &str, gen: F) {
+    pub fn register<F: Fn(SimTime) -> String + Send + Sync + 'static>(
+        &mut self,
+        path: &str,
+        gen: F,
+    ) {
         self.files.insert(path.to_owned(), Box::new(gen));
     }
 
@@ -85,7 +91,9 @@ mod tests {
             format!("{} uW", t.as_nanos())
         });
         fs.register("/sys/class/micras/temp", |_| "50 C".into());
-        let s = fs.read("/sys/class/micras/power", SimTime::from_nanos(7)).unwrap();
+        let s = fs
+            .read("/sys/class/micras/power", SimTime::from_nanos(7))
+            .unwrap();
         assert_eq!(s, "7 uW");
         assert_eq!(fs.list("/sys/class/micras").len(), 2);
         assert_eq!(fs.list("/proc").len(), 0);

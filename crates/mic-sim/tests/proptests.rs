@@ -1,13 +1,11 @@
 //! Property tests for the Xeon Phi model.
 
 use mic_sim::micras::{PowerFileReading, POWER_FILE};
-use mic_sim::{
-    IpmbFrame, MicrasDaemon, PhiCard, PhiSpec, ScifNetwork, ScifPort, Smc,
-};
+use mic_sim::{IpmbFrame, MicrasDaemon, PhiCard, PhiSpec, ScifNetwork, ScifPort, Smc};
 use powermodel::DemandTrace;
 use proptest::prelude::*;
 use simkit::{NoiseStream, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 proptest! {
     #[test]
@@ -80,13 +78,13 @@ proptest! {
             hpc_workloads::Channel::Accelerator,
             powermodel::PhaseBuilder::new().phase(d, level).build_open(),
         );
-        let card = Rc::new(PhiCard::new(
+        let card = Arc::new(PhiCard::new(
             PhiSpec::default(),
             &profile,
             DemandTrace::zero(),
             SimTime::from_secs(200),
         ));
-        let smc = Rc::new(Smc::new(NoiseStream::new(level_permille)));
+        let smc = Arc::new(Smc::new(NoiseStream::new(level_permille)));
         let daemon = MicrasDaemon::start(card, smc, &profile);
         let text = daemon.read_file(POWER_FILE, SimTime::from_secs(t_secs)).unwrap();
         let r = PowerFileReading::parse(&text).expect("rendered file parses");

@@ -40,7 +40,11 @@ impl StatedLimitation {
 }
 
 /// One vendor environmental-data mechanism.
-pub trait EnvBackend {
+///
+/// `Send` is a supertrait so that whole sessions can be moved onto worker
+/// threads: [`crate::ClusterRun`] drives one `MonEq` per simulated rank and
+/// fans them out across a pool for Mira-scale sweeps.
+pub trait EnvBackend: Send {
     /// Short backend name (appears in output-file headers).
     fn name(&self) -> &'static str;
 

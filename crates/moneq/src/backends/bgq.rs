@@ -5,19 +5,19 @@ use crate::reading::DataPoint;
 use bgq_sim::{BgqMachine, DomainReading, EmonApi, EMON_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::{SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// MonEQ's BG/Q backend: "read the individual voltage and current data
 /// points for each of the 7 BG/Q domains" through EMON, for the node card
 /// hosting this agent rank.
 pub struct BgqBackend {
-    machine: Rc<BgqMachine>,
+    machine: Arc<BgqMachine>,
     api: EmonApi,
 }
 
 impl BgqBackend {
     /// Attach to the node card at `board_index` of `machine`.
-    pub fn new(machine: Rc<BgqMachine>, board_index: usize) -> Self {
+    pub fn new(machine: Arc<BgqMachine>, board_index: usize) -> Self {
         BgqBackend {
             machine,
             api: EmonApi::open(board_index),
@@ -104,7 +104,7 @@ mod tests {
     fn polls_seven_domains_with_v_and_a() {
         let mut machine = BgqMachine::new(BgqConfig::default(), 7);
         machine.assign_job(&[0], &Mmps::figure1().profile());
-        let mut b = BgqBackend::new(Rc::new(machine), 0);
+        let mut b = BgqBackend::new(Arc::new(machine), 0);
         let points = b.poll(SimTime::from_secs(100));
         assert_eq!(points.len(), 7);
         for p in &points {
@@ -114,12 +114,15 @@ mod tests {
             assert!((implied - p.watts).abs() < 1e-9);
         }
         let total: f64 = points.iter().map(|p| p.watts).sum();
-        assert!((1_400.0..1_800.0).contains(&total), "MMPS card total {total}");
+        assert!(
+            (1_400.0..1_800.0).contains(&total),
+            "MMPS card total {total}"
+        );
     }
 
     #[test]
     fn costs_match_paper() {
-        let machine = Rc::new(BgqMachine::new(BgqConfig::default(), 7));
+        let machine = Arc::new(BgqMachine::new(BgqConfig::default(), 7));
         let b = BgqBackend::new(machine, 0);
         assert_eq!(b.poll_cost(), SimDuration::from_micros(1_100));
         assert_eq!(b.min_interval(), SimDuration::from_millis(560));

@@ -5,7 +5,7 @@ use crate::reading::DataPoint;
 use mic_sim::{PhiCard, ScifNetwork, Smc, SysMgmtSession, MIC_API_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::{SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// MonEQ's in-band Phi backend. Expensive (≈14.2 ms per poll) and
 /// perturbing (the card's power rises while queries run — Figure 7); the
@@ -15,13 +15,13 @@ use std::rc::Rc;
 pub struct MicApiBackend {
     net: ScifNetwork,
     session: SysMgmtSession,
-    card: Rc<PhiCard>,
-    smc: Rc<Smc>,
+    card: Arc<PhiCard>,
+    smc: Arc<Smc>,
 }
 
 impl MicApiBackend {
     /// Connect to the SysMgmt agent of `card` (SCIF node 1).
-    pub fn new(card: Rc<PhiCard>, smc: Rc<Smc>) -> Self {
+    pub fn new(card: Arc<PhiCard>, smc: Arc<Smc>) -> Self {
         let mut net = ScifNetwork::new(2);
         SysMgmtSession::start_agent(&mut net, 1).expect("fresh fabric");
         let session = SysMgmtSession::connect(&mut net, 1).expect("agent listening");
@@ -102,13 +102,13 @@ mod tests {
     use simkit::NoiseStream;
 
     fn backend(mgmt: DemandTrace) -> MicApiBackend {
-        let card = Rc::new(PhiCard::new(
+        let card = Arc::new(PhiCard::new(
             PhiSpec::default(),
             &Noop::figure7().profile(),
             mgmt,
             SimTime::from_secs(200),
         ));
-        let smc = Rc::new(Smc::new(NoiseStream::new(44)));
+        let smc = Arc::new(Smc::new(NoiseStream::new(44)));
         MicApiBackend::new(card, smc)
     }
 

@@ -7,7 +7,7 @@ use mic_sim::micras::{PowerFileReading, POWER_FILE, TEMP_FILE};
 use mic_sim::{MicrasDaemon, PhiCard, Smc, MIC_DAEMON_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::{SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// MonEQ's daemon-path Phi backend: read `/sys/class/micras/power`, parse,
 /// record. Cheap (≈0.04 ms), but "the data collected by the daemon is only
@@ -16,12 +16,12 @@ use std::rc::Rc;
 /// timeline (contention), not to a host-side thread.
 pub struct MicDaemonBackend {
     daemon: MicrasDaemon,
-    card: Rc<PhiCard>,
+    card: Arc<PhiCard>,
 }
 
 impl MicDaemonBackend {
     /// Start the daemon for `card` and attach.
-    pub fn new(card: Rc<PhiCard>, smc: Rc<Smc>, profile: &WorkloadProfile) -> Self {
+    pub fn new(card: Arc<PhiCard>, smc: Arc<Smc>, profile: &WorkloadProfile) -> Self {
         let daemon = MicrasDaemon::start(card.clone(), smc, profile);
         MicDaemonBackend { daemon, card }
     }
@@ -106,13 +106,13 @@ mod tests {
 
     fn backend() -> MicDaemonBackend {
         let profile = Noop::figure7().profile();
-        let card = Rc::new(PhiCard::new(
+        let card = Arc::new(PhiCard::new(
             PhiSpec::default(),
             &profile,
             DemandTrace::zero(),
             SimTime::from_secs(200),
         ));
-        let smc = Rc::new(Smc::new(NoiseStream::new(55)));
+        let smc = Arc::new(Smc::new(NoiseStream::new(55)));
         MicDaemonBackend::new(card, smc, &profile)
     }
 
@@ -129,8 +129,7 @@ mod tests {
     fn daemon_is_355x_cheaper_than_api() {
         let b = backend();
         assert_eq!(b.poll_cost(), SimDuration::from_micros(40));
-        let ratio = mic_sim::MIC_API_QUERY_COST.as_nanos() as f64
-            / b.poll_cost().as_nanos() as f64;
+        let ratio = mic_sim::MIC_API_QUERY_COST.as_nanos() as f64 / b.poll_cost().as_nanos() as f64;
         assert!((ratio - 355.0).abs() < 1.0, "ratio {ratio}");
     }
 

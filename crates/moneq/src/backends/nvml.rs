@@ -5,14 +5,14 @@ use crate::reading::DataPoint;
 use nvml_sim::{Nvml, NVML_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::{SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// MonEQ's NVML backend. "If a system has both a NVIDIA GPU as well as an
 /// Intel Xeon Phi, profiling is possible for both of these devices at the
 /// same time" — the session just attaches both backends; within this one,
 /// every enumerated GPU is polled and reported individually.
 pub struct NvmlBackend {
-    nvml: Rc<Nvml>,
+    nvml: Arc<Nvml>,
     /// Boards that returned `NotSupported` for power (pre-Kepler), skipped
     /// but counted.
     pub unsupported_devices: usize,
@@ -25,7 +25,7 @@ pub struct NvmlBackend {
 
 impl NvmlBackend {
     /// Attach to an initialized NVML library handle (point reads per poll).
-    pub fn new(nvml: Rc<Nvml>) -> Self {
+    pub fn new(nvml: Arc<Nvml>) -> Self {
         NvmlBackend {
             nvml,
             unsupported_devices: 0,
@@ -35,7 +35,7 @@ impl NvmlBackend {
     }
 
     /// Attach in sample-buffer mode: polls drain the 60 ms ring.
-    pub fn with_sample_buffer(nvml: Rc<Nvml>) -> Self {
+    pub fn with_sample_buffer(nvml: Arc<Nvml>) -> Self {
         NvmlBackend {
             use_sample_buffer: true,
             ..Self::new(nvml)
@@ -120,7 +120,10 @@ impl EnvBackend for NvmlBackend {
                 "power is reported for the entire board including memory; \
                  there is no per-rail breakdown to request",
             ),
-            L::new("accuracy", "reported accuracy is +/-5 W, refreshed ~every 60 ms"),
+            L::new(
+                "accuracy",
+                "reported accuracy is +/-5 W, refreshed ~every 60 ms",
+            ),
             L::new(
                 "support",
                 "only Kepler boards (K20/K40) expose power; older boards \
@@ -141,8 +144,8 @@ mod tests {
     use hpc_workloads::{Noop, VectorAdd};
     use nvml_sim::{DeviceConfig, GpuSpec};
 
-    fn nvml_two_boards() -> Rc<Nvml> {
-        Rc::new(Nvml::init(
+    fn nvml_two_boards() -> Arc<Nvml> {
+        Arc::new(Nvml::init(
             &[
                 DeviceConfig {
                     spec: GpuSpec::k20(),
@@ -172,7 +175,7 @@ mod tests {
 
     #[test]
     fn sample_buffer_mode_captures_every_refresh() {
-        let nvml = Rc::new(Nvml::init(
+        let nvml = Arc::new(Nvml::init(
             &[DeviceConfig {
                 spec: GpuSpec::k20(),
                 workload: Noop::figure7().profile(),

@@ -147,7 +147,10 @@ mod tests {
             .find(|p| p.domain.contains("Package"))
             .unwrap();
         assert!((40.0..55.0).contains(&pkg.watts), "pkg {}", pkg.watts);
-        let pp1 = points.iter().find(|p| p.domain.contains("Plane 1")).unwrap();
+        let pp1 = points
+            .iter()
+            .find(|p| p.domain.contains("Plane 1"))
+            .unwrap();
         assert!(pp1.watts < 1.0, "iGPU plane should be idle");
     }
 
@@ -157,7 +160,9 @@ mod tests {
             SocketSpec::default(),
             &GaussianElimination::figure3().profile(),
         ));
-        let err = RaplBackend::new(socket, MsrAccess::user(), 3).err().unwrap();
+        let err = RaplBackend::new(socket, MsrAccess::user(), 3)
+            .err()
+            .unwrap();
         assert!(err.contains("permission denied"), "{err}");
     }
 

@@ -10,12 +10,31 @@
 use crate::backend::EnvBackend;
 use crate::output::OutputFile;
 use crate::overhead::OverheadReport;
-use crate::session::{MonEq, MonEqConfig};
+use crate::session::{FinalizeResult, MonEq, MonEqConfig};
 use simkit::{SimDuration, SimTime, TimeSeries};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of consecutive ranks dispatched to a worker as one unit.
+///
+/// Chunking amortizes the per-dispatch synchronization over many cheap
+/// sessions; at Mira scale (49,152 nodes = 1,536 node-card agents) a worker
+/// grabs a batch of ranks at a time instead of contending per rank.
+pub const DEFAULT_CHUNK_SIZE: usize = 32;
 
 /// A whole-machine profiling run.
+///
+/// Sessions never interact — every rank polls its own node's hardware — so
+/// the fan-out is embarrassingly parallel. With [`with_par_agents`] above 1,
+/// `run_until` and `finalize` drive the sessions on a scoped worker pool;
+/// results are still gathered in rank order, so a parallel run produces a
+/// [`ClusterResult`] identical to a serial run of the same seed and agents.
+///
+/// [`with_par_agents`]: ClusterRun::with_par_agents
 pub struct ClusterRun {
     sessions: Vec<MonEq>,
+    par_agents: usize,
+    chunk_size: usize,
 }
 
 /// The gathered result of a cluster run.
@@ -60,7 +79,31 @@ impl ClusterRun {
                 )
             })
             .collect();
-        ClusterRun { sessions }
+        ClusterRun {
+            sessions,
+            par_agents: 1,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Set the worker-pool width for `run_until`/`finalize`. `1` (the
+    /// default) keeps the run fully serial on the calling thread.
+    pub fn with_par_agents(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker required");
+        self.par_agents = workers;
+        self
+    }
+
+    /// Set how many consecutive ranks a worker claims per dispatch.
+    pub fn with_chunk_size(mut self, ranks: usize) -> Self {
+        assert!(ranks >= 1, "chunk size must be positive");
+        self.chunk_size = ranks;
+        self
+    }
+
+    /// The configured worker-pool width.
+    pub fn par_agents(&self) -> usize {
+        self.par_agents
     }
 
     /// Number of agent ranks.
@@ -69,10 +112,36 @@ impl ClusterRun {
     }
 
     /// Advance every rank's timer to `until`.
+    ///
+    /// With `par_agents > 1` the sessions advance concurrently on a scoped
+    /// worker pool; each session still observes exactly the serial event
+    /// sequence, because no state is shared between ranks.
     pub fn run_until(&mut self, until: SimTime) {
-        for s in &mut self.sessions {
-            s.run_until(until);
+        if self.par_agents <= 1 || self.sessions.len() <= 1 {
+            for s in &mut self.sessions {
+                s.run_until(until);
+            }
+            return;
         }
+        let chunks: Vec<Mutex<&mut [MonEq]>> = self
+            .sessions
+            .chunks_mut(self.chunk_size)
+            .map(Mutex::new)
+            .collect();
+        let workers = self.par_agents.min(chunks.len());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk) = chunks.get(i) else { break };
+                    // Uncontended: each index is claimed exactly once.
+                    for s in chunk.lock().unwrap().iter_mut() {
+                        s.run_until(until);
+                    }
+                });
+            }
+        });
     }
 
     /// Tag a section on every rank (collective tags, the common usage).
@@ -90,12 +159,52 @@ impl ClusterRun {
     }
 
     /// Finalize every rank and gather the files.
+    ///
+    /// Finalization runs on the same worker pool as `run_until` when
+    /// `par_agents > 1`, but files and overheads are always reduced in rank
+    /// order, so the result is byte-identical to a serial finalize.
     pub fn finalize(self, now: SimTime) -> ClusterResult {
-        let mut files = Vec::with_capacity(self.sessions.len());
-        let mut overheads = Vec::with_capacity(self.sessions.len());
+        let n = self.sessions.len();
+        let results: Vec<FinalizeResult> = if self.par_agents <= 1 || n <= 1 {
+            self.sessions.into_iter().map(|s| s.finalize(now)).collect()
+        } else {
+            // One slot per chunk of consecutive ranks: workers claim chunk
+            // indices and finalize their sessions; gathering walks the
+            // chunks in order afterwards, preserving rank order.
+            let mut it = self.sessions.into_iter();
+            let mut slots: Vec<Mutex<(Vec<MonEq>, Vec<FinalizeResult>)>> = Vec::new();
+            loop {
+                let chunk: Vec<MonEq> = it.by_ref().take(self.chunk_size).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                slots.push(Mutex::new((chunk, Vec::new())));
+            }
+            let workers = self.par_agents.min(slots.len());
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(i) else { break };
+                        let mut guard = slot.lock().unwrap();
+                        let (sessions, results) = &mut *guard;
+                        results.reserve_exact(sessions.len());
+                        for s in sessions.drain(..) {
+                            results.push(s.finalize(now));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .flat_map(|slot| slot.into_inner().unwrap().1)
+                .collect()
+        };
+        let mut files = Vec::with_capacity(n);
+        let mut overheads = Vec::with_capacity(n);
         let mut dropped = 0;
-        for s in self.sessions {
-            let r = s.finalize(now);
+        for r in results {
             files.push(r.file);
             overheads.push(r.overhead);
             dropped += r.dropped_records;
@@ -110,24 +219,20 @@ impl ClusterRun {
 
 impl ClusterResult {
     /// Per-agent power series for one device/domain pair (summing the
-    /// watts of matching records per poll).
+    /// watts of matching records per poll timestamp).
+    ///
+    /// Records are grouped by timestamp wherever they appear in the file —
+    /// a backend that interleaves devices within a poll, or reports a late
+    /// generation out of order, still contributes to the right instant.
     pub fn agent_series(&self, rank: usize, device: &str) -> TimeSeries {
         let file = &self.files[rank];
-        let mut out = TimeSeries::new(format!("rank{rank} {device}"));
-        let mut acc = 0.0;
-        let mut current: Option<SimTime> = None;
+        let mut sums: std::collections::BTreeMap<SimTime, f64> = std::collections::BTreeMap::new();
         for p in file.points.iter().filter(|p| p.device == device) {
-            if current != Some(p.timestamp) {
-                if let Some(t) = current {
-                    out.push(t, acc);
-                }
-                current = Some(p.timestamp);
-                acc = 0.0;
-            }
-            acc += p.watts;
+            *sums.entry(p.timestamp).or_insert(0.0) += p.watts;
         }
-        if let Some(t) = current {
-            out.push(t, acc);
+        let mut out = TimeSeries::new(format!("rank{rank} {device}"));
+        for (t, watts) in sums {
+            out.push(t, watts);
         }
         out
     }
@@ -253,6 +358,63 @@ mod tests {
             assert_eq!(&back, f);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let drive = |run: &mut ClusterRun| {
+            run.run_until(SimTime::from_secs(1));
+            run.start_tag_all("phase", SimTime::from_secs(1));
+            run.run_until(SimTime::from_secs(2));
+            run.end_tag_all("phase", SimTime::from_secs(2));
+        };
+        let mut serial = launch(13);
+        drive(&mut serial);
+        let serial = serial.finalize(SimTime::from_secs(3));
+        // Chunk size 3 over 13 agents: last chunk is ragged on purpose.
+        let mut parallel = launch(13).with_par_agents(4).with_chunk_size(3);
+        assert_eq!(parallel.par_agents(), 4);
+        drive(&mut parallel);
+        let parallel = parallel.finalize(SimTime::from_secs(3));
+        assert_eq!(serial.files, parallel.files);
+        assert_eq!(serial.overheads, parallel.overheads);
+        assert_eq!(serial.dropped_records, parallel.dropped_records);
+    }
+
+    #[test]
+    fn agent_series_groups_noncontiguous_timestamps() {
+        // Two devices interleaved within each poll: records for "a" at the
+        // same timestamp are separated by a "b" record, and one "a" record
+        // arrives out of order (a late generation). All must be summed into
+        // their own timestamps.
+        let t1 = SimTime::from_millis(100);
+        let t2 = SimTime::from_millis(200);
+        let file = OutputFile {
+            rank: 0,
+            agent: "node0".into(),
+            backends: vec!["fake".into()],
+            interval_ns: 100_000_000,
+            points: vec![
+                DataPoint::power(t1, "a", "d", 10.0),
+                DataPoint::power(t1, "b", "d", 1.0),
+                DataPoint::power(t1, "a", "d", 5.0),
+                DataPoint::power(t2, "a", "d", 20.0),
+                DataPoint::power(t1, "a", "d", 2.0), // late, out of order
+            ],
+            tags: vec![],
+        };
+        let result = ClusterResult {
+            files: vec![file],
+            overheads: vec![OverheadReport::default()],
+            dropped_records: 0,
+        };
+        let series = result.agent_series(0, "a");
+        let samples = series.samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].at, t1);
+        assert!((samples[0].value - 17.0).abs() < 1e-12);
+        assert_eq!(samples[1].at, t2);
+        assert!((samples[1].value - 20.0).abs() < 1e-12);
     }
 
     #[test]

@@ -49,9 +49,13 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+// Values render through f64's shortest-round-trip `Display`, so
+// `parse(render(f)) == f` exactly — no `{:.6}` truncation. A lone `-` still
+// means "absent": `Display` never renders a bare minus, so it stays
+// unambiguous.
 fn opt(v: Option<f64>) -> String {
     match v {
-        Some(x) => format!("{x:.6}"),
+        Some(x) => format!("{x}"),
         None => "-".to_owned(),
     }
 }
@@ -64,10 +68,67 @@ fn parse_opt(s: &str) -> Result<Option<f64>, String> {
     }
 }
 
+/// Escape a label for the tab-separated format: backslash, tab, newline,
+/// carriage return, and comma (the backends-header separator) get
+/// backslash sequences. Device, domain, tag, agent, and backend names all
+/// pass through this, so hostile names can never corrupt framing.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ',' => out.push_str("\\c"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; rejects unknown or dangling escapes.
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('c') => out.push(','),
+            Some(other) => return Err(format!("unknown escape \\{other}")),
+            None => return Err("dangling escape at end of field".to_owned()),
+        }
+    }
+    Ok(out)
+}
+
 impl OutputFile {
     /// The conventional file name for this agent's output.
+    ///
+    /// The agent component is sanitized to `[A-Za-z0-9._-]` (anything else
+    /// becomes `_`), so separators, control characters, or `/` in an agent
+    /// name cannot produce a hostile path. The `# agent:` header keeps the
+    /// exact name.
     pub fn file_name(&self) -> String {
-        format!("moneq-rank{:05}-{}.dat", self.rank, self.agent)
+        let safe: String = self
+            .agent
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("moneq-rank{:05}-{}.dat", self.rank, safe)
     }
 
     /// Write to `dir` using [`OutputFile::file_name`]; returns the path.
@@ -91,16 +152,24 @@ impl OutputFile {
         let mut out = String::new();
         let _ = writeln!(out, "# {FORMAT_VERSION}");
         let _ = writeln!(out, "# rank: {}", self.rank);
-        let _ = writeln!(out, "# agent: {}", self.agent);
-        let _ = writeln!(out, "# backends: {}", self.backends.join(","));
+        let _ = writeln!(out, "# agent: {}", escape(&self.agent));
+        let _ = writeln!(
+            out,
+            "# backends: {}",
+            self.backends
+                .iter()
+                .map(|b| escape(b))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         let _ = writeln!(out, "# interval_ns: {}", self.interval_ns);
         for p in &self.points {
             let _ = writeln!(
                 out,
-                "{}\t{}\t{}\t{:.6}\t{}\t{}\t{}",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 p.timestamp.as_nanos(),
-                p.device,
-                p.domain,
+                escape(&p.device),
+                escape(&p.domain),
                 p.watts,
                 opt(p.volts),
                 opt(p.amps),
@@ -111,7 +180,7 @@ impl OutputFile {
             let _ = writeln!(
                 out,
                 "TAG\t{}\t{}\t{}",
-                t.label,
+                escape(&t.label),
                 t.kind.marker(),
                 t.at.as_nanos()
             );
@@ -145,9 +214,13 @@ impl OutputFile {
                 if let Some(v) = rest.strip_prefix("rank: ") {
                     rank = Some(v.parse().map_err(|_| err(ln, "bad rank"))?);
                 } else if let Some(v) = rest.strip_prefix("agent: ") {
-                    agent = Some(v.to_owned());
+                    agent = Some(unescape(v).map_err(|m| err(ln, &m))?);
                 } else if let Some(v) = rest.strip_prefix("backends: ") {
-                    backends = Some(v.split(',').map(str::to_owned).collect());
+                    backends = Some(
+                        v.split(',')
+                            .map(|b| unescape(b).map_err(|m| err(ln, &m)))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
                 } else if let Some(v) = rest.strip_prefix("interval_ns: ") {
                     interval_ns = Some(v.parse().map_err(|_| err(ln, "bad interval"))?);
                 }
@@ -164,10 +237,12 @@ impl OutputFile {
                     _ => return Err(err(ln, "TAG kind must be START or END")),
                 };
                 tags.push(TagEvent {
-                    label: fields[1].to_owned(),
+                    label: unescape(fields[1]).map_err(|m| err(ln, &m))?,
                     kind,
                     at: SimTime::from_nanos(
-                        fields[3].parse().map_err(|_| err(ln, "bad tag timestamp"))?,
+                        fields[3]
+                            .parse()
+                            .map_err(|_| err(ln, "bad tag timestamp"))?,
                     ),
                 });
                 continue;
@@ -179,8 +254,8 @@ impl OutputFile {
                 timestamp: SimTime::from_nanos(
                     fields[0].parse().map_err(|_| err(ln, "bad timestamp"))?,
                 ),
-                device: fields[1].to_owned(),
-                domain: fields[2].to_owned(),
+                device: unescape(fields[1]).map_err(|m| err(ln, &m))?,
+                domain: unescape(fields[2]).map_err(|m| err(ln, &m))?,
                 watts: fields[3].parse().map_err(|_| err(ln, "bad watts"))?,
                 volts: parse_opt(fields[4]).map_err(|m| err(ln, &m))?,
                 amps: parse_opt(fields[5]).map_err(|m| err(ln, &m))?,
@@ -263,9 +338,11 @@ mod tests {
         assert!(OutputFile::parse("").is_err());
         assert!(OutputFile::parse("garbage").is_err());
         let mut text = sample_file().render();
-        text = text.replace("700.250000", "not-a-number");
+        text = text.replace("700.25", "not-a-number");
         assert!(OutputFile::parse(&text).is_err());
-        let truncated = sample_file().render().replace("TAG\tloop1\tSTART", "TAG\tloop1");
+        let truncated = sample_file()
+            .render()
+            .replace("TAG\tloop1\tSTART", "TAG\tloop1");
         assert!(OutputFile::parse(&truncated).is_err());
     }
 
@@ -302,5 +379,60 @@ mod tests {
         // The DRAM record has no volts/amps/temp.
         let dram_line = text.lines().find(|l| l.contains("DRAM")).unwrap();
         assert!(dram_line.ends_with("-\t-\t-"));
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        let mut f = sample_file();
+        // Values with no finite decimal representation.
+        f.points[0].watts = 0.1 + 0.2;
+        f.points[0].volts = Some(1.0 / 3.0);
+        f.points[0].amps = Some(f64::MIN_POSITIVE);
+        f.points[0].temp_c = Some(-1.234_567_890_123_456_7e-300);
+        let back = OutputFile::parse(&f.render()).unwrap();
+        assert_eq!(back.points[0].watts.to_bits(), f.points[0].watts.to_bits());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn hostile_labels_roundtrip_without_corrupting_framing() {
+        let mut f = sample_file();
+        f.agent = "node\t0\nwith\\evil\rname".into();
+        f.backends = vec!["bgq,emon".into(), "tab\tbackend".into()];
+        f.points[0].device = "dev\tice".into();
+        f.points[0].domain = "dom\nain".into();
+        f.tags[0].label = "loop\t1".into();
+        f.tags[1].label = "loop\t1".into();
+        let text = f.render();
+        let back = OutputFile::parse(&text).unwrap();
+        assert_eq!(back, f);
+        // Every record line still frames as exactly 7 tab-separated fields.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let n = line.split('\t').count();
+            assert!(n == 7 || (line.starts_with("TAG\t") && n == 4), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_or_dangling_escape_rejected() {
+        let good = sample_file().render();
+        let bad = good.replace("nodecard", "node\\xcard");
+        assert!(OutputFile::parse(&bad).is_err());
+        let dangling = good.replace("# agent: R00-M0-N04", "# agent: R00-M0-N04\\");
+        assert!(OutputFile::parse(&dangling).is_err());
+    }
+
+    #[test]
+    fn file_name_sanitizes_hostile_agent_names() {
+        let mut f = sample_file();
+        f.agent = "../../etc/passwd\tx".into();
+        assert_eq!(f.file_name(), "moneq-rank00003-.._.._etc_passwd_x.dat");
+        let dir = std::env::temp_dir().join(format!("moneq-hostile-{}", std::process::id()));
+        let path = f.write_to(&dir).expect("writable temp dir");
+        assert!(path.starts_with(&dir), "write must stay inside dir");
+        // The header preserves the exact (escaped) name.
+        let back = OutputFile::from_path(&path).expect("readable");
+        assert_eq!(back.agent, f.agent);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

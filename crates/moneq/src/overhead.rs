@@ -46,7 +46,7 @@ pub fn finalize_time(agents: usize) -> SimDuration {
 }
 
 /// Per-run overhead summary (one Table III column).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct OverheadReport {
     /// Application runtime (virtual).
     pub app_runtime: SimDuration,

@@ -112,7 +112,12 @@ impl MonEq {
         MonEq {
             rank,
             backends,
-            data: Vec::with_capacity(config.max_samples.min(1 << 22)),
+            // Capped initial reservation: at cluster scale (tens of
+            // thousands of ranks in one process) preallocating the full
+            // max_samples per rank would exhaust memory before a single
+            // poll. The array still grows up to max_samples; only the
+            // up-front reservation is bounded.
+            data: Vec::with_capacity(config.max_samples.min(1 << 10)),
             tags: Vec::new(),
             dropped: 0,
             timer,
@@ -319,8 +324,8 @@ mod tests {
         );
         // ~1% *collection* overhead at a 100 ms interval with a 1 ms poll
         // cost (total() also carries the init/finalize one-time costs).
-        let collection_frac = result.overhead.collection.as_secs_f64()
-            / result.overhead.app_runtime.as_secs_f64();
+        let collection_frac =
+            result.overhead.collection.as_secs_f64() / result.overhead.app_runtime.as_secs_f64();
         assert!((collection_frac - 0.010).abs() < 0.002, "{collection_frac}");
     }
 

@@ -116,8 +116,14 @@ mod tests {
             ev("x", TagKind::End, 4),
         ];
         let spans = pair_tags(&events).unwrap();
-        assert_eq!(spans[0], ("x".into(), SimTime::from_secs(1), SimTime::from_secs(4)));
-        assert_eq!(spans[1], ("x".into(), SimTime::from_secs(2), SimTime::from_secs(3)));
+        assert_eq!(
+            spans[0],
+            ("x".into(), SimTime::from_secs(1), SimTime::from_secs(4))
+        );
+        assert_eq!(
+            spans[1],
+            ("x".into(), SimTime::from_secs(2), SimTime::from_secs(3))
+        );
     }
 
     #[test]

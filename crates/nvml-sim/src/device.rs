@@ -138,8 +138,8 @@ impl Device {
 
     /// Current performance state.
     pub fn performance_state(&self, t: SimTime) -> Result<PState, NvmlError> {
-        let active = self.accel_demand.level_at(t) > 0.05
-            || self.accelmem_demand.level_at(t) > 0.05;
+        let active =
+            self.accel_demand.level_at(t) > 0.05 || self.accelmem_demand.level_at(t) > 0.05;
         Ok(if active { PState::P0 } else { PState::P8 })
     }
 
@@ -249,7 +249,9 @@ impl Nvml {
 
     /// `nvmlDeviceGetHandleByIndex`.
     pub fn device_by_index(&self, index: usize) -> Result<&Device, NvmlError> {
-        self.devices.get(index).ok_or(NvmlError::InvalidIndex(index))
+        self.devices
+            .get(index)
+            .ok_or(NvmlError::InvalidIndex(index))
     }
 
     /// `nvmlShutdown`: release the library (consumes the handle; further
@@ -310,7 +312,10 @@ mod tests {
         let early = f64::from(d.power_usage(SimTime::from_millis(1_200)).unwrap()) / 1e3;
         let settled = f64::from(d.power_usage(SimTime::from_secs(11)).unwrap()) / 1e3;
         assert!((38.0..50.0).contains(&idle), "idle {idle}");
-        assert!(early < settled - 3.0, "no ramp: early {early}, settled {settled}");
+        assert!(
+            early < settled - 3.0,
+            "no ramp: early {early}, settled {settled}"
+        );
         assert!((50.0..60.0).contains(&settled), "settled {settled}");
     }
 
@@ -349,7 +354,9 @@ mod tests {
             let t = SimTime::from_millis(2_000 + k * 60);
             let reported = f64::from(d.power_usage(t).unwrap()) / 1e3;
             // Compare against the truth of the observed generation.
-            let err = (reported - d.true_power(t.grid_floor(SimTime::ZERO, SimDuration::from_millis(60)))).abs();
+            let err = (reported
+                - d.true_power(t.grid_floor(SimTime::ZERO, SimDuration::from_millis(60))))
+            .abs();
             worst = worst.max(err);
         }
         assert!(worst < 9.0, "error {worst} beyond spec");
@@ -364,10 +371,7 @@ mod tests {
         let during = d.memory_info(SimTime::from_secs(60)).unwrap();
         assert!(during.used_bytes > before.used_bytes);
         assert_eq!(before.total_bytes, 5 * 1024 * 1024 * 1024);
-        assert_eq!(
-            during.total_bytes,
-            during.used_bytes + during.free_bytes
-        );
+        assert_eq!(during.total_bytes, during.used_bytes + during.free_bytes);
     }
 
     #[test]
@@ -375,14 +379,28 @@ mod tests {
         let nvml = nvml_with(VectorAdd::figure5().profile(), GpuSpec::k20());
         let d = nvml.device_by_index(0).unwrap();
         // Compute phase: P0 at 706 MHz.
-        assert_eq!(d.performance_state(SimTime::from_secs(60)).unwrap(), PState::P0);
-        assert_eq!(d.clock_info(ClockType::Sm, SimTime::from_secs(60)).unwrap(), 706);
+        assert_eq!(
+            d.performance_state(SimTime::from_secs(60)).unwrap(),
+            PState::P0
+        );
+        assert_eq!(
+            d.clock_info(ClockType::Sm, SimTime::from_secs(60)).unwrap(),
+            706
+        );
         // After the workload: P8 at 324 MHz.
-        assert_eq!(d.performance_state(SimTime::from_secs(120)).unwrap(), PState::P8);
-        assert_eq!(d.clock_info(ClockType::Sm, SimTime::from_secs(120)).unwrap(), 324);
+        assert_eq!(
+            d.performance_state(SimTime::from_secs(120)).unwrap(),
+            PState::P8
+        );
+        assert_eq!(
+            d.clock_info(ClockType::Sm, SimTime::from_secs(120))
+                .unwrap(),
+            324
+        );
         // Memory clock is constant.
         assert_eq!(
-            d.clock_info(ClockType::Memory, SimTime::from_secs(60)).unwrap(),
+            d.clock_info(ClockType::Memory, SimTime::from_secs(60))
+                .unwrap(),
             2_600
         );
     }

@@ -100,11 +100,7 @@ impl DemandTrace {
     /// the job starts).
     pub fn shifted(&self, offset: SimDuration) -> DemandTrace {
         DemandTrace {
-            points: self
-                .points
-                .iter()
-                .map(|&(t, v)| (t + offset, v))
-                .collect(),
+            points: self.points.iter().map(|&(t, v)| (t + offset, v)).collect(),
         }
     }
 

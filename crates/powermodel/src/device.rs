@@ -96,11 +96,7 @@ impl DevicePower {
     }
 
     /// Convenience: a single-component device.
-    pub fn single(
-        name: impl Into<String>,
-        component: ComponentSpec,
-        demand: &DemandTrace,
-    ) -> Self {
+    pub fn single(name: impl Into<String>, component: ComponentSpec, demand: &DemandTrace) -> Self {
         DevicePower::new(
             DeviceSpec {
                 name: name.into(),

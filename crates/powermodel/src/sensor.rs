@@ -99,8 +99,7 @@ impl ScalarSensor {
     /// plus a per-slot uniform jitter in `[-jitter, +jitter]` (clamped so
     /// generation 0 never precedes the anchor).
     fn slot_generation_time(&self, k: u64) -> SimTime {
-        let slot_start = self.spec.anchor
-            + self.spec.update_period.saturating_mul(k);
+        let slot_start = self.spec.anchor + self.spec.update_period.saturating_mul(k);
         if self.spec.jitter.is_zero() || k == 0 {
             // Generation 0 is pinned to the anchor so the sensor always has
             // a value to report from the first query onward.
@@ -166,10 +165,7 @@ mod tests {
 
     #[test]
     fn ideal_sensor_tracks_grid_floor() {
-        let s = ScalarSensor::new(
-            SensorSpec::ideal(SimDuration::from_millis(60)),
-            noise(),
-        );
+        let s = ScalarSensor::new(SensorSpec::ideal(SimDuration::from_millis(60)), noise());
         // truth(t) = t in ms
         let truth = |t: SimTime| t.as_nanos() as f64 / 1e6;
         assert_eq!(s.observe(SimTime::from_millis(0), truth), 0.0);
@@ -224,10 +220,7 @@ mod tests {
     fn jittered_generations_are_causal_and_fresh() {
         let period = SimDuration::from_millis(10);
         let jitter = SimDuration::from_millis(3);
-        let s = ScalarSensor::new(
-            SensorSpec::ideal(period).with_jitter(jitter),
-            noise(),
-        );
+        let s = ScalarSensor::new(SensorSpec::ideal(period).with_jitter(jitter), noise());
         for q in 0..2_000u64 {
             let t = SimTime::from_micros(q * 137 + 1); // irregular query times
             let g = s.generation_time(t);
@@ -254,7 +247,9 @@ mod tests {
         // generations have not been produced yet, so the observed generation
         // time differs from the nominal grid for some slots.
         let moved = (1..100u64)
-            .filter(|&k| s.generation_time(SimTime::from_millis(k * 10)) != SimTime::from_millis(k * 10))
+            .filter(|&k| {
+                s.generation_time(SimTime::from_millis(k * 10)) != SimTime::from_millis(k * 10)
+            })
             .count();
         assert!(moved > 10, "jitter had no visible effect ({moved} moved)");
     }

@@ -48,13 +48,12 @@ impl ThermalTrace {
     /// per-step relaxation `T += (T_target - T)(1 - e^{-dt/tau})` with the
     /// power held at its step-midpoint value, which is second-order accurate
     /// and unconditionally stable.
-    pub fn simulate<F: Fn(SimTime) -> f64>(
-        spec: ThermalSpec,
-        horizon: SimTime,
-        power: F,
-    ) -> Self {
+    pub fn simulate<F: Fn(SimTime) -> f64>(spec: ThermalSpec, horizon: SimTime, power: F) -> Self {
         assert!(!spec.step.is_zero(), "integration step must be positive");
-        assert!(!spec.tau.is_zero(), "thermal time constant must be positive");
+        assert!(
+            !spec.tau.is_zero(),
+            "thermal time constant must be positive"
+        );
         assert!(spec.r_c_per_w >= 0.0);
         let steps = horizon.as_nanos() / spec.step.as_nanos() + 1;
         let alpha = 1.0 - (-(spec.step.as_secs_f64() / spec.tau.as_secs_f64())).exp();
@@ -144,7 +143,10 @@ mod tests {
         // After one tau: 63.2% of the 25-degree rise.
         let t_tau = tr.temp_at(SimTime::from_secs(20));
         let expected = 30.0 + 25.0 * (1.0 - (-1.0f64).exp());
-        assert!((t_tau - expected).abs() < 0.2, "t(tau)={t_tau} vs {expected}");
+        assert!(
+            (t_tau - expected).abs() < 0.2,
+            "t(tau)={t_tau} vs {expected}"
+        );
         // Settles near 55.
         let t_end = tr.temp_at(SimTime::from_secs(200));
         assert!((t_end - 55.0).abs() < 0.05);

@@ -13,7 +13,7 @@ use nvml_sim::Nvml;
 use rapl_sim::{PerfEventRapl, RaplDomain};
 use simkit::SimTime;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// PAPI-style error codes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,9 +43,9 @@ pub enum Component {
     /// The `rapl` component (kernel perf path, as PAPI uses).
     Rapl(PerfEventRapl),
     /// The `nvml` component.
-    Nvml(Rc<Nvml>),
+    Nvml(Arc<Nvml>),
     /// The `micpower` component (MICRAS pseudo-files).
-    MicPower(Rc<MicrasDaemon>),
+    MicPower(Arc<MicrasDaemon>),
 }
 
 impl Component {
@@ -247,7 +247,7 @@ mod tests {
             &GaussianElimination::figure3().profile(),
         ));
         let rapl = PerfEventRapl::open(socket, KernelVersion::new(3, 14)).unwrap();
-        let nvml = Rc::new(Nvml::init(
+        let nvml = Arc::new(Nvml::init(
             &[DeviceConfig {
                 spec: GpuSpec::k20(),
                 workload: Noop::figure4().profile(),
@@ -256,14 +256,14 @@ mod tests {
             1,
         ));
         let profile = Noop::figure7().profile();
-        let card = Rc::new(mic_sim::PhiCard::new(
+        let card = Arc::new(mic_sim::PhiCard::new(
             mic_sim::PhiSpec::default(),
             &profile,
             powermodel::DemandTrace::zero(),
             SimTime::from_secs(200),
         ));
-        let smc = Rc::new(mic_sim::Smc::new(NoiseStream::new(9)));
-        let daemon = Rc::new(MicrasDaemon::start(card, smc, &profile));
+        let smc = Arc::new(mic_sim::Smc::new(NoiseStream::new(9)));
+        let daemon = Arc::new(MicrasDaemon::start(card, smc, &profile));
         Papi::library_init(vec![
             Component::Rapl(rapl),
             Component::Nvml(nvml),
@@ -289,12 +289,17 @@ mod tests {
     fn eventset_start_read_stop_lifecycle() {
         let p = papi();
         let mut set = p.create_eventset();
-        set.add_named_event("rapl:::PACKAGE_ENERGY:PACKAGE0").unwrap();
+        set.add_named_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+            .unwrap();
         set.add_named_event("nvml:::power:device0").unwrap();
         set.start(SimTime::from_secs(5)).unwrap();
         let mid = set.read(SimTime::from_secs(6)).unwrap();
         // ~47 W for 1 s ≈ 4.7e10 nJ on the package.
-        assert!((3.0e10..6.5e10).contains(&(mid[0] as f64)), "pkg nJ {}", mid[0]);
+        assert!(
+            (3.0e10..6.5e10).contains(&(mid[0] as f64)),
+            "pkg nJ {}",
+            mid[0]
+        );
         // NVML is a power event in mW.
         assert!((40_000..60_000).contains(&mid[1]), "nvml mW {}", mid[1]);
         let fin = set.stop(SimTime::from_secs(10)).unwrap();
@@ -319,9 +324,7 @@ mod tests {
         set.add_named_event("rapl:::PP0_ENERGY:PACKAGE0").unwrap();
         set.start(SimTime::ZERO).unwrap();
         assert!(set.start(SimTime::from_secs(1)).is_err());
-        assert!(set
-            .add_named_event("rapl:::DRAM_ENERGY:PACKAGE0")
-            .is_err());
+        assert!(set.add_named_event("rapl:::DRAM_ENERGY:PACKAGE0").is_err());
     }
 
     #[test]

@@ -151,7 +151,8 @@ mod tests {
             for s in 5..60u64 {
                 let t = SimTime::from_secs(s);
                 let read = meter.read(node, t);
-                let truth = node.wall_power(t.grid_floor(SimTime::ZERO, WattsUpMeter::SAMPLE_PERIOD));
+                let truth =
+                    node.wall_power(t.grid_floor(SimTime::ZERO, WattsUpMeter::SAMPLE_PERIOD));
                 worst_rel = worst_rel.max((read - truth).abs() / truth);
             }
             assert!(worst_rel <= 0.0155, "meter error {worst_rel}");

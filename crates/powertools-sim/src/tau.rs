@@ -69,11 +69,7 @@ impl TauProfiler {
     /// `region` (TAU wraps instrumented functions this way).
     pub fn profile_region(&mut self, region: &str, start: SimTime, end: SimTime) {
         assert!(end >= start);
-        let stats = self
-            .profile
-            .regions
-            .entry(region.to_owned())
-            .or_default();
+        let stats = self.profile.regions.entry(region.to_owned()).or_default();
         let mut prev_t = start;
         let mut prev_raw = self
             .reader
@@ -141,14 +137,9 @@ mod tests {
             SocketSpec::default(),
             &GaussianElimination::figure3().profile(),
         ));
-        let err = TauProfiler::attach(
-            socket,
-            MsrAccess::user(),
-            SimDuration::from_millis(100),
-            4,
-        )
-        .err()
-        .unwrap();
+        let err = TauProfiler::attach(socket, MsrAccess::user(), SimDuration::from_millis(100), 4)
+            .err()
+            .unwrap();
         assert!(err.contains("permission denied"));
     }
 

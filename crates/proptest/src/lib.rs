@@ -1,0 +1,323 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a self-contained property-testing harness exposing the
+//! subset of the proptest API its tests use: the `proptest!` macro,
+//! `prop_assert*`/`prop_assume!`, range / regex-string / tuple / collection
+//! strategies, `any::<T>()`, `prop_map`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the exact generated inputs
+//!   (generation is deterministic per test name and case index, so failures
+//!   reproduce);
+//! * **regex strategies** support the subset used here: char classes with
+//!   ranges, `.`, literals, and `{m}`/`{m,n}`/`?`/`+`/`*` quantifiers;
+//! * the default case count is 64 (override with the `PROPTEST_CASES`
+//!   environment variable or `ProptestConfig::with_cases`).
+
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop::` namespace (collection/option/bool/sample strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::ANY;
+    }
+    /// Sampling helpers.
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the case fails
+/// with the formatted message (and the generated inputs are reported).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)*),
+            __a,
+            __b
+        );
+    }};
+}
+
+/// Assert two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)*),
+            __a
+        );
+    }};
+}
+
+/// Discard the current case (it counts as a reject, not a pass or failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $crate::__proptest_fn!{ @parse
+            cfg = ($cfg);
+            metas = ($(#[$meta])*);
+            name = ($name);
+            body = ($body);
+            acc = ();
+            args = ($($args)*);
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fn {
+    // Peel `pat in expr,` off the front of the argument list.
+    (@parse
+        cfg = ($cfg:expr);
+        metas = ($($m:tt)*);
+        name = ($name:ident);
+        body = ($body:block);
+        acc = ($($acc:tt)*);
+        args = ($pat:pat in $strat:expr, $($rest:tt)*);
+    ) => {
+        $crate::__proptest_fn!{ @parse
+            cfg = ($cfg);
+            metas = ($($m)*);
+            name = ($name);
+            body = ($body);
+            acc = ($($acc)* [$pat][$strat]);
+            args = ($($rest)*);
+        }
+    };
+    // Final argument without a trailing comma.
+    (@parse
+        cfg = ($cfg:expr);
+        metas = ($($m:tt)*);
+        name = ($name:ident);
+        body = ($body:block);
+        acc = ($($acc:tt)*);
+        args = ($pat:pat in $strat:expr);
+    ) => {
+        $crate::__proptest_fn!{ @parse
+            cfg = ($cfg);
+            metas = ($($m)*);
+            name = ($name);
+            body = ($body);
+            acc = ($($acc)* [$pat][$strat]);
+            args = ();
+        }
+    };
+    // All arguments consumed: emit the test fn.
+    (@parse
+        cfg = ($cfg:expr);
+        metas = ($($m:tt)*);
+        name = ($name:ident);
+        body = ($body:block);
+        acc = ($([$pat:pat][$strat:expr])+);
+        args = ();
+    ) => {
+        $($m)*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), __rng) ),+ ,);
+                let __repr = ::std::format!("{:?}", &__vals);
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ( $($pat),+ ,) = __vals;
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                (__outcome, __repr)
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u64..10,
+            b in -5i64..5,
+            f in 0.25f64..0.75,
+            g in 0.0f64..=1.0,
+        ) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(
+            s in "[a-z]{1,5}",
+            t in "[A-Za-z0-9-]{1,20}",
+            u in "[a-c]",
+            mixed in "x[0-9]{2}y",
+        ) {
+            prop_assert!((1..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((1..=20).contains(&t.chars().count()));
+            prop_assert!(t.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+            prop_assert!(matches!(u.as_str(), "a" | "b" | "c"));
+            prop_assert!(mixed.starts_with('x') && mixed.ends_with('y'));
+            prop_assert_eq!(mixed.len(), 4);
+        }
+
+        #[test]
+        fn collections_and_options(
+            v in prop::collection::vec(0u8..10, 2..6),
+            o in prop::option::of(1u32..5),
+            flag in prop::bool::ANY,
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+            if let Some(x) = o {
+                prop_assert!((1..5).contains(&x));
+            }
+            let _ = flag;
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn prop_map_and_tuples(pair in (1u64..100, "[a-z]{3}").prop_map(|(n, s)| (n * 2, s))) {
+            prop_assert!(pair.0 >= 2 && pair.0 < 200);
+            prop_assert_eq!(pair.1.len(), 3);
+            prop_assert_ne!(pair.0, 1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    #[allow(unnameable_test_items)]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(n in 0u8..4) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let s = (0u64..1000, "[a-z]{1,8}");
+        let a: Vec<_> = (0..20)
+            .map(|i| s.generate(&mut TestRng::for_case("det", i)))
+            .collect();
+        let b: Vec<_> = (0..20)
+            .map(|i| s.generate(&mut TestRng::for_case("det", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

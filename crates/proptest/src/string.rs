@@ -1,0 +1,238 @@
+//! String generation from a regex subset.
+//!
+//! Supports what this workspace's patterns use: literal characters,
+//! character classes with ranges (`[A-Za-z0-9-]`), the `.` wildcard
+//! (anything printable except newline, plus a few non-ASCII stressors),
+//! and the `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers. Unbounded
+//! quantifiers are capped at 8 repetitions.
+
+use crate::rng::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Characters `.` draws from: printable ASCII (including space and tab,
+/// excluding newline, per regex `.` semantics) plus non-ASCII stressors.
+fn any_char(rng: &mut TestRng) -> char {
+    const EXTRAS: [char; 6] = ['\t', 'é', 'λ', '中', '€', '\u{00a0}'];
+    if rng.one_in(8) {
+        EXTRAS[rng.below(EXTRAS.len() as u64) as usize]
+    } else {
+        // ' ' (0x20) ..= '~' (0x7E)
+        char::from(0x20 + rng.below(0x5F) as u8)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Any,
+    Set(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '-' => {
+                // A range if we have a previous char and a next bound;
+                // otherwise a literal '-'.
+                match (prev, chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                        for v in (lo as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                set.push(esc);
+                prev = Some(esc);
+            }
+            _ => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    set
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in pattern {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                None => {
+                    let n = parse(&spec);
+                    (n, n)
+                }
+                Some((m, "")) => (parse(m), parse(m) + UNBOUNDED_CAP),
+                Some((m, n)) => (parse(m), parse(n)),
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Set(parse_class(&mut chars, pattern)),
+            '.' => Atom::Any,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                Atom::Set(vec![esc])
+            }
+            other => Atom::Set(vec![other]),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate a string matching `pattern` (see module docs for the subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Any => out.push(any_char(rng)),
+                Atom::Set(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::new(1234);
+        (0..200)
+            .map(|_| generate_from_pattern(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_literal_dash() {
+        for s in gen_many("[A-Za-z0-9-]{1,20}") {
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_counts() {
+        for s in gen_many("[a-z]{2,4}") {
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+        }
+        for s in gen_many("[a-z]{3}") {
+            assert_eq!(s.len(), 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_never_emits_newline() {
+        for s in gen_many(".{0,30}") {
+            assert!(!s.contains('\n'), "{s:?}");
+            assert!(s.chars().count() <= 30, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenation_and_single_atoms() {
+        for s in gen_many("[a-z][a-z0-9]{0,8}") {
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+        }
+        for s in gen_many("[a-c]") {
+            assert!(matches!(s.as_str(), "a" | "b" | "c"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_star_plus() {
+        for s in gen_many("a?b+c*") {
+            assert!(s.contains('b'), "{s:?}");
+            let bs = s.chars().filter(|&c| c == 'b').count();
+            assert!((1..=8).contains(&bs), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        for s in gen_many(r"x\.y") {
+            assert_eq!(s, "x.y");
+        }
+        for s in gen_many(r"[\]a]") {
+            assert!(matches!(s.as_str(), "]" | "a"), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Case execution: config, errors, and the loop behind `proptest!`.
+
+use crate::rng::TestRng;
+use std::fmt;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config with a specific case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (assumption not met).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "assumption not met: {m}"),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Drive one property: `case` generates inputs from the provided RNG and
+/// returns `(outcome, input_repr)`. Panics (failing the enclosing `#[test]`)
+/// on the first violated case, reporting the case number and inputs.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (std::thread::Result<Result<(), TestCaseError>>, String),
+{
+    let mut executed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while executed < config.cases {
+        let mut rng = TestRng::for_case(test_name, case_index);
+        let (outcome, repr) = case(&mut rng);
+        match outcome {
+            Ok(Ok(())) => executed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{test_name}': too many prop_assume! rejections \
+                     ({rejected}) — strengthen the strategies"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {case_index} \
+                     (after {executed} passing cases):\n{msg}\ninputs: {repr}"
+                );
+            }
+            Err(payload) => {
+                panic!(
+                    "proptest '{test_name}' panicked at case {case_index} \
+                     (after {executed} passing cases): {}\ninputs: {repr}",
+                    panic_message(payload.as_ref())
+                );
+            }
+        }
+        case_index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut n = 0;
+        run_cases(&cfg, "ok", |_rng| {
+            n += 1;
+            (Ok(Ok(())), String::new())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: (7,)")]
+    fn failure_reports_inputs() {
+        let cfg = ProptestConfig::with_cases(10);
+        run_cases(&cfg, "bad", |_rng| {
+            (Ok(Err(TestCaseError::fail("nope"))), "(7,)".to_owned())
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let cfg = ProptestConfig::with_cases(5);
+        let mut attempts = 0;
+        run_cases(&cfg, "rej", |_rng| {
+            attempts += 1;
+            if attempts % 2 == 0 {
+                (Ok(Err(TestCaseError::reject("skip"))), String::new())
+            } else {
+                (Ok(Ok(())), String::new())
+            }
+        });
+        assert!(attempts > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked at case")]
+    fn child_panic_is_reported_with_inputs() {
+        let cfg = ProptestConfig::with_cases(3);
+        run_cases(&cfg, "boom", |_rng| {
+            let r = std::panic::catch_unwind(|| -> Result<(), TestCaseError> { panic!("kaboom") });
+            (r, "(1,)".to_owned())
+        });
+    }
+}

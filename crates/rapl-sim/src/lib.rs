@@ -62,7 +62,7 @@ pub use msr::{
     MSR_PKG_POWER_INFO, MSR_PKG_POWER_LIMIT, MSR_PP0_ENERGY_STATUS, MSR_PP1_ENERGY_STATUS,
     MSR_QUERY_COST, MSR_RAPL_POWER_UNIT,
 };
-pub use perf::{KernelVersion, PerfEventRapl, PerfError};
+pub use perf::{KernelVersion, PerfError, PerfEventRapl};
 pub use reader::{PowerReader, SamplingLoop};
 pub use socket::{SocketModel, SocketSpec};
 pub use units::PowerUnits;

@@ -52,10 +52,7 @@ impl PowerLimit {
                 }
             }
         }
-        counts
-            | (u64::from(self.enabled) << 15)
-            | (best.0 << 17)
-            | (best.1 << 22)
+        counts | (u64::from(self.enabled) << 15) | (best.0 << 17) | (best.1 << 22)
     }
 
     /// Decode from the raw MSR value.
@@ -67,9 +64,7 @@ impl PowerLimit {
         PowerLimit {
             enabled,
             limit_watts: counts as f64 * units.watts_per_count(),
-            window_secs: 2f64.powi(y as i32)
-                * (1.0 + z as f64 / 4.0)
-                * units.seconds_per_count(),
+            window_secs: 2f64.powi(y as i32) * (1.0 + z as f64 / 4.0) * units.seconds_per_count(),
         }
     }
 }
@@ -112,9 +107,8 @@ impl RaplLimiter {
         if !self.limit.enabled || self.limit.limit_watts <= spec.idle_w {
             return demand.clone();
         }
-        let step = SimDuration::from_secs_f64(
-            self.limit.window_secs / f64::from(self.steps_per_window),
-        );
+        let step =
+            SimDuration::from_secs_f64(self.limit.window_secs / f64::from(self.steps_per_window));
         assert!(!step.is_zero(), "window too small for the step resolution");
         let window = self.steps_per_window as usize;
         let mut out = DemandTrace::zero();
@@ -131,8 +125,7 @@ impl RaplLimiter {
                 wanted
             } else {
                 // Largest level keeping the windowed average at the limit.
-                let p_allowed = (self.limit.limit_watts * n - prior_sum)
-                    .max(spec.idle_w);
+                let p_allowed = (self.limit.limit_watts * n - prior_sum).max(spec.idle_w);
                 ((p_allowed - spec.idle_w) / spec.dynamic_w).clamp(0.0, wanted)
             };
             out.set(t, granted);

@@ -135,8 +135,7 @@ impl MsrDevice {
         }
         let units = PowerUnits::sandy_bridge_sim();
         // ±50,000 cycles at the socket clock (§II-B).
-        let jitter =
-            SimDuration::from_secs_f64(50_000.0 / socket.spec().frequency_hz);
+        let jitter = SimDuration::from_secs_f64(50_000.0 / socket.spec().frequency_hz);
         let update = SimDuration::from_millis(1);
         let counter_spec = EnergyCounterSpec {
             unit_joules: units.joules_per_count(),
@@ -206,8 +205,7 @@ impl MsrDevice {
             MSR_PKG_POWER_LIMIT => Ok(self.power_limit.encode(&self.units)),
             MSR_PKG_POWER_INFO => {
                 // Bits 14:0 — TDP in power units.
-                let counts =
-                    (self.socket.spec().tdp_watts / self.units.watts_per_count()) as u64;
+                let counts = (self.socket.spec().tdp_watts / self.units.watts_per_count()) as u64;
                 Ok(counts & 0x7FFF)
             }
             other => Err(MsrError::UnknownRegister(other)),
@@ -286,8 +284,12 @@ mod tests {
     #[test]
     fn energy_counter_increases_with_time() {
         let d = device(MsrAccess::root()).unwrap();
-        let a = d.read(MSR_PKG_ENERGY_STATUS, SimTime::from_secs(1)).unwrap();
-        let b = d.read(MSR_PKG_ENERGY_STATUS, SimTime::from_secs(2)).unwrap();
+        let a = d
+            .read(MSR_PKG_ENERGY_STATUS, SimTime::from_secs(1))
+            .unwrap();
+        let b = d
+            .read(MSR_PKG_ENERGY_STATUS, SimTime::from_secs(2))
+            .unwrap();
         assert!(b > a, "counter did not advance: {a} -> {b}");
         // At ~50 W for 1 s with 1.9 uJ units: ~26M counts.
         let joules = (b - a) as f64 * d.units().joules_per_count();

@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn old_kernel_rejected() {
         let err = PerfEventRapl::open(socket(), KernelVersion::new(3, 13)).err();
-        assert_eq!(err, Some(PerfError::KernelTooOld(KernelVersion::new(3, 13))));
+        assert_eq!(
+            err,
+            Some(PerfError::KernelTooOld(KernelVersion::new(3, 13)))
+        );
         let err2 = PerfEventRapl::open(socket(), KernelVersion::new(2, 32)).err();
         assert!(err2.is_some());
     }
@@ -150,8 +153,12 @@ mod tests {
     #[test]
     fn energy_is_scaled_and_monotone() {
         let p = PerfEventRapl::open(socket(), KernelVersion::new(4, 4)).unwrap();
-        let e1 = p.read_energy_joules(RaplDomain::Pkg, SimTime::from_secs(1)).unwrap();
-        let e2 = p.read_energy_joules(RaplDomain::Pkg, SimTime::from_secs(2)).unwrap();
+        let e1 = p
+            .read_energy_joules(RaplDomain::Pkg, SimTime::from_secs(1))
+            .unwrap();
+        let e2 = p
+            .read_energy_joules(RaplDomain::Pkg, SimTime::from_secs(2))
+            .unwrap();
         assert!(e2 > e1);
         // ~50 W plateau: the 1 s delta is tens of joules, no wrap artifacts.
         assert!((30.0..70.0).contains(&(e2 - e1)), "delta {}", e2 - e1);
@@ -162,7 +169,9 @@ mod tests {
         // Unlike the raw MSR path, perf deltas stay correct across the
         // counter's 63 s wrap horizon.
         let p = PerfEventRapl::open(socket(), KernelVersion::new(4, 4)).unwrap();
-        let e0 = p.read_energy_joules(RaplDomain::Pkg, SimTime::ZERO).unwrap();
+        let e0 = p
+            .read_energy_joules(RaplDomain::Pkg, SimTime::ZERO)
+            .unwrap();
         let e = p
             .read_energy_joules(RaplDomain::Pkg, SimTime::from_secs(300))
             .unwrap();

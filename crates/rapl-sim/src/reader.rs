@@ -47,12 +47,7 @@ impl PowerReader {
     /// correction. Wrong (silently low) if more than one wrap occurred —
     /// the caller's interval discipline is the only protection, exactly as
     /// on real hardware.
-    pub fn power_between(
-        &self,
-        earlier_raw: u64,
-        later_raw: u64,
-        elapsed: SimDuration,
-    ) -> f64 {
+    pub fn power_between(&self, earlier_raw: u64, later_raw: u64, elapsed: SimDuration) -> f64 {
         assert!(!elapsed.is_zero(), "zero elapsed time");
         let delta = if later_raw >= earlier_raw {
             later_raw - earlier_raw
@@ -186,9 +181,7 @@ mod tests {
         let r = reader_for(&g.profile());
         let loop_ = SamplingLoop::new(r, RaplDomain::Pkg, SimDuration::from_millis(100));
         // Capture starts before and ends after the run, like the paper.
-        let series = loop_
-            .run(SimTime::ZERO, SimTime::from_secs(70))
-            .unwrap();
+        let series = loop_.run(SimTime::ZERO, SimTime::from_secs(70)).unwrap();
         assert_eq!(series.len(), 700);
         // Plateau around 47-50 W during the run…
         let mid = series

@@ -172,7 +172,10 @@ mod tests {
         let g = GaussianElimination::figure3();
         let s = SocketModel::new(SocketSpec::default(), &g.profile());
         for sec in [0u64, 10, 30, 60] {
-            assert_eq!(s.domain_power(RaplDomain::Pp1, SimTime::from_secs(sec)), 0.0);
+            assert_eq!(
+                s.domain_power(RaplDomain::Pp1, SimTime::from_secs(sec)),
+                0.0
+            );
         }
     }
 

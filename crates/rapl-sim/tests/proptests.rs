@@ -56,10 +56,15 @@ proptest! {
             reader.snapshot(RaplDomain::Pkg, t2).unwrap(),
         );
         // Wrap-corrected power is within the socket's physical envelope
-        // (one wrap max over <=5 s at <=52 W is guaranteed).
+        // (one wrap max over <=5 s at <=52 W is guaranteed) once the ~1 ms
+        // counter-update grid with ±50k-cycle jitter (§II-B) is accounted
+        // for: the counted energy can span up to `elapsed + grid + jitter`,
+        // so a 1 ms window legitimately reads near 2x true power.
         let p = reader.power_between(r1, r2, t2 - t1);
+        let dt = (t2 - t1).as_secs_f64();
+        let bound = 52.0 * (dt + 1.1e-3) / dt;
         prop_assert!(p >= 0.0);
-        prop_assert!(p <= 80.0, "pkg power {} implausible", p);
+        prop_assert!(p <= bound, "pkg power {} implausible for a {}s window", p, dt);
     }
 
     #[test]

@@ -243,7 +243,10 @@ mod tests {
             counts[r.below(5) as usize] += 1;
         }
         for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 
@@ -297,6 +300,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 }

@@ -49,7 +49,11 @@ impl TimeSeries {
 
     /// Append a sample. Timestamps must be non-decreasing.
     pub fn push(&mut self, at: SimTime, value: f64) {
-        assert!(value.is_finite(), "non-finite sample in series '{}'", self.name);
+        assert!(
+            value.is_finite(),
+            "non-finite sample in series '{}'",
+            self.name
+        );
         if let Some(last) = self.samples.last() {
             assert!(
                 at >= last.at,
@@ -109,10 +113,7 @@ impl TimeSeries {
     /// Value at time `t` by zero-order hold (last sample at or before `t`).
     /// `None` before the first sample.
     pub fn value_at(&self, t: SimTime) -> Option<f64> {
-        match self
-            .samples
-            .binary_search_by(|s| s.at.cmp(&t))
-        {
+        match self.samples.binary_search_by(|s| s.at.cmp(&t)) {
             Ok(i) => {
                 // Duplicates allowed: take the last sample with this timestamp.
                 let mut i = i;

@@ -155,11 +155,7 @@ impl BoxplotSummary {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_lo = v
-            .iter()
-            .copied()
-            .find(|&x| x >= lo_fence)
-            .unwrap_or(v[0]);
+        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
         let whisker_hi = v
             .iter()
             .rev()
@@ -224,8 +220,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
     assert!(se2 > 0.0, "both samples are constant; t undefined");
     let mean_diff = sa.mean() - sb.mean();
     let t = mean_diff / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p = 2.0 * student_t_sf(t.abs(), df);
     WelchResult {
         t,
@@ -396,7 +391,10 @@ mod tests {
 
     #[test]
     fn running_stats_basic() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Population sd is 2.0; sample variance = 32/7.
@@ -468,8 +466,12 @@ mod tests {
 
     #[test]
     fn welch_detects_real_difference() {
-        let a: Vec<f64> = (0..200).map(|i| 115.5 + 0.5 * ((i * 37 % 100) as f64 / 100.0 - 0.5)).collect();
-        let b: Vec<f64> = (0..200).map(|i| 113.5 + 0.5 * ((i * 53 % 100) as f64 / 100.0 - 0.5)).collect();
+        let a: Vec<f64> = (0..200)
+            .map(|i| 115.5 + 0.5 * ((i * 37 % 100) as f64 / 100.0 - 0.5))
+            .collect();
+        let b: Vec<f64> = (0..200)
+            .map(|i| 113.5 + 0.5 * ((i * 53 % 100) as f64 / 100.0 - 0.5))
+            .collect();
         let r = welch_t_test(&a, &b);
         assert!(r.mean_diff > 1.5);
         assert!(r.significant_at(0.001), "p = {}", r.p_two_sided);
@@ -479,7 +481,9 @@ mod tests {
     fn welch_no_difference_when_identical_distributions() {
         // Same deterministic zig-zag, shifted phase: equal means.
         let a: Vec<f64> = (0..500).map(|i| 100.0 + ((i % 10) as f64 - 4.5)).collect();
-        let b: Vec<f64> = (0..500).map(|i| 100.0 + (((i + 5) % 10) as f64 - 4.5)).collect();
+        let b: Vec<f64> = (0..500)
+            .map(|i| 100.0 + (((i + 5) % 10) as f64 - 4.5))
+            .collect();
         let r = welch_t_test(&a, &b);
         assert!(r.mean_diff.abs() < 1e-9);
         assert!(!r.significant_at(0.05));

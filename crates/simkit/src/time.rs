@@ -398,7 +398,10 @@ mod tests {
         assert_eq!(t - d, SimTime::from_millis(9_750));
         assert_eq!(d * 4, SimDuration::from_secs(1));
         assert_eq!(SimDuration::from_secs(1) / d, 4);
-        assert_eq!(SimDuration::from_millis(1_100) % d, SimDuration::from_millis(100));
+        assert_eq!(
+            SimDuration::from_millis(1_100) % d,
+            SimDuration::from_millis(100)
+        );
     }
 
     #[test]
@@ -463,6 +466,9 @@ mod tests {
             SimDuration::from_millis(100).mul_f64(0.5),
             SimDuration::from_millis(50)
         );
-        assert_eq!(SimDuration::from_nanos(3).mul_f64(0.5), SimDuration::from_nanos(2));
+        assert_eq!(
+            SimDuration::from_nanos(3).mul_f64(0.5),
+            SimDuration::from_nanos(2)
+        );
     }
 }

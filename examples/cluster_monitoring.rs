@@ -62,6 +62,9 @@ fn main() {
     );
     println!("\nBPM R00-M0-B00 around job start:");
     for r in rows {
-        println!("  cycle {:>3}  {}  {:>7.1} W", r.cycle, r.timestamp, r.value);
+        println!(
+            "  cycle {:>3}  {}  {:>7.1} W",
+            r.cycle, r.timestamp, r.value
+        );
     }
 }

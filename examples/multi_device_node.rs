@@ -11,7 +11,7 @@
 
 use envmon::prelude::*;
 use simkit::NoiseStream;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // The vector-add workload: the host generates, then the accelerators
@@ -23,7 +23,7 @@ fn main() {
     let horizon = SimTime::ZERO + workload.virtual_runtime;
 
     // Device 1: a K20 behind NVML.
-    let nvml = Rc::new(Nvml::init(
+    let nvml = Arc::new(Nvml::init(
         &[DeviceConfig {
             spec: GpuSpec::k20(),
             workload: profile.clone(),
@@ -33,13 +33,13 @@ fn main() {
     ));
 
     // Device 2: a Xeon Phi behind the MICRAS daemon.
-    let card = Rc::new(PhiCard::new(
+    let card = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &profile,
         DemandTrace::zero(),
         horizon,
     ));
-    let smc = Rc::new(Smc::new(NoiseStream::new(7)));
+    let smc = Arc::new(Smc::new(NoiseStream::new(7)));
 
     // One session, two backends: the node file carries gpu0 and mic0 rows.
     let mut session = MonEq::initialize(

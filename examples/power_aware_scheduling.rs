@@ -12,7 +12,7 @@
 //! ```
 
 use envmon::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A job: name, node-card count, runtime, and a demand profile.
 struct Job {
@@ -49,7 +49,7 @@ fn measured_card_watts(job: &Job, seed: u64) -> f64 {
     machine.assign_job(&[0], &job.profile);
     let session = MonEq::initialize(
         0,
-        vec![Box::new(BgqBackend::new(Rc::new(machine), 0))],
+        vec![Box::new(BgqBackend::new(Arc::new(machine), 0))],
         MonEqConfig::default(),
         SimTime::ZERO,
     );
@@ -79,8 +79,14 @@ fn main() {
     let mk = |name, cards, runtime_h: u64, cpu, net| {
         let mut p = WorkloadProfile::new(name, SimDuration::from_secs(runtime_h * 3600));
         let d = SimDuration::from_secs(runtime_h * 3600);
-        p.set_demand(Channel::Cpu, powermodel::PhaseBuilder::new().phase(d, cpu).build());
-        p.set_demand(Channel::Network, powermodel::PhaseBuilder::new().phase(d, net).build());
+        p.set_demand(
+            Channel::Cpu,
+            powermodel::PhaseBuilder::new().phase(d, cpu).build(),
+        );
+        p.set_demand(
+            Channel::Network,
+            powermodel::PhaseBuilder::new().phase(d, net).build(),
+        );
         Job {
             name,
             cards,

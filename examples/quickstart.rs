@@ -8,14 +8,14 @@
 //! ```
 
 use envmon::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // ---- platform setup (the "machine" your job landed on) -------------
     let mut machine = BgqMachine::new(BgqConfig::default(), 2015);
     let app = Mmps::figure1(); // the application we are profiling
     machine.assign_job(&[0], &app.profile());
-    let machine = Rc::new(machine);
+    let machine = Arc::new(machine);
 
     // ---- Listing 1: MonEQ_Initialize ... user code ... MonEQ_Finalize --
     let mut session = MonEq::initialize(

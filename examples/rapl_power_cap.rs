@@ -51,7 +51,10 @@ fn main() {
 
     let free = DevicePower::single("uncapped", cores, &wanted);
     let capped = DevicePower::single("capped", cores, &granted);
-    println!("\n{:>6} {:>12} {:>12} {:>10}", "t[s]", "uncapped W", "capped W", "avg(1s)");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>10}",
+        "t[s]", "uncapped W", "capped W", "avg(1s)"
+    );
     for s in (0..=60).step_by(5) {
         let t = SimTime::from_secs(s);
         println!(

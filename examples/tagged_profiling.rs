@@ -10,7 +10,7 @@
 
 use envmon::prelude::*;
 use moneq::tags::pair_tags;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let app = TaggedLoops::three_loops();
@@ -20,7 +20,7 @@ fn main() {
 
     let mut session = MonEq::initialize(
         0,
-        vec![Box::new(BgqBackend::new(Rc::new(machine), 0))],
+        vec![Box::new(BgqBackend::new(Arc::new(machine), 0))],
         MonEqConfig::default(),
         SimTime::ZERO,
     );

@@ -12,7 +12,6 @@ use envmon::powertools::tau::TauProfiler;
 use envmon::prelude::*;
 use rapl_sim::{KernelVersion, PerfEventRapl};
 use simkit::NoiseStream;
-use std::rc::Rc;
 use std::sync::Arc;
 
 fn main() {
@@ -20,7 +19,7 @@ fn main() {
     // K20 running vector add, one Phi running a NOOP soak.
     let gauss = GaussianElimination::figure3();
     let socket = Arc::new(SocketModel::new(SocketSpec::default(), &gauss.profile()));
-    let nvml = Rc::new(Nvml::init(
+    let nvml = Arc::new(Nvml::init(
         &[DeviceConfig {
             spec: GpuSpec::k20(),
             workload: VectorAdd::figure5().profile(),
@@ -29,19 +28,19 @@ fn main() {
         11,
     ));
     let phi_profile = Noop::figure7().profile();
-    let card = Rc::new(PhiCard::new(
+    let card = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &phi_profile,
         DemandTrace::zero(),
         SimTime::from_secs(120),
     ));
-    let smc = Rc::new(Smc::new(NoiseStream::new(11)));
+    let smc = Arc::new(Smc::new(NoiseStream::new(11)));
     let t = SimTime::from_secs(30);
 
     println!("{}", render_tool_matrix(&tool_matrix()));
 
     // --- PAPI: RAPL + NVML + Phi, but no BG/Q ---------------------------
-    let daemon = Rc::new(mic_sim::MicrasDaemon::start(
+    let daemon = Arc::new(mic_sim::MicrasDaemon::start(
         card.clone(),
         smc.clone(),
         &phi_profile,
@@ -52,13 +51,18 @@ fn main() {
         Component::MicPower(daemon),
     ]);
     let mut set = papi.create_eventset();
-    set.add_named_event("rapl:::PACKAGE_ENERGY:PACKAGE0").unwrap();
+    set.add_named_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+        .unwrap();
     set.add_named_event("nvml:::power:device0").unwrap();
     set.add_named_event("micpower:::tot0:device0").unwrap();
     set.start(t).unwrap();
     let vals = set.stop(t + SimDuration::from_secs(10)).unwrap();
     println!("PAPI over 10 s:");
-    println!("  rapl:::PACKAGE_ENERGY  {} nJ (= {:.1} W avg)", vals[0], vals[0] as f64 / 1e10);
+    println!(
+        "  rapl:::PACKAGE_ENERGY  {} nJ (= {:.1} W avg)",
+        vals[0],
+        vals[0] as f64 / 1e10
+    );
     println!("  nvml:::power           {} mW", vals[1]);
     println!("  micpower:::tot0        {} mW", vals[2]);
 

@@ -20,7 +20,7 @@
 //! machine.assign_job(&[0], &Mmps::figure1().profile());
 //! let session = MonEq::initialize(
 //!     0,
-//!     vec![Box::new(BgqBackend::new(std::rc::Rc::new(machine), 0))],
+//!     vec![Box::new(BgqBackend::new(std::sync::Arc::new(machine), 0))],
 //!     MonEqConfig::default(),
 //!     SimTime::ZERO,
 //! );

@@ -1,0 +1,74 @@
+//! Property test: a parallel [`ClusterRun`] is indistinguishable from a
+//! serial one.
+//!
+//! Sessions are rank-independent and the reduce is in rank order, so the
+//! worker-pool fan-out must be a pure wall-clock optimization: for the same
+//! seed and agents, the gathered [`ClusterResult`] — files, overhead
+//! ledgers, drop counts, and the rendered bytes — is identical whatever the
+//! pool width or chunk size.
+
+use envmon::prelude::*;
+use moneq::{ClusterResult, ClusterRun};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn run_cluster(
+    seed: u64,
+    agents: usize,
+    secs: u64,
+    par_agents: usize,
+    chunk_size: usize,
+) -> ClusterResult {
+    let profile = {
+        let mut p = WorkloadProfile::new("prop", SimDuration::from_secs(secs));
+        p.set_demand(
+            Channel::Cpu,
+            powermodel::PhaseBuilder::new()
+                .phase(SimDuration::from_secs(secs), 0.6)
+                .build(),
+        );
+        p
+    };
+    let mut machine = BgqMachine::new(BgqConfig::default(), seed);
+    let boards: Vec<usize> = (0..agents.min(32)).collect();
+    machine.assign_job(&boards, &profile);
+    let machine = Arc::new(machine);
+    let mut run = ClusterRun::launch(
+        agents,
+        None,
+        |rank| Box::new(BgqBackend::new(machine.clone(), rank % 32)),
+        |rank| format!("agent{rank:04}"),
+        SimTime::ZERO,
+    )
+    .with_par_agents(par_agents)
+    .with_chunk_size(chunk_size);
+    let mid = SimTime::from_secs(secs / 2 + 1);
+    let end = SimTime::from_secs(secs);
+    run.run_until(mid);
+    run.start_tag_all("phase2", mid);
+    run.run_until(end);
+    run.end_tag_all("phase2", end);
+    run.finalize(end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_equals_serial(
+        seed in 0u64..1_000,
+        agents in 4usize..24,
+        workers in 2usize..9,
+        chunk_size in 1usize..6,
+    ) {
+        let serial = run_cluster(seed, agents, 4, 1, 1);
+        let parallel = run_cluster(seed, agents, 4, workers, chunk_size);
+        prop_assert_eq!(&serial.files, &parallel.files);
+        prop_assert_eq!(&serial.overheads, &parallel.overheads);
+        prop_assert_eq!(serial.dropped_records, parallel.dropped_records);
+        // Byte-identical rendered output, rank by rank.
+        for (s, p) in serial.files.iter().zip(&parallel.files) {
+            prop_assert_eq!(s.render(), p.render());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use envmon::prelude::*;
 use moneq::{finalize_time, ClusterRun};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Table III's numbers must come out the same whether computed by the
 /// representative-agent model (what `tables::table3` uses) or by actually
@@ -17,7 +17,7 @@ fn table3_cluster_run_matches_representative_agent_model() {
         let mut machine = BgqMachine::new(BgqConfig::default(), 7);
         let boards: Vec<usize> = (0..agents).collect();
         machine.assign_job(&boards, &profile);
-        let machine = Rc::new(machine);
+        let machine = Arc::new(machine);
         let mut run = ClusterRun::launch(
             agents,
             None,
@@ -63,14 +63,16 @@ fn full_mira_scale_smoke() {
     // modulo-mapping is exact and avoids a 48-rack allocation).
     let mut machine = BgqMachine::new(BgqConfig::default(), 7);
     machine.assign_job(&(0..32).collect::<Vec<_>>(), &profile);
-    let machine = Rc::new(machine);
+    let machine = Arc::new(machine);
     let mut run = ClusterRun::launch(
         AGENTS,
         None,
         |rank| Box::new(BgqBackend::new(machine.clone(), rank % 32)),
         |rank| format!("agent{rank:04}"),
         SimTime::ZERO,
-    );
+    )
+    .with_par_agents(8)
+    .with_chunk_size(64);
     let end = SimTime::from_secs(10);
     run.run_until(end);
     let result = run.finalize(end);

@@ -17,7 +17,10 @@ fn figure1_and_figure2_tell_the_same_power_story() {
     let (start, end) = f1.job_window;
     let bpm_input = f1
         .midplane0
-        .window_mean(start + SimDuration::from_secs(300), end - SimDuration::from_secs(120))
+        .window_mean(
+            start + SimDuration::from_secs(300),
+            end - SimDuration::from_secs(120),
+        )
         .expect("mid-job polls");
     // Figure 2's node-card DC power.
     let card_dc = f2
@@ -112,8 +115,8 @@ fn figure3_series_integrates_to_the_true_energy() {
     let socket = SocketModel::new(SocketSpec::default(), &profile);
     let start = f.pkg.start().unwrap();
     let end = f.pkg.end().unwrap();
-    let truth_j = socket.domain_energy(RaplDomain::Pkg, end)
-        - socket.domain_energy(RaplDomain::Pkg, start);
+    let truth_j =
+        socket.domain_energy(RaplDomain::Pkg, end) - socket.domain_energy(RaplDomain::Pkg, start);
     let rel = (measured_j - truth_j).abs() / truth_j;
     assert!(
         rel < 0.02,

@@ -4,7 +4,6 @@
 
 use envmon::prelude::*;
 use simkit::NoiseStream;
-use std::rc::Rc;
 use std::sync::Arc;
 
 fn run_session(backend: Box<dyn EnvBackend>, seconds: u64) -> moneq::FinalizeResult {
@@ -25,11 +24,7 @@ fn assert_session_sane(result: &moneq::FinalizeResult, expect_device: &str) {
         .points
         .iter()
         .all(|p| p.watts.is_finite() && p.watts >= 0.0));
-    assert!(result
-        .file
-        .points
-        .iter()
-        .any(|p| p.device == expect_device));
+    assert!(result.file.points.iter().any(|p| p.device == expect_device));
     assert_eq!(result.dropped_records, 0);
     // The file round-trips through the text format.
     let parsed = moneq::OutputFile::parse(&result.file.render()).expect("parse");
@@ -44,10 +39,7 @@ fn assert_session_sane(result: &moneq::FinalizeResult, expect_device: &str) {
 fn bgq_backend_full_session() {
     let mut machine = BgqMachine::new(BgqConfig::default(), 1);
     machine.assign_job(&[0], &Mmps::figure1().profile());
-    let result = run_session(
-        Box::new(BgqBackend::new(Rc::new(machine), 0)),
-        120,
-    );
+    let result = run_session(Box::new(BgqBackend::new(Arc::new(machine), 0)), 120);
     assert_session_sane(&result, "nodecard");
     // Seven domains per poll.
     assert_eq!(result.file.points.len() % 7, 0);
@@ -68,7 +60,7 @@ fn rapl_backend_full_session() {
 #[test]
 fn nvml_backend_full_session() {
     let noop = Noop::figure4();
-    let nvml = Rc::new(Nvml::init(
+    let nvml = Arc::new(Nvml::init(
         &[DeviceConfig {
             spec: GpuSpec::k20(),
             workload: noop.profile(),
@@ -84,7 +76,7 @@ fn nvml_backend_full_session() {
 #[test]
 fn mic_api_backend_full_session() {
     let profile = Noop::figure7().profile();
-    let card = Rc::new(PhiCard::new(
+    let card = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &profile,
         SysMgmtSession::mgmt_demand(
@@ -94,7 +86,7 @@ fn mic_api_backend_full_session() {
         ),
         SimTime::from_secs(130),
     ));
-    let smc = Rc::new(Smc::new(NoiseStream::new(4)));
+    let smc = Arc::new(Smc::new(NoiseStream::new(4)));
     let result = run_session(Box::new(MicApiBackend::new(card, smc)), 120);
     assert_session_sane(&result, "mic0");
 }
@@ -102,17 +94,14 @@ fn mic_api_backend_full_session() {
 #[test]
 fn mic_daemon_backend_full_session() {
     let profile = Noop::figure7().profile();
-    let card = Rc::new(PhiCard::new(
+    let card = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &profile,
         DemandTrace::zero(),
         SimTime::from_secs(130),
     ));
-    let smc = Rc::new(Smc::new(NoiseStream::new(5)));
-    let result = run_session(
-        Box::new(MicDaemonBackend::new(card, smc, &profile)),
-        120,
-    );
+    let smc = Arc::new(Smc::new(NoiseStream::new(5)));
+    let result = run_session(Box::new(MicDaemonBackend::new(card, smc, &profile)), 120);
     assert_session_sane(&result, "mic0");
 }
 
@@ -123,7 +112,7 @@ fn every_backend_reports_its_table1_column() {
     // Assemble one of each backend and compare its column.
     let mut machine = BgqMachine::new(BgqConfig::default(), 1);
     machine.assign_job(&[0], &Mmps::figure1().profile());
-    let bgq = BgqBackend::new(Rc::new(machine), 0);
+    let bgq = BgqBackend::new(Arc::new(machine), 0);
     assert_eq!(bgq.capabilities(), m.column(Platform::BlueGeneQ));
 
     let socket = Arc::new(SocketModel::new(
@@ -133,20 +122,20 @@ fn every_backend_reports_its_table1_column() {
     let rapl = RaplBackend::new(socket, MsrAccess::root(), 1).unwrap();
     assert_eq!(rapl.capabilities(), m.column(Platform::Rapl));
 
-    let nvml = Rc::new(Nvml::init(&[], 1));
+    let nvml = Arc::new(Nvml::init(&[], 1));
     assert_eq!(
         NvmlBackend::new(nvml).capabilities(),
         m.column(Platform::Nvml)
     );
 
     let profile = Noop::figure7().profile();
-    let card = Rc::new(PhiCard::new(
+    let card = Arc::new(PhiCard::new(
         PhiSpec::default(),
         &profile,
         DemandTrace::zero(),
         SimTime::from_secs(10),
     ));
-    let smc = Rc::new(Smc::new(NoiseStream::new(1)));
+    let smc = Arc::new(Smc::new(NoiseStream::new(1)));
     let daemon = MicDaemonBackend::new(card, smc, &profile);
     assert_eq!(daemon.capabilities(), m.column(Platform::XeonPhi));
 }
@@ -159,7 +148,7 @@ fn every_backend_states_its_defining_limitation() {
     use simkit::NoiseStream;
     let mut machine = BgqMachine::new(BgqConfig::default(), 1);
     machine.assign_job(&[0], &Mmps::figure1().profile());
-    let bgq = BgqBackend::new(Rc::new(machine), 0);
+    let bgq = BgqBackend::new(Arc::new(machine), 0);
     let states = |b: &dyn EnvBackend, aspect: &str, needle: &str| {
         let ls = b.limitations();
         assert!(
@@ -180,23 +169,24 @@ fn every_backend_states_its_defining_limitation() {
     states(&rapl, "overflow", "wrap");
     states(&rapl, "scope", "per socket");
 
-    let nvml = NvmlBackend::new(Rc::new(Nvml::init(&[], 1)));
+    let nvml = NvmlBackend::new(Arc::new(Nvml::init(&[], 1)));
     states(&nvml, "scope", "entire board");
     states(&nvml, "accuracy", "5 W");
 
     let profile = Noop::figure7().profile();
     let mk_card = || {
-        Rc::new(PhiCard::new(
+        Arc::new(PhiCard::new(
             PhiSpec::default(),
             &profile,
             DemandTrace::zero(),
             SimTime::from_secs(10),
         ))
     };
-    let api = MicApiBackend::new(mk_card(), Rc::new(Smc::new(NoiseStream::new(1))));
+    let api = MicApiBackend::new(mk_card(), Arc::new(Smc::new(NoiseStream::new(1))));
     states(&api, "cost", "14.2 ms");
     states(&api, "perturbation", "raising the");
-    let daemon = MicDaemonBackend::new(mk_card(), Rc::new(Smc::new(NoiseStream::new(2))), &profile);
+    let daemon =
+        MicDaemonBackend::new(mk_card(), Arc::new(Smc::new(NoiseStream::new(2))), &profile);
     states(&daemon, "contention", "contends");
 }
 
@@ -205,9 +195,8 @@ fn in_band_overhead_dwarfs_daemon_overhead() {
     // §II-D's punchline, measured through full sessions: ~14% vs ~0.04%.
     let profile = Noop::figure7().profile();
     let horizon = SimTime::from_secs(130);
-    let mk_card = |mgmt: DemandTrace| {
-        Rc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon))
-    };
+    let mk_card =
+        |mgmt: DemandTrace| Arc::new(PhiCard::new(PhiSpec::default(), &profile, mgmt, horizon));
     let run = |backend: Box<dyn EnvBackend>| {
         let mut s = MonEq::initialize(
             0,
@@ -228,11 +217,11 @@ fn in_band_overhead_dwarfs_daemon_overhead() {
             SimTime::ZERO,
             horizon,
         )),
-        Rc::new(Smc::new(NoiseStream::new(6))),
+        Arc::new(Smc::new(NoiseStream::new(6))),
     )));
     let daemon_frac = run(Box::new(MicDaemonBackend::new(
         mk_card(DemandTrace::zero()),
-        Rc::new(Smc::new(NoiseStream::new(7))),
+        Arc::new(Smc::new(NoiseStream::new(7))),
         &profile,
     )));
     assert!((api_frac - 0.142).abs() < 0.01, "api {api_frac}");

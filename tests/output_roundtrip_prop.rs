@@ -1,39 +1,49 @@
 //! Property test: the MonEQ output format round-trips arbitrary sessions.
+//!
+//! Round-trips are *exact*: floats render through f64's shortest
+//! round-trip `Display`, and labels (device, domain, tag, agent, backend
+//! names) are escaped, so even names containing tabs, newlines, commas, or
+//! backslashes survive byte-for-byte.
 
 use moneq::{DataPoint, OutputFile, TagEvent, TagKind};
 use proptest::prelude::*;
 use simkit::SimTime;
 
+/// Labels including the characters the tab-separated format must escape.
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9\\\\,\t-]{0,8}"
+}
+
 fn arb_point() -> impl Strategy<Value = DataPoint> {
     (
         0u64..10_000_000_000,
-        "[a-z][a-z0-9]{0,8}",
+        arb_label(),
         "[A-Za-z][A-Za-z ]{0,12}",
         0.0f64..10_000.0,
         prop::option::of(0.1f64..50.0),
         prop::option::of(0.0f64..2_000.0),
         prop::option::of(-20.0f64..120.0),
     )
-        .prop_map(|(ns, device, domain, watts, volts, amps, temp_c)| DataPoint {
-            timestamp: SimTime::from_nanos(ns),
-            device,
-            // The regex guarantees a leading letter, so trimming trailing
-            // spaces never empties the field.
-            domain: domain.trim_end().to_owned(),
-            watts,
-            volts,
-            amps,
-            temp_c,
-        })
+        .prop_map(
+            |(ns, device, domain, watts, volts, amps, temp_c)| DataPoint {
+                timestamp: SimTime::from_nanos(ns),
+                device,
+                // The regex guarantees a leading letter, so trimming trailing
+                // spaces never empties the field.
+                domain: domain.trim_end().to_owned(),
+                watts,
+                volts,
+                amps,
+                temp_c,
+            },
+        )
 }
 
 fn arb_tag() -> impl Strategy<Value = TagEvent> {
-    ("[a-z]{1,10}", prop::bool::ANY, 0u64..10_000_000_000).prop_map(|(label, start, ns)| {
-        TagEvent {
-            label,
-            kind: if start { TagKind::Start } else { TagKind::End },
-            at: SimTime::from_nanos(ns),
-        }
+    (arb_label(), prop::bool::ANY, 0u64..10_000_000_000).prop_map(|(label, start, ns)| TagEvent {
+        label,
+        kind: if start { TagKind::Start } else { TagKind::End },
+        at: SimTime::from_nanos(ns),
     })
 }
 
@@ -41,7 +51,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn render_parse_roundtrip(
+    fn render_parse_roundtrip_is_exact(
         rank in 0u32..100_000,
         agent in "[A-Za-z0-9-]{1,20}",
         backends in prop::collection::vec("[a-z-]{1,12}", 1..4),
@@ -60,23 +70,42 @@ proptest! {
         };
         let text = f.render();
         let back = OutputFile::parse(&text).expect("own output parses");
-        // Timestamps and structure are preserved exactly; floats through
-        // the %.6f formatter are preserved to 1e-6 absolute.
-        prop_assert_eq!(back.rank, f.rank);
-        prop_assert_eq!(&back.agent, &f.agent);
-        prop_assert_eq!(&back.backends, &f.backends);
-        prop_assert_eq!(back.interval_ns, f.interval_ns);
-        prop_assert_eq!(back.points.len(), f.points.len());
-        prop_assert_eq!(&back.tags, &f.tags);
+        prop_assert_eq!(&back, &f);
+        // Exact float equality, bit for bit — not epsilon comparison.
         for (a, b) in back.points.iter().zip(&f.points) {
-            prop_assert_eq!(a.timestamp, b.timestamp);
-            prop_assert_eq!(&a.device, &b.device);
-            prop_assert_eq!(&a.domain, &b.domain);
-            prop_assert!((a.watts - b.watts).abs() < 1e-6);
-            prop_assert_eq!(a.volts.is_some(), b.volts.is_some());
-            prop_assert_eq!(a.amps.is_some(), b.amps.is_some());
-            prop_assert_eq!(a.temp_c.is_some(), b.temp_c.is_some());
+            prop_assert_eq!(a.watts.to_bits(), b.watts.to_bits());
+            prop_assert_eq!(a.volts.map(f64::to_bits), b.volts.map(f64::to_bits));
+            prop_assert_eq!(a.amps.map(f64::to_bits), b.amps.map(f64::to_bits));
+            prop_assert_eq!(a.temp_c.map(f64::to_bits), b.temp_c.map(f64::to_bits));
         }
+    }
+
+    #[test]
+    fn hostile_names_roundtrip_exactly(
+        agent in ".{1,16}",
+        backends in prop::collection::vec(".{1,10}", 1..4),
+        device in ".{1,12}",
+        label in ".{1,12}",
+    ) {
+        let t = SimTime::from_nanos(560_000_000);
+        let f = OutputFile {
+            rank: 1,
+            agent,
+            backends,
+            interval_ns: 560_000_000,
+            points: vec![DataPoint::power(t, &device, "d", 42.5)],
+            tags: vec![
+                TagEvent { label: label.clone(), kind: TagKind::Start, at: t },
+                TagEvent { label, kind: TagKind::End, at: t },
+            ],
+        };
+        let back = OutputFile::parse(&f.render()).expect("own output parses");
+        prop_assert_eq!(&back, &f);
+        // The suggested on-disk name never escapes the output directory.
+        let name = f.file_name();
+        prop_assert!(!name.contains('/'));
+        prop_assert!(name.chars().all(|c| c.is_ascii_alphanumeric()
+            || matches!(c, '.' | '_' | '-')));
     }
 
     #[test]
