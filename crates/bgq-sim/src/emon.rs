@@ -91,7 +91,7 @@ impl EmonApi {
     /// plus a small per-generation measurement error (~0.5 % of reading); a
     /// workload phase change inside a generation therefore lands in some
     /// domains and not others — the paper's "inconsistent cases, such as …
-    /// code [that] begins to stress both the CPU and memory at the same
+    /// code \[that\] begins to stress both the CPU and memory at the same
     /// time".
     pub fn read_domains(&self, machine: &BgqMachine, t: SimTime) -> [DomainReading; 7] {
         let generation = self.generation_read_at(t);

@@ -61,6 +61,24 @@ pub use machine::{BgqConfig, BgqMachine, NodeCard};
 pub use topology::{Location, Topology};
 
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultSpec;
+
+/// The Blue Gene/Q failure profile for fault-injected runs.
+///
+/// The environmental database "polls on intervals between 60 and 1,800
+/// seconds" (§II-A) and rows for a generation can be committed late or not
+/// at all — a query then finds no fresh generation (`no_data`) or a row
+/// missing from an otherwise complete generation (`drop_record`). EMON
+/// itself is a firmware path on dedicated hardware, so transient query
+/// errors are rare.
+pub fn fault_profile() -> FaultSpec {
+    FaultSpec {
+        no_data: 0.08,
+        drop_record: 0.04,
+        transient: 0.01,
+        ..FaultSpec::zero()
+    }
+}
 
 /// The Blue Gene/Q column of Table I.
 ///

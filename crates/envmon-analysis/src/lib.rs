@@ -13,6 +13,7 @@
 //! | [`tables`] | Table I (capability matrix), Table II (RAPL domains), Table III (MonEQ overhead), and the §II per-query cost comparison |
 //! | [`figures`] | Figures 1–5, 7, 8 (Figure 6 is an architecture diagram; its boxes are the `mic-sim` module structure) |
 //! | [`ablations`] | The DESIGN.md ablation suite: polling-interval sweeps, Phi access-path comparison, RAPL capping, finalize scaling |
+//! | [`robustness`] | The DESIGN.md §8 robustness comparison: all mechanisms under identical fault rates |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
@@ -22,4 +23,5 @@ pub mod ablations;
 pub mod figures;
 pub mod render;
 pub mod report;
+pub mod robustness;
 pub mod tables;

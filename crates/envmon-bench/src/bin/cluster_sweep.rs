@@ -70,9 +70,10 @@ fn drive(
 fn main() {
     let mut seed = DEFAULT_SEED;
     let mut out = std::path::PathBuf::from("BENCH_cluster.json");
-    let mut workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4);
+    // Default pool width = physical CPUs: requesting more only adds
+    // scheduling overhead (ClusterRun caps internally regardless, and takes
+    // the serial path outright on a single-CPU host).
+    let mut workers = moneq::host_cpus();
     let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -152,12 +153,7 @@ fn main() {
     json.push_str("  \"bench\": \"cluster_parallel_sweep\",\n");
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
-    json.push_str(&format!(
-        "  \"host_cpus\": {},\n",
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(0)
-    ));
+    json.push_str(&format!("  \"host_cpus\": {},\n", moneq::host_cpus()));
     json.push_str(&format!("  \"chunk_size\": {chunk},\n"));
     json.push_str("  \"sweeps\": [\n");
     for (i, r) in rows.iter().enumerate() {

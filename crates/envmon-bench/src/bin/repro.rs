@@ -32,7 +32,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--seed N] [--out DIR] [table1 table2 table3 fig1 fig2 \
-                     fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations]\n\
+                     fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations \
+                     robustness]\n\
                      --out DIR additionally writes each figure's series as TSV files"
                 );
                 return;
@@ -223,6 +224,15 @@ fn main() {
                 &powertools_sim::comparison::tool_matrix()
             )
         );
+    }
+    if want("robustness") {
+        section("ROBUSTNESS — all mechanisms under identical fault rates (DESIGN.md §8)");
+        for rate in [0.02, 0.05, 0.15] {
+            println!(
+                "{}",
+                envmon_analysis::robustness::robustness_at(seed, rate).render()
+            );
+        }
     }
     if want("ablations") {
         section("ABLATION — RAPL sampling-interval sweep");

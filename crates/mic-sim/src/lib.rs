@@ -69,7 +69,27 @@ pub use smc::{Smc, SmcReading};
 pub use sysmgmt::{SysMgmtSession, MIC_API_QUERY_COST};
 
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultSpec;
 use simkit::SimDuration;
+
+/// The Xeon Phi failure profile for fault-injected runs.
+///
+/// Both Phi paths depend on software running *on the card*: the in-band
+/// SysMgmt path wakes collection code over SCIF, and the MICRAS daemon
+/// serves pseudo-files from a userspace process. Either can go
+/// unresponsive when the card is saturated — the query hangs and times out
+/// (`timeout`, ~25 ms stall), returns garbage mid-update (`transient`), or
+/// the daemon's pseudo-file briefly serves an empty generation
+/// (`no_data`).
+pub fn fault_profile() -> FaultSpec {
+    FaultSpec {
+        timeout: 0.08,
+        timeout_stall: SimDuration::from_millis(25),
+        transient: 0.02,
+        no_data: 0.03,
+        ..FaultSpec::zero()
+    }
+}
 
 /// Virtual-time cost of one MICRAS pseudo-file read (§II-D: "about 0.04 ms
 /// per query").

@@ -10,7 +10,193 @@
 
 use crate::reading::DataPoint;
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::{FaultOutcome, FaultPlan, FaultProcess, FaultSpec};
 use simkit::{SimDuration, SimTime};
+
+/// Why a read attempt failed.
+///
+/// The variants mirror the mechanisms' real failure modes (DESIGN.md §8):
+/// retryable faults ([`ReadError::is_retryable`]) may clear on an immediate
+/// retry inside the same poll; the rest are lost causes until the next
+/// poll, so the session degrades instead of retrying.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReadError {
+    /// The query failed transiently (an `EIO` MSR read, a PCIe hiccup);
+    /// an immediate retry may succeed.
+    Transient(String),
+    /// The mechanism stalled for `stalled` of virtual time and then gave
+    /// up (an unresponsive MICRAS daemon). The session charges the stall
+    /// (capped by its per-backend timeout) to fault recovery.
+    Timeout {
+        /// How long the mechanism hung before failing.
+        stalled: SimDuration,
+    },
+    /// The mechanism answered but has no fresh generation to serve (a
+    /// BG/Q envdb row not yet committed). Retrying within the poll cannot
+    /// help — the generation will not appear any sooner.
+    NoData,
+    /// The mechanism is unavailable for the surrounding window (an NVML
+    /// sampling blackout). Not retryable.
+    Unavailable(String),
+}
+
+impl ReadError {
+    /// May an immediate retry inside the same poll succeed?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ReadError::Transient(_) | ReadError::Timeout { .. })
+    }
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Transient(m) => write!(f, "transient read error: {m}"),
+            ReadError::Timeout { stalled } => write!(f, "read timed out after {stalled}"),
+            ReadError::NoData => write!(f, "no fresh generation available"),
+            ReadError::Unavailable(m) => write!(f, "mechanism unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A successful poll's yield.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Poll {
+    /// The records the mechanism served (possibly flagged stale).
+    pub points: Vec<DataPoint>,
+    /// Records the mechanism should have served but silently lost (missing
+    /// environmental-database rows). Counted as lost in the completeness
+    /// report.
+    pub missing: u32,
+}
+
+impl Poll {
+    /// A fault-free poll serving `points`.
+    pub fn complete(points: Vec<DataPoint>) -> Self {
+        Poll { points, missing: 0 }
+    }
+
+    /// A poll with `missing` silently lost records.
+    pub fn with_missing(points: Vec<DataPoint>, missing: u32) -> Self {
+        Poll { points, missing }
+    }
+}
+
+/// How a session reacts to read failures (DESIGN.md §8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the first failure (retryable errors only).
+    pub max_retries: u32,
+    /// Backoff before retry `n` (1-based) is `base_backoff << (n-1)`:
+    /// exponential, charged to fault recovery on the virtual timeline.
+    pub base_backoff: SimDuration,
+    /// Per-backend cap on how long one stalled read may charge; a
+    /// mechanism that hangs longer is abandoned at this bound.
+    pub timeout: SimDuration,
+    /// Consecutive failed polls after which the device is disabled for the
+    /// rest of the run (its polls then count as missed).
+    pub disable_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimDuration::from_millis(1),
+            timeout: SimDuration::from_millis(50),
+            disable_after: 8,
+        }
+    }
+}
+
+/// Per-device fault admission, shared by every backend adapter.
+///
+/// A backend holds one gate per device; `read` asks the gate to
+/// [`admit`](FaultGate::admit) each attempt, and the gate translates the
+/// [`FaultProcess`] outcome into a typed [`ReadError`] (or a glitch grant).
+/// An inactive gate ([`FaultGate::none`]) admits everything at zero cost,
+/// so un-faulted runs stay byte-identical to pre-fault behavior.
+#[derive(Clone, Debug, Default)]
+pub struct FaultGate {
+    process: Option<FaultProcess>,
+    /// Last admitted instant and its attempt count, used to infer the
+    /// attempt index when a session retries at the same poll instant.
+    last: Option<(SimTime, u32)>,
+}
+
+/// An admitted read attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// The mechanism will serve a value-corrupted sample this attempt;
+    /// the backend decides what the corruption looks like and flags the
+    /// records stale.
+    pub glitch: bool,
+}
+
+impl FaultGate {
+    /// A gate that admits everything (the `FaultPlan::none()` fast path).
+    pub fn none() -> Self {
+        FaultGate::default()
+    }
+
+    /// Build the gate for device `label` from the run's plan and the
+    /// mechanism's own pathology profile.
+    pub fn from_plan(plan: &FaultPlan, label: &str, profile: FaultSpec) -> Self {
+        FaultGate {
+            process: plan.process_for(label, profile),
+            last: None,
+        }
+    }
+
+    /// Does this gate ever inject anything?
+    pub fn is_active(&self) -> bool {
+        self.process.is_some()
+    }
+
+    /// Admit or fail one read attempt at `t`. Consecutive calls at the
+    /// same `t` are treated as retries (attempt 1, 2, …) and redraw.
+    pub fn admit(&mut self, t: SimTime) -> Result<Grant, ReadError> {
+        let Some(process) = &self.process else {
+            return Ok(Grant { glitch: false });
+        };
+        let attempt = match self.last {
+            Some((last_t, a)) if last_t == t => a + 1,
+            _ => 0,
+        };
+        self.last = Some((t, attempt));
+        match process.outcome(t, attempt) {
+            FaultOutcome::Ok => Ok(Grant { glitch: false }),
+            FaultOutcome::Glitch => Ok(Grant { glitch: true }),
+            FaultOutcome::Transient => Err(ReadError::Transient("injected transient fault".into())),
+            FaultOutcome::Timeout(stalled) => Err(ReadError::Timeout { stalled }),
+            FaultOutcome::NoData => Err(ReadError::NoData),
+            FaultOutcome::Blackout => Err(ReadError::Unavailable("sampling blackout".into())),
+        }
+    }
+
+    /// Apply per-record drop faults to an admitted poll's records: returns
+    /// the surviving records and the number silently lost.
+    pub fn filter(&self, t: SimTime, points: Vec<DataPoint>) -> (Vec<DataPoint>, u32) {
+        let Some(process) = &self.process else {
+            return (points, 0);
+        };
+        let mut missing = 0u32;
+        let kept = points
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                if process.drop_record(t, i) {
+                    missing += 1;
+                    None
+                } else {
+                    Some(p)
+                }
+            })
+            .collect();
+        (kept, missing)
+    }
+}
 
 /// A mechanism limitation, stated by the backend itself.
 ///
@@ -67,8 +253,20 @@ pub trait EnvBackend: Send {
     /// `t` is the instant the SIGALRM fired; implementations must return
     /// whatever generation their mechanism would serve at that instant
     /// (stale EMON generations, RAPL counter deltas since the previous
-    /// poll, …).
-    fn poll(&mut self, t: SimTime) -> Vec<DataPoint>;
+    /// poll, …) — or a typed [`ReadError`] describing why the mechanism
+    /// failed to serve. Sessions retry retryable errors with bounded
+    /// exponential backoff and degrade gracefully on the rest.
+    ///
+    /// Calling `read` again with the same `t` is a retry of the same poll;
+    /// fault-injected backends redraw their fault process per attempt.
+    fn read(&mut self, t: SimTime) -> Result<Poll, ReadError>;
+
+    /// Infallible convenience wrapper over [`EnvBackend::read`]: returns
+    /// the served records, or nothing on any failure. Figure and benchmark
+    /// code that predates the fault layer polls through this.
+    fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
+        self.read(t).map(|p| p.points).unwrap_or_default()
+    }
 
     /// Upper bound on records per poll (used to size the preallocated
     /// array).
@@ -122,12 +320,94 @@ mod tests {
         fn capabilities(&self) -> Vec<(Metric, Support)> {
             vec![]
         }
-        fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
-            vec![DataPoint::power(t, "x", "y", 1.0)]
+        fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+            Ok(Poll::complete(vec![DataPoint::power(t, "x", "y", 1.0)]))
         }
         fn records_per_poll(&self) -> usize {
             1
         }
+    }
+
+    #[test]
+    fn provided_poll_discards_errors() {
+        struct Failing;
+        impl EnvBackend for Failing {
+            fn name(&self) -> &'static str {
+                "failing"
+            }
+            fn platform(&self) -> Platform {
+                Platform::Rapl
+            }
+            fn min_interval(&self) -> SimDuration {
+                SimDuration::from_millis(60)
+            }
+            fn poll_cost(&self) -> SimDuration {
+                SimDuration::ZERO
+            }
+            fn capabilities(&self) -> Vec<(Metric, Support)> {
+                vec![]
+            }
+            fn read(&mut self, _t: SimTime) -> Result<Poll, ReadError> {
+                Err(ReadError::NoData)
+            }
+            fn records_per_poll(&self) -> usize {
+                1
+            }
+        }
+        assert!(Failing.poll(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn gate_infers_attempts_from_repeated_instant() {
+        let plan = FaultPlan::uniform(11, 0.2);
+        let mut gate = FaultGate::from_plan(&plan, "dev", FaultSpec::zero());
+        assert!(gate.is_active());
+        // Find an instant whose first attempt fails but a retry clears.
+        let mut recovered = false;
+        for k in 1..400u64 {
+            let t = SimTime::from_millis(k * 60);
+            if gate.admit(t).is_err() && gate.admit(t).is_ok() {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "retries never redraw through the gate");
+    }
+
+    #[test]
+    fn inactive_gate_admits_everything() {
+        let mut gate = FaultGate::none();
+        assert!(!gate.is_active());
+        for k in 0..100u64 {
+            assert_eq!(
+                gate.admit(SimTime::from_millis(k)),
+                Ok(Grant { glitch: false })
+            );
+        }
+        let pts = vec![DataPoint::power(SimTime::ZERO, "d", "x", 1.0)];
+        let (kept, missing) = gate.filter(SimTime::ZERO, pts.clone());
+        assert_eq!(kept, pts);
+        assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn gate_filter_drops_records_deterministically() {
+        let spec = FaultSpec {
+            drop_record: 0.3,
+            ..FaultSpec::zero()
+        };
+        let plan = FaultPlan::Uniform { seed: 5, spec };
+        let gate = FaultGate::from_plan(&plan, "dev", FaultSpec::zero());
+        let t = SimTime::from_secs(1);
+        let pts: Vec<DataPoint> = (0..64)
+            .map(|i| DataPoint::power(t, &format!("d{i}"), "x", 1.0))
+            .collect();
+        let (kept_a, missing_a) = gate.filter(t, pts.clone());
+        let (kept_b, missing_b) = gate.filter(t, pts.clone());
+        assert_eq!(kept_a, kept_b);
+        assert_eq!(missing_a, missing_b);
+        assert!(missing_a > 0, "0.3 drop rate over 64 records lost nothing");
+        assert_eq!(kept_a.len() + missing_a as usize, pts.len());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The Blue Gene/Q backend: EMON at node-card granularity.
 
-use crate::backend::EnvBackend;
+use crate::backend::{EnvBackend, FaultGate, Poll, ReadError};
 use crate::reading::DataPoint;
 use bgq_sim::{BgqMachine, DomainReading, EmonApi, EMON_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultPlan;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -13,6 +14,7 @@ use std::sync::Arc;
 pub struct BgqBackend {
     machine: Arc<BgqMachine>,
     api: EmonApi,
+    gate: FaultGate,
 }
 
 impl BgqBackend {
@@ -21,7 +23,17 @@ impl BgqBackend {
         BgqBackend {
             machine,
             api: EmonApi::open(board_index),
+            gate: FaultGate::none(),
         }
+    }
+
+    /// Subject this backend to the run's fault plan under the BG/Q
+    /// pathology profile ([`bgq_sim::fault_profile`]: late-committed
+    /// generations, missing envdb rows). `label` names the device's fault
+    /// stream; use a per-rank label so ranks fail independently.
+    pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
+        self.gate = FaultGate::from_plan(plan, label, bgq_sim::fault_profile());
+        self
     }
 
     /// The node card this backend reads (the 32-node granularity).
@@ -51,8 +63,10 @@ impl EnvBackend for BgqBackend {
         bgq_sim::capabilities()
     }
 
-    fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
-        self.api
+    fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+        let grant = self.gate.admit(t)?;
+        let mut points: Vec<DataPoint> = self
+            .api
             .read_domains(&self.machine, t)
             .iter()
             .map(|r: &DomainReading| DataPoint {
@@ -63,8 +77,17 @@ impl EnvBackend for BgqBackend {
                 volts: Some(r.volts),
                 amps: Some(r.amps),
                 temp_c: None,
+                stale: false,
             })
-            .collect()
+            .collect();
+        if grant.glitch {
+            for p in &mut points {
+                p.stale = true;
+            }
+        }
+        // Missing envdb rows: individual domain records silently lost.
+        let (kept, missing) = self.gate.filter(t, points);
+        Ok(Poll::with_missing(kept, missing))
     }
 
     fn records_per_poll(&self) -> usize {

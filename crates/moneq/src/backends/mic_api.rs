@@ -1,9 +1,10 @@
 //! The Xeon Phi in-band backend (SysMgmt over SCIF).
 
-use crate::backend::EnvBackend;
+use crate::backend::{EnvBackend, FaultGate, Poll, ReadError};
 use crate::reading::DataPoint;
 use mic_sim::{PhiCard, ScifNetwork, Smc, SysMgmtSession, MIC_API_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultPlan;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -17,6 +18,7 @@ pub struct MicApiBackend {
     session: SysMgmtSession,
     card: Arc<PhiCard>,
     smc: Arc<Smc>,
+    gate: FaultGate,
 }
 
 impl MicApiBackend {
@@ -30,7 +32,18 @@ impl MicApiBackend {
             session,
             card,
             smc,
+            gate: FaultGate::none(),
         }
+    }
+
+    /// Subject this backend to the run's fault plan under the Phi
+    /// pathology profile ([`mic_sim::fault_profile`]: unresponsive on-card
+    /// software, transient SCIF failures, empty generations). `label`
+    /// names the device's fault stream; use a per-rank label so ranks fail
+    /// independently.
+    pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
+        self.gate = FaultGate::from_plan(plan, label, mic_sim::fault_profile());
+        self
     }
 }
 
@@ -55,12 +68,13 @@ impl EnvBackend for MicApiBackend {
         mic_sim::capabilities()
     }
 
-    fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
+    fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+        let grant = self.gate.admit(t)?;
         let (reading, _done) = self
             .session
             .query_power(&mut self.net, &self.card, &self.smc, t)
             .expect("established session");
-        vec![DataPoint {
+        let point = DataPoint {
             timestamp: t,
             device: "mic0".into(),
             domain: "card".into(),
@@ -68,7 +82,10 @@ impl EnvBackend for MicApiBackend {
             volts: Some(reading.vccp_volts),
             amps: Some(reading.vccp_amps),
             temp_c: Some(reading.die_temp_c),
-        }]
+            stale: grant.glitch,
+        };
+        let (kept, missing) = self.gate.filter(t, vec![point]);
+        Ok(Poll::with_missing(kept, missing))
     }
 
     fn records_per_poll(&self) -> usize {

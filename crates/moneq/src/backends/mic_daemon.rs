@@ -1,11 +1,12 @@
 //! The Xeon Phi MICRAS-daemon backend (device-side pseudo-file reads).
 
-use crate::backend::EnvBackend;
+use crate::backend::{EnvBackend, FaultGate, Poll, ReadError};
 use crate::reading::DataPoint;
 use hpc_workloads::WorkloadProfile;
 use mic_sim::micras::{PowerFileReading, POWER_FILE, TEMP_FILE};
 use mic_sim::{MicrasDaemon, PhiCard, Smc, MIC_DAEMON_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultPlan;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -17,13 +18,28 @@ use std::sync::Arc;
 pub struct MicDaemonBackend {
     daemon: MicrasDaemon,
     card: Arc<PhiCard>,
+    gate: FaultGate,
 }
 
 impl MicDaemonBackend {
     /// Start the daemon for `card` and attach.
     pub fn new(card: Arc<PhiCard>, smc: Arc<Smc>, profile: &WorkloadProfile) -> Self {
         let daemon = MicrasDaemon::start(card.clone(), smc, profile);
-        MicDaemonBackend { daemon, card }
+        MicDaemonBackend {
+            daemon,
+            card,
+            gate: FaultGate::none(),
+        }
+    }
+
+    /// Subject this backend to the run's fault plan under the Phi
+    /// pathology profile ([`mic_sim::fault_profile`]: an unresponsive
+    /// MICRAS daemon, transient pseudo-file read failures, empty
+    /// generations). `label` names the device's fault stream; use a
+    /// per-rank label so ranks fail independently.
+    pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
+        self.gate = FaultGate::from_plan(plan, label, mic_sim::fault_profile());
+        self
     }
 
     /// Temperature read (a second pseudo-file; optional extra cost).
@@ -57,14 +73,15 @@ impl EnvBackend for MicDaemonBackend {
         mic_sim::capabilities()
     }
 
-    fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
+    fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+        let grant = self.gate.admit(t)?;
         let text = self
             .daemon
             .read_file(POWER_FILE, t)
             .expect("daemon running");
         let r = PowerFileReading::parse(&text).expect("well-formed pseudo-file");
         let _ = &self.card;
-        vec![DataPoint {
+        let point = DataPoint {
             timestamp: t,
             device: "mic0".into(),
             domain: "card".into(),
@@ -72,7 +89,10 @@ impl EnvBackend for MicDaemonBackend {
             volts: Some(r.vccp_uv as f64 / 1e6),
             amps: Some(r.vccp_ua as f64 / 1e6),
             temp_c: None,
-        }]
+            stale: grant.glitch,
+        };
+        let (kept, missing) = self.gate.filter(t, vec![point]);
+        Ok(Poll::with_missing(kept, missing))
     }
 
     fn records_per_poll(&self) -> usize {

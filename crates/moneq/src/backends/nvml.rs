@@ -1,9 +1,10 @@
 //! The NVML backend: board power + temperature per GPU.
 
-use crate::backend::EnvBackend;
+use crate::backend::{EnvBackend, FaultGate, Poll, ReadError};
 use crate::reading::DataPoint;
 use nvml_sim::{Nvml, NVML_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultPlan;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -21,6 +22,7 @@ pub struct NvmlBackend {
     /// slow MonEQ interval still captures every hardware refresh.
     use_sample_buffer: bool,
     last_drained: SimTime,
+    gate: FaultGate,
 }
 
 impl NvmlBackend {
@@ -31,6 +33,7 @@ impl NvmlBackend {
             unsupported_devices: 0,
             use_sample_buffer: false,
             last_drained: SimTime::ZERO,
+            gate: FaultGate::none(),
         }
     }
 
@@ -40,6 +43,17 @@ impl NvmlBackend {
             use_sample_buffer: true,
             ..Self::new(nvml)
         }
+    }
+
+    /// Subject this backend to the run's fault plan under the NVML
+    /// pathology profile ([`nvml_sim::fault_profile`]: second-scale
+    /// sampling blackouts, transient query failures). The blackout covers
+    /// the whole driver, so every enumerated GPU goes dark together.
+    /// `label` names the device's fault stream; use a per-rank label so
+    /// ranks fail independently.
+    pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
+        self.gate = FaultGate::from_plan(plan, label, nvml_sim::fault_profile());
+        self
     }
 }
 
@@ -65,7 +79,11 @@ impl EnvBackend for NvmlBackend {
         nvml_sim::capabilities()
     }
 
-    fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
+    fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+        // A blackout or transient failure skips the drain entirely;
+        // `last_drained` then stays put, so the next successful poll
+        // catches up on the ring samples the blackout skipped.
+        let grant = self.gate.admit(t)?;
         let mut out = Vec::with_capacity(self.nvml.device_count());
         self.unsupported_devices = 0;
         for i in 0..self.nvml.device_count() {
@@ -97,6 +115,7 @@ impl EnvBackend for NvmlBackend {
                         volts: None,
                         amps: None,
                         temp_c: temp,
+                        stale: false,
                     });
                 }
                 Err(_) => self.unsupported_devices += 1,
@@ -105,7 +124,13 @@ impl EnvBackend for NvmlBackend {
         if self.use_sample_buffer {
             self.last_drained = t;
         }
-        out
+        if grant.glitch {
+            for p in &mut out {
+                p.stale = true;
+            }
+        }
+        let (kept, missing) = self.gate.filter(t, out);
+        Ok(Poll::with_missing(kept, missing))
     }
 
     fn records_per_poll(&self) -> usize {

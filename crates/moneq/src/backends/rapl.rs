@@ -1,9 +1,10 @@
 //! The RAPL backend: MSR snapshots turned into per-domain power.
 
-use crate::backend::EnvBackend;
+use crate::backend::{EnvBackend, FaultGate, Poll, ReadError};
 use crate::reading::DataPoint;
 use powermodel::{Metric, Platform, Support};
 use rapl_sim::{MsrAccess, MsrDevice, PowerReader, RaplDomain, SocketModel, MSR_QUERY_COST};
+use simkit::fault::FaultPlan;
 use simkit::{NoiseStream, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -14,6 +15,7 @@ use std::sync::Arc;
 pub struct RaplBackend {
     reader: PowerReader,
     prev: Option<(SimTime, [u64; 4])>,
+    gate: FaultGate,
 }
 
 impl RaplBackend {
@@ -25,7 +27,18 @@ impl RaplBackend {
         Ok(RaplBackend {
             reader: PowerReader::new(device),
             prev: None,
+            gate: FaultGate::none(),
         })
+    }
+
+    /// Subject this backend to the run's fault plan under the RAPL
+    /// pathology profile ([`rapl_sim::fault_profile`]: transient `EIO`
+    /// reads, stuck/wrapped counters, brief driver stalls). `label` names
+    /// the device's fault stream; use a per-rank label so ranks fail
+    /// independently.
+    pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
+        self.gate = FaultGate::from_plan(plan, label, rapl_sim::fault_profile());
+        self
     }
 
     fn snapshots(&self, t: SimTime) -> [u64; 4] {
@@ -60,7 +73,28 @@ impl EnvBackend for RaplBackend {
         rapl_sim::capabilities()
     }
 
-    fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
+    fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+        let grant = self.gate.admit(t)?;
+        if grant.glitch {
+            // Stuck counter: the MSR serves the previous raw values again,
+            // so the energy delta over the window is zero — 0 W, flagged
+            // stale. `prev` is deliberately NOT advanced: the next clean
+            // poll computes power over the whole elapsed span, so energy
+            // stays conserved (this is the paper's missed-wrap
+            // under-reporting made explicit and recoverable).
+            let out = match self.prev {
+                None => Vec::new(),
+                Some(_) => RaplDomain::ALL
+                    .iter()
+                    .map(|d| {
+                        let mut p = DataPoint::power(t, "socket0", d.name(), 0.0);
+                        p.stale = true;
+                        p
+                    })
+                    .collect(),
+            };
+            return Ok(Poll::complete(out));
+        }
         let now = self.snapshots(t);
         let out = match self.prev {
             None => Vec::new(),
@@ -81,7 +115,8 @@ impl EnvBackend for RaplBackend {
             }
         };
         self.prev = Some((t, now));
-        out
+        let (kept, missing) = self.gate.filter(t, out);
+        Ok(Poll::with_missing(kept, missing))
     }
 
     fn records_per_poll(&self) -> usize {

@@ -8,12 +8,21 @@
 //! Table III's scale sweep.
 
 use crate::backend::EnvBackend;
+use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::OverheadReport;
 use crate::session::{FinalizeResult, MonEq, MonEqConfig};
 use simkit::{SimDuration, SimTime, TimeSeries};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Number of CPUs the host actually has (1 when it cannot be determined —
+/// the safe assumption, since it keeps the run serial).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// Default number of consecutive ranks dispatched to a worker as one unit.
 ///
@@ -46,6 +55,9 @@ pub struct ClusterResult {
     pub overheads: Vec<OverheadReport>,
     /// Total records dropped across agents.
     pub dropped_records: u64,
+    /// Per-rank completeness reports (rank → one entry per backend), in
+    /// rank order like [`ClusterResult::files`].
+    pub completeness: Vec<Vec<Completeness>>,
 }
 
 impl ClusterRun {
@@ -55,9 +67,30 @@ impl ClusterRun {
     pub fn launch<B, N>(
         agents: usize,
         interval: Option<SimDuration>,
+        make_backend: B,
+        name: N,
+        now: SimTime,
+    ) -> Self
+    where
+        B: FnMut(usize) -> Box<dyn EnvBackend>,
+        N: FnMut(usize) -> String,
+    {
+        let base = MonEqConfig {
+            interval,
+            ..MonEqConfig::default()
+        };
+        Self::launch_with(agents, make_backend, name, now, base)
+    }
+
+    /// Launch with an explicit base configuration (retry policy, record
+    /// capacity, …). Per-rank `agent_name` and `total_agents` are still
+    /// filled in here; the rest of `base` applies to every rank.
+    pub fn launch_with<B, N>(
+        agents: usize,
         mut make_backend: B,
         mut name: N,
         now: SimTime,
+        base: MonEqConfig,
     ) -> Self
     where
         B: FnMut(usize) -> Box<dyn EnvBackend>,
@@ -70,10 +103,9 @@ impl ClusterRun {
                     rank as u32,
                     vec![make_backend(rank)],
                     MonEqConfig {
-                        interval,
                         agent_name: name(rank),
                         total_agents: agents,
-                        ..MonEqConfig::default()
+                        ..base.clone()
                     },
                     now,
                 )
@@ -87,7 +119,11 @@ impl ClusterRun {
     }
 
     /// Set the worker-pool width for `run_until`/`finalize`. `1` (the
-    /// default) keeps the run fully serial on the calling thread.
+    /// default) keeps the run fully serial on the calling thread. The
+    /// effective pool is additionally capped by [`host_cpus`] — asking for
+    /// more workers than the host has cores only adds scheduling overhead
+    /// (the 49k-agent regression this cap fixed), and on a single-CPU host
+    /// the run stays on the serial path entirely.
     pub fn with_par_agents(mut self, workers: usize) -> Self {
         assert!(workers >= 1, "at least one worker required");
         self.par_agents = workers;
@@ -111,13 +147,27 @@ impl ClusterRun {
         self.sessions.len()
     }
 
+    /// Worker count actually used for `n_chunks` dispatch units: the
+    /// requested width, capped by the chunk count and the host's CPUs.
+    /// Returns 1 (serial path, no pool at all) when the host has a single
+    /// CPU or there is at most one chunk — spawning workers then only adds
+    /// overhead with zero possible speedup.
+    fn effective_workers(&self, n_chunks: usize) -> usize {
+        if n_chunks < 2 {
+            return 1;
+        }
+        self.par_agents.min(n_chunks).min(host_cpus())
+    }
+
     /// Advance every rank's timer to `until`.
     ///
     /// With `par_agents > 1` the sessions advance concurrently on a scoped
     /// worker pool; each session still observes exactly the serial event
     /// sequence, because no state is shared between ranks.
     pub fn run_until(&mut self, until: SimTime) {
-        if self.par_agents <= 1 || self.sessions.len() <= 1 {
+        let n_chunks = self.sessions.len().div_ceil(self.chunk_size.max(1));
+        let workers = self.effective_workers(n_chunks);
+        if workers <= 1 {
             for s in &mut self.sessions {
                 s.run_until(until);
             }
@@ -128,7 +178,6 @@ impl ClusterRun {
             .chunks_mut(self.chunk_size)
             .map(Mutex::new)
             .collect();
-        let workers = self.par_agents.min(chunks.len());
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -165,7 +214,9 @@ impl ClusterRun {
     /// order, so the result is byte-identical to a serial finalize.
     pub fn finalize(self, now: SimTime) -> ClusterResult {
         let n = self.sessions.len();
-        let results: Vec<FinalizeResult> = if self.par_agents <= 1 || n <= 1 {
+        let n_chunks = n.div_ceil(self.chunk_size.max(1));
+        let workers = self.effective_workers(n_chunks);
+        let results: Vec<FinalizeResult> = if workers <= 1 {
             self.sessions.into_iter().map(|s| s.finalize(now)).collect()
         } else {
             // One slot per chunk of consecutive ranks: workers claim chunk
@@ -180,7 +231,6 @@ impl ClusterRun {
                 }
                 slots.push(Mutex::new((chunk, Vec::new())));
             }
-            let workers = self.par_agents.min(slots.len());
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -203,16 +253,19 @@ impl ClusterRun {
         };
         let mut files = Vec::with_capacity(n);
         let mut overheads = Vec::with_capacity(n);
+        let mut completeness = Vec::with_capacity(n);
         let mut dropped = 0;
         for r in results {
             files.push(r.file);
             overheads.push(r.overhead);
+            completeness.push(r.completeness);
             dropped += r.dropped_records;
         }
         ClusterResult {
             files,
             overheads,
             dropped_records: dropped,
+            completeness,
         }
     }
 }
@@ -249,6 +302,23 @@ impl ClusterResult {
     /// Write every agent's file into `dir` (the real finalize side effect).
     pub fn write_all(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
         self.files.iter().map(|f| f.write_to(dir)).collect()
+    }
+
+    /// The run-wide completeness report: every rank's per-device counters
+    /// folded together by device (backend) name, in first-seen order. The
+    /// counters still reconcile after merging — sums of exact invariants
+    /// are exact.
+    pub fn completeness_by_device(&self) -> Vec<Completeness> {
+        let mut merged: Vec<Completeness> = Vec::new();
+        for per_rank in &self.completeness {
+            for c in per_rank {
+                match merged.iter_mut().find(|m| m.device == c.device) {
+                    Some(m) => m.absorb(c),
+                    None => merged.push(c.clone()),
+                }
+            }
+        }
+        merged
     }
 
     /// The Table III view: the slowest agent's ledger per phase (the
@@ -289,8 +359,13 @@ mod tests {
         fn capabilities(&self) -> Vec<(Metric, Support)> {
             vec![]
         }
-        fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
-            vec![DataPoint::power(t, "dev", "d", 100.0 + self.rank as f64)]
+        fn read(&mut self, t: SimTime) -> Result<crate::backend::Poll, crate::backend::ReadError> {
+            Ok(crate::backend::Poll::complete(vec![DataPoint::power(
+                t,
+                "dev",
+                "d",
+                100.0 + self.rank as f64,
+            )]))
         }
         fn records_per_poll(&self) -> usize {
             1
@@ -402,11 +477,13 @@ mod tests {
                 DataPoint::power(t1, "a", "d", 2.0), // late, out of order
             ],
             tags: vec![],
+            completeness: vec![],
         };
         let result = ClusterResult {
             files: vec![file],
             overheads: vec![OverheadReport::default()],
             dropped_records: 0,
+            completeness: vec![vec![]],
         };
         let series = result.agent_series(0, "a");
         let samples = series.samples();
@@ -415,6 +492,38 @@ mod tests {
         assert!((samples[0].value - 17.0).abs() < 1e-12);
         assert_eq!(samples[1].at, t2);
         assert!((samples[1].value - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completeness_gathered_per_rank_and_mergeable() {
+        let mut run = launch(3);
+        run.run_until(SimTime::from_secs(1));
+        let result = run.finalize(SimTime::from_secs(1));
+        assert_eq!(result.completeness.len(), 3);
+        for per_rank in &result.completeness {
+            assert_eq!(per_rank.len(), 1);
+            assert!(per_rank[0].is_clean() && per_rank[0].reconciles());
+        }
+        let merged = result.completeness_by_device();
+        assert_eq!(merged.len(), 1, "all ranks share the one backend name");
+        assert_eq!(merged[0].device, "fake");
+        let total: u64 = result.completeness.iter().map(|r| r[0].scheduled).sum();
+        assert_eq!(merged[0].scheduled, total);
+        assert!(merged[0].reconciles());
+    }
+
+    #[test]
+    fn effective_workers_caps_by_chunks_and_host() {
+        let run = launch(4).with_par_agents(64).with_chunk_size(1);
+        // One chunk -> strictly serial, no pool.
+        assert_eq!(run.effective_workers(1), 1);
+        // Many chunks: capped by host CPUs (and never above the request).
+        let w = run.effective_workers(100);
+        assert!(w <= host_cpus().max(1));
+        assert!((1..=64).contains(&w));
+        if host_cpus() == 1 {
+            assert_eq!(w, 1, "single-CPU hosts must take the serial path");
+        }
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The completeness report: what was collected, what was lost.
+//!
+//! §IV's "stated limitations" request, extended to the failure axis: a
+//! production collector must not only collect, it must *account* — for
+//! every device, how many polls were scheduled, how many succeeded, how
+//! many fell back to the last good value, how many yielded nothing, and
+//! how many records each outcome represents. The invariants are exact:
+//!
+//! * `scheduled == succeeded + stale_polls + missed_polls`
+//! * `records_expected() == records_fresh + records_stale + records_lost`
+//!
+//! and are enforced by the fault property tests, serial and parallel.
+//!
+//! ```
+//! use moneq::Completeness;
+//!
+//! let mut c = Completeness::new("gpu0");
+//! c.scheduled = 10;
+//! c.succeeded = 8;
+//! c.stale_polls = 1;
+//! c.missed_polls = 1;
+//! c.records_fresh = 8;
+//! c.records_stale = 1;
+//! c.records_lost = 1;
+//! assert!(c.reconciles());
+//! assert_eq!(c.records_expected(), 10);
+//! assert!((c.fresh_fraction() - 0.8).abs() < 1e-12);
+//! ```
+
+/// Per-device completeness counters for one session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Completeness {
+    /// Device (backend) the counters describe.
+    pub device: String,
+    /// Timer fires that scheduled a poll of this device (including fires
+    /// after the device was disabled).
+    pub scheduled: u64,
+    /// Polls whose read ultimately returned data (possibly after retries).
+    pub succeeded: u64,
+    /// Retry attempts performed across all polls.
+    pub retried: u64,
+    /// Polls that failed outright and were served from the last good value.
+    pub stale_polls: u64,
+    /// Polls that yielded nothing at all (no last good value to substitute,
+    /// or the device was disabled).
+    pub missed_polls: u64,
+    /// Fresh records collected.
+    pub records_fresh: u64,
+    /// Stale records: last-good-value substitutes plus glitched samples the
+    /// mechanism served while failing.
+    pub records_stale: u64,
+    /// Records lost: silently dropped by the mechanism, or never produced
+    /// because the poll missed entirely.
+    pub records_lost: u64,
+    /// Virtual-time nanosecond at which the device was disabled after too
+    /// many consecutive failures; `None` if it stayed enabled.
+    pub disabled_at_ns: Option<u64>,
+}
+
+impl Completeness {
+    /// Fresh counters for `device`.
+    pub fn new(device: impl Into<String>) -> Self {
+        Completeness {
+            device: device.into(),
+            ..Completeness::default()
+        }
+    }
+
+    /// Records the run should account for: every record either arrived
+    /// fresh, arrived stale, or is known lost.
+    pub fn records_expected(&self) -> u64 {
+        self.records_fresh + self.records_stale + self.records_lost
+    }
+
+    /// Do the counters reconcile exactly? (The two completeness
+    /// invariants; trivially true for a clean run.)
+    pub fn reconciles(&self) -> bool {
+        self.scheduled == self.succeeded + self.stale_polls + self.missed_polls
+    }
+
+    /// `true` when no fault left any trace: nothing retried, stale,
+    /// missed, lost, or disabled. Clean reports are omitted from output
+    /// files so un-faulted runs stay byte-identical.
+    pub fn is_clean(&self) -> bool {
+        self.retried == 0
+            && self.stale_polls == 0
+            && self.missed_polls == 0
+            && self.records_stale == 0
+            && self.records_lost == 0
+            && self.disabled_at_ns.is_none()
+    }
+
+    /// Fraction of expected records that arrived fresh (1.0 for an empty
+    /// report).
+    pub fn fresh_fraction(&self) -> f64 {
+        let expected = self.records_expected();
+        if expected == 0 {
+            1.0
+        } else {
+            self.records_fresh as f64 / expected as f64
+        }
+    }
+
+    /// Fold another device's counters into this one (used to aggregate
+    /// across ranks; `disabled_at_ns` keeps the earliest disable).
+    pub fn absorb(&mut self, other: &Completeness) {
+        self.scheduled += other.scheduled;
+        self.succeeded += other.succeeded;
+        self.retried += other.retried;
+        self.stale_polls += other.stale_polls;
+        self.missed_polls += other.missed_polls;
+        self.records_fresh += other.records_fresh;
+        self.records_stale += other.records_stale;
+        self.records_lost += other.records_lost;
+        self.disabled_at_ns = match (self.disabled_at_ns, other.disabled_at_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_reconciles_trivially() {
+        let mut c = Completeness::new("dev");
+        c.scheduled = 5;
+        c.succeeded = 5;
+        c.records_fresh = 5;
+        assert!(c.reconciles());
+        assert!(c.is_clean());
+        assert_eq!(c.fresh_fraction(), 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_and_keeps_earliest_disable() {
+        let mut a = Completeness::new("dev");
+        a.scheduled = 3;
+        a.succeeded = 2;
+        a.missed_polls = 1;
+        a.records_lost = 1;
+        let mut b = Completeness::new("dev");
+        b.scheduled = 4;
+        b.succeeded = 4;
+        b.records_fresh = 4;
+        b.disabled_at_ns = Some(9);
+        a.absorb(&b);
+        assert_eq!(a.scheduled, 7);
+        assert_eq!(a.succeeded, 6);
+        assert_eq!(a.disabled_at_ns, Some(9));
+        assert!(a.reconciles());
+        let mut c = Completeness::new("dev");
+        c.disabled_at_ns = Some(4);
+        a.absorb(&c);
+        assert_eq!(a.disabled_at_ns, Some(4));
+    }
+
+    #[test]
+    fn empty_report_is_fully_fresh() {
+        let c = Completeness::new("dev");
+        assert_eq!(c.fresh_fraction(), 1.0);
+        assert!(c.is_clean() && c.reconciles());
+    }
+}

@@ -43,20 +43,29 @@
 //!   runtime overhead is the periodic poll, charged per backend at the
 //!   paper's measured per-query costs ([`overhead`]).
 
+//!
+//! Under fault injection ([`simkit::fault`]) the same sessions degrade
+//! gracefully instead of crashing: typed read errors, bounded retry with
+//! exponential backoff, last-good-value substitution with staleness flags,
+//! per-device disable, and an exact per-device [`Completeness`] report
+//! ([`completeness`]).
+
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backend;
 pub mod backends;
 pub mod cluster;
+pub mod completeness;
 pub mod output;
 pub mod overhead;
 pub mod reading;
 pub mod session;
 pub mod tags;
 
-pub use backend::{EnvBackend, StatedLimitation};
-pub use cluster::{ClusterResult, ClusterRun};
+pub use backend::{EnvBackend, FaultGate, Grant, Poll, ReadError, RetryPolicy, StatedLimitation};
+pub use cluster::{host_cpus, ClusterResult, ClusterRun};
+pub use completeness::Completeness;
 pub use output::{OutputFile, ParseError};
 pub use overhead::{finalize_time, init_time, OverheadReport};
 pub use reading::DataPoint;

@@ -7,6 +7,7 @@
 //! for post-processing — the same workflow as real MonEQ's analysis
 //! scripts.
 
+use crate::completeness::Completeness;
 use crate::reading::DataPoint;
 use crate::tags::{TagEvent, TagKind};
 use simkit::SimTime;
@@ -30,6 +31,10 @@ pub struct OutputFile {
     pub points: Vec<DataPoint>,
     /// Tag markers.
     pub tags: Vec<TagEvent>,
+    /// Per-device completeness counters (`CMP` lines). Empty for a clean
+    /// run — the file then renders byte-identically to the pre-fault
+    /// format; any degraded device puts every device's counters here.
+    pub completeness: Vec<Completeness>,
 }
 
 /// Parse failures.
@@ -164,7 +169,7 @@ impl OutputFile {
         );
         let _ = writeln!(out, "# interval_ns: {}", self.interval_ns);
         for p in &self.points {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 p.timestamp.as_nanos(),
@@ -175,6 +180,13 @@ impl OutputFile {
                 opt(p.amps),
                 opt(p.temp_c),
             );
+            // The stale marker is an 8th field present only when set, so
+            // fresh records render exactly as they did before the fault
+            // layer existed.
+            if p.stale {
+                out.push_str("\tS");
+            }
+            out.push('\n');
         }
         for t in &self.tags {
             let _ = writeln!(
@@ -183,6 +195,25 @@ impl OutputFile {
                 escape(&t.label),
                 t.kind.marker(),
                 t.at.as_nanos()
+            );
+        }
+        for c in &self.completeness {
+            let _ = writeln!(
+                out,
+                "CMP\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                escape(&c.device),
+                c.scheduled,
+                c.succeeded,
+                c.retried,
+                c.stale_polls,
+                c.missed_polls,
+                c.records_fresh,
+                c.records_stale,
+                c.records_lost,
+                match c.disabled_at_ns {
+                    Some(ns) => ns.to_string(),
+                    None => "-".to_owned(),
+                },
             );
         }
         out
@@ -205,6 +236,7 @@ impl OutputFile {
         let mut interval_ns = None;
         let mut points = Vec::new();
         let mut tags = Vec::new();
+        let mut completeness = Vec::new();
         for (i, line) in lines {
             let ln = i + 1;
             if line.is_empty() {
@@ -247,9 +279,38 @@ impl OutputFile {
                 });
                 continue;
             }
-            if fields.len() != 7 {
-                return Err(err(ln, "record needs 7 fields"));
+            if fields[0] == "CMP" {
+                if fields.len() != 11 {
+                    return Err(err(ln, "CMP line needs 11 fields"));
+                }
+                let count = |s: &str, what: &str| -> Result<u64, ParseError> {
+                    s.parse().map_err(|_| err(ln, &format!("bad {what}")))
+                };
+                completeness.push(Completeness {
+                    device: unescape(fields[1]).map_err(|m| err(ln, &m))?,
+                    scheduled: count(fields[2], "scheduled count")?,
+                    succeeded: count(fields[3], "succeeded count")?,
+                    retried: count(fields[4], "retried count")?,
+                    stale_polls: count(fields[5], "stale-poll count")?,
+                    missed_polls: count(fields[6], "missed-poll count")?,
+                    records_fresh: count(fields[7], "fresh-record count")?,
+                    records_stale: count(fields[8], "stale-record count")?,
+                    records_lost: count(fields[9], "lost-record count")?,
+                    disabled_at_ns: if fields[10] == "-" {
+                        None
+                    } else {
+                        Some(count(fields[10], "disable timestamp")?)
+                    },
+                });
+                continue;
             }
+            // 7 fields for a fresh record, 8 when the stale marker is set.
+            let stale = match fields.len() {
+                7 => false,
+                8 if fields[7] == "S" => true,
+                8 => return Err(err(ln, "8th record field must be the stale marker S")),
+                _ => return Err(err(ln, "record needs 7 or 8 fields")),
+            };
             points.push(DataPoint {
                 timestamp: SimTime::from_nanos(
                     fields[0].parse().map_err(|_| err(ln, "bad timestamp"))?,
@@ -260,6 +321,7 @@ impl OutputFile {
                 volts: parse_opt(fields[4]).map_err(|m| err(ln, &m))?,
                 amps: parse_opt(fields[5]).map_err(|m| err(ln, &m))?,
                 temp_c: parse_opt(fields[6]).map_err(|m| err(ln, &m))?,
+                stale,
             });
         }
         Ok(OutputFile {
@@ -269,6 +331,7 @@ impl OutputFile {
             interval_ns: interval_ns.ok_or_else(|| err(0, "missing interval header"))?,
             points,
             tags,
+            completeness,
         })
     }
 }
@@ -292,6 +355,7 @@ mod tests {
                     volts: Some(0.9),
                     amps: Some(778.06),
                     temp_c: None,
+                    stale: false,
                 },
                 DataPoint::power(SimTime::from_millis(1_120), "nodecard", "DRAM", 237.0),
             ],
@@ -307,6 +371,7 @@ mod tests {
                     at: SimTime::from_millis(900),
                 },
             ],
+            completeness: vec![],
         }
     }
 
@@ -411,6 +476,60 @@ mod tests {
             let n = line.split('\t').count();
             assert!(n == 7 || (line.starts_with("TAG\t") && n == 4), "{line:?}");
         }
+    }
+
+    #[test]
+    fn stale_marker_roundtrips_and_fresh_records_render_unchanged() {
+        let mut f = sample_file();
+        f.points[1].stale = true;
+        let text = f.render();
+        let stale_line = text.lines().find(|l| l.contains("DRAM")).unwrap();
+        assert!(stale_line.ends_with("\tS"), "{stale_line:?}");
+        assert_eq!(stale_line.split('\t').count(), 8);
+        // The fresh record keeps the exact 7-field pre-fault framing.
+        let fresh_line = text.lines().find(|l| l.contains("Chip Core")).unwrap();
+        assert_eq!(fresh_line.split('\t').count(), 7);
+        let back = OutputFile::parse(&text).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn completeness_roundtrips_through_cmp_lines() {
+        let mut f = sample_file();
+        let mut c = Completeness::new("bgq-emon");
+        c.scheduled = 10;
+        c.succeeded = 8;
+        c.retried = 3;
+        c.stale_polls = 1;
+        c.missed_polls = 1;
+        c.records_fresh = 56;
+        c.records_stale = 7;
+        c.records_lost = 7;
+        c.disabled_at_ns = Some(5_600_000_000);
+        let mut clean = Completeness::new("rapl\tmsr"); // hostile name
+        clean.scheduled = 10;
+        clean.succeeded = 10;
+        clean.records_fresh = 40;
+        f.completeness = vec![c, clean];
+        let text = f.render();
+        assert_eq!(text.lines().filter(|l| l.starts_with("CMP\t")).count(), 2);
+        let back = OutputFile::parse(&text).unwrap();
+        assert_eq!(back, f);
+        assert!(back.completeness[0].reconciles());
+    }
+
+    #[test]
+    fn malformed_stale_and_cmp_lines_rejected() {
+        let good = sample_file().render();
+        // An 8th field that is not the stale marker.
+        let bad_marker = good.replacen("\t-\n", "\t-\tX\n", 1);
+        assert!(OutputFile::parse(&bad_marker).is_err());
+        // A CMP line with too few fields.
+        let bad_cmp = format!("{good}CMP\tdev\t1\t1\n");
+        assert!(OutputFile::parse(&bad_cmp).is_err());
+        // A CMP line with a non-numeric counter.
+        let bad_count = format!("{good}CMP\tdev\tx\t0\t0\t0\t0\t0\t0\t0\t-\n");
+        assert!(OutputFile::parse(&bad_count).is_err());
     }
 
     #[test]

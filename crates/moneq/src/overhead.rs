@@ -2,7 +2,7 @@
 //!
 //! MonEQ's overhead has three parts, each timed separately in Table III:
 //!
-//! * **initialization** — "set[s] up data structures and register[s]
+//! * **initialization** — "set\[s\] up data structures and register\[s\]
 //!   timers"; nearly scale-independent (2.7–3.3 ms from 32 to 1,024 nodes);
 //! * **collection** — "the only unavoidable overhead to a running program
 //!   is the periodic call to record data"; identical on every node (0.3871 s
@@ -56,14 +56,21 @@ pub struct OverheadReport {
     pub finalize: SimDuration,
     /// Total time spent in periodic collection calls.
     pub collection: SimDuration,
+    /// Time spent recovering from faults: retry re-queries, exponential
+    /// backoff waits, and (capped) timeout stalls. Zero in an un-faulted
+    /// run, so Table III is unchanged there.
+    pub fault_recovery: SimDuration,
     /// Number of polls performed.
     pub polls: u64,
+    /// Number of retry attempts performed across all polls.
+    pub retries: u64,
 }
 
 impl OverheadReport {
-    /// Total MonEQ time (the Table III bottom row).
+    /// Total MonEQ time (the Table III bottom row, plus fault recovery
+    /// when faults were injected).
     pub fn total(&self) -> SimDuration {
-        self.init + self.finalize + self.collection
+        self.init + self.finalize + self.collection + self.fault_recovery
     }
 
     /// Total overhead as a fraction of the application runtime.
@@ -115,6 +122,7 @@ mod tests {
             finalize: SimDuration::from_millis(151),
             collection: SimDuration::from_millis(387),
             polls: 352,
+            ..OverheadReport::default()
         };
         let total = r.total().as_secs_f64();
         assert!((total - 0.5407).abs() < 0.001, "total {total}");

@@ -27,6 +27,12 @@ pub struct DataPoint {
     pub amps: Option<f64>,
     /// Temperature, °C (platforms that expose it).
     pub temp_c: Option<f64>,
+    /// Degradation marker: `true` when the record is a last-good-value
+    /// substitute or a glitched sample served while the mechanism was
+    /// failing, rather than a fresh reading at `timestamp`. Stale records
+    /// are counted separately in the completeness report and flagged in the
+    /// output file so post-processing can exclude them.
+    pub stale: bool,
 }
 
 impl DataPoint {
@@ -40,6 +46,7 @@ impl DataPoint {
             volts: None,
             amps: None,
             temp_c: None,
+            stale: false,
         }
     }
 }

@@ -6,8 +6,21 @@
 //! single node. If a node has several accelerators installed locally, each
 //! of these is accounted for individually within the file produced for the
 //! node." (§III)
+//!
+//! ## Degradation semantics
+//!
+//! Backends can fail ([`EnvBackend::read`] returns a typed
+//! [`crate::backend::ReadError`]); the session reacts per DESIGN.md §8:
+//! retryable errors get bounded retries with exponential backoff, timeout
+//! stalls are charged (capped) to the fault-recovery ledger, a poll that
+//! fails outright is served from the device's last good value (flagged
+//! stale) or marked missed, and a device that fails
+//! [`crate::backend::RetryPolicy::disable_after`] consecutive polls is
+//! disabled for the rest of the run. Every outcome is accounted in the
+//! per-device [`Completeness`] report.
 
-use crate::backend::{validate_interval, EnvBackend};
+use crate::backend::{validate_interval, EnvBackend, ReadError, RetryPolicy};
+use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::{finalize_time, init_time, OverheadReport};
 use crate::reading::DataPoint;
@@ -15,6 +28,25 @@ use crate::tags::{TagEvent, TagKind};
 use simkit::{EventQueue, SimDuration, SimTime};
 
 /// Session configuration.
+///
+/// ```
+/// use moneq::{MonEqConfig, RetryPolicy};
+/// use simkit::SimDuration;
+///
+/// // Defaults follow the paper: lowest valid interval, a "reasonably
+/// // large" preallocated array, and a bounded-retry degradation policy.
+/// let config = MonEqConfig {
+///     interval: Some(SimDuration::from_millis(560)),
+///     agent_name: "R00-M0-N04".into(),
+///     retry: RetryPolicy {
+///         max_retries: 3,
+///         ..RetryPolicy::default()
+///     },
+///     ..MonEqConfig::default()
+/// };
+/// assert_eq!(config.max_samples, 1 << 20);
+/// assert_eq!(config.retry.max_retries, 3);
+/// ```
 #[derive(Clone, Debug)]
 pub struct MonEqConfig {
     /// Polling interval; `None` = "the lowest polling interval possible for
@@ -29,6 +61,8 @@ pub struct MonEqConfig {
     /// Number of agent ranks in the whole run (drives the collective init/
     /// finalize cost model; 1 for single-node profiling).
     pub total_agents: usize,
+    /// How the session reacts to backend read failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MonEqConfig {
@@ -38,6 +72,7 @@ impl Default for MonEqConfig {
             max_samples: 1 << 20,
             agent_name: "node0".into(),
             total_agents: 1,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -58,12 +93,30 @@ pub struct FinalizeResult {
     pub overhead: OverheadReport,
     /// Records dropped because the preallocated array filled up.
     pub dropped_records: u64,
+    /// Per-backend completeness counters (always populated; written into
+    /// the output file only when some device was degraded).
+    pub completeness: Vec<Completeness>,
+}
+
+/// One attached backend plus its degradation state.
+struct Slot {
+    backend: Box<dyn EnvBackend>,
+    /// Indices into the session's record array of the most recent poll's
+    /// fresh records — the substitution source when a later poll fails
+    /// outright. Indices, not clones: the array is append-only, so they
+    /// stay valid, and the clean path never copies a record. (A fresh
+    /// record dropped for capacity is not indexed; once the array is full
+    /// substitutes would be dropped anyway.)
+    last_good: Vec<usize>,
+    consecutive_failures: u32,
+    disabled: bool,
+    comp: Completeness,
 }
 
 /// An active profiling session.
 pub struct MonEq {
     rank: u32,
-    backends: Vec<Box<dyn EnvBackend>>,
+    slots: Vec<Slot>,
     config: MonEqConfig,
     interval: SimDuration,
     data: Vec<DataPoint>,
@@ -73,7 +126,9 @@ pub struct MonEq {
     started_at: SimTime,
     init_cost: SimDuration,
     collection_cost: SimDuration,
+    fault_recovery: SimDuration,
     polls: u64,
+    retries: u64,
     state: State,
 }
 
@@ -109,22 +164,39 @@ impl MonEq {
         let mut timer = EventQueue::new();
         let first = now + init_cost + interval;
         timer.schedule(first, ());
+        let slots = backends
+            .into_iter()
+            .map(|backend| {
+                let comp = Completeness::new(backend.name());
+                Slot {
+                    backend,
+                    last_good: Vec::new(),
+                    consecutive_failures: 0,
+                    disabled: false,
+                    comp,
+                }
+            })
+            .collect();
         MonEq {
             rank,
-            backends,
+            slots,
             // Capped initial reservation: at cluster scale (tens of
             // thousands of ranks in one process) preallocating the full
             // max_samples per rank would exhaust memory before a single
             // poll. The array still grows up to max_samples; only the
-            // up-front reservation is bounded.
-            data: Vec::with_capacity(config.max_samples.min(1 << 10)),
+            // up-front reservation is bounded (64 records ≈ 8 KB — growth
+            // beyond it is amortized, while a larger reservation times a
+            // 49k-rank run is gigabytes of committed heap).
+            data: Vec::with_capacity(config.max_samples.min(1 << 6)),
             tags: Vec::new(),
             dropped: 0,
             timer,
             started_at: now,
             init_cost,
             collection_cost: SimDuration::ZERO,
+            fault_recovery: SimDuration::ZERO,
             polls: 0,
+            retries: 0,
             interval,
             config,
             state: State::Running,
@@ -147,18 +219,100 @@ impl MonEq {
         assert_eq!(self.state, State::Running, "session already finalized");
         while let Some(ev) = self.timer.pop_until(until) {
             let t = ev.at;
-            for b in &mut self.backends {
-                self.collection_cost += b.poll_cost();
-                for p in b.poll(t) {
+            for i in 0..self.slots.len() {
+                self.poll_slot(i, t);
+            }
+            self.polls += 1;
+            self.timer.schedule(t + self.interval, ());
+        }
+    }
+
+    /// One backend's share of one timer fire: read with bounded retry,
+    /// then record, substitute, or mark missed.
+    fn poll_slot(&mut self, i: usize, t: SimTime) {
+        let policy = self.config.retry;
+        let slot = &mut self.slots[i];
+        slot.comp.scheduled += 1;
+        if slot.disabled {
+            slot.comp.missed_polls += 1;
+            slot.comp.records_lost += slot.backend.records_per_poll() as u64;
+            return;
+        }
+        self.collection_cost += slot.backend.poll_cost();
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match slot.backend.read(t) {
+                Ok(poll) => break Ok(poll),
+                Err(e) => {
+                    if let ReadError::Timeout { stalled } = &e {
+                        self.fault_recovery += (*stalled).min(policy.timeout);
+                    }
+                    if e.is_retryable() && attempt < policy.max_retries {
+                        attempt += 1;
+                        self.retries += 1;
+                        slot.comp.retried += 1;
+                        // Exponential backoff before retry n: base << (n-1).
+                        self.fault_recovery +=
+                            policy.base_backoff.saturating_mul(1u64 << (attempt - 1));
+                        continue;
+                    }
+                    break Err(e);
+                }
+            }
+        };
+        match outcome {
+            Ok(poll) => {
+                slot.consecutive_failures = 0;
+                slot.comp.succeeded += 1;
+                slot.comp.records_lost += u64::from(poll.missing);
+                let mut fresh: Vec<usize> = Vec::new();
+                for p in poll.points {
+                    // Only genuinely fresh readings may serve as
+                    // substitution material later; a glitched
+                    // (stale-flagged) sample must not resurface as
+                    // "last good".
+                    if p.stale {
+                        slot.comp.records_stale += 1;
+                    } else {
+                        slot.comp.records_fresh += 1;
+                        if self.data.len() < self.config.max_samples {
+                            fresh.push(self.data.len());
+                        }
+                    }
                     if self.data.len() < self.config.max_samples {
                         self.data.push(p);
                     } else {
                         self.dropped += 1;
                     }
                 }
+                if !fresh.is_empty() {
+                    slot.last_good = fresh;
+                }
             }
-            self.polls += 1;
-            self.timer.schedule(t + self.interval, ());
+            Err(_) => {
+                slot.consecutive_failures += 1;
+                if slot.last_good.is_empty() {
+                    slot.comp.missed_polls += 1;
+                    slot.comp.records_lost += slot.backend.records_per_poll() as u64;
+                } else {
+                    slot.comp.stale_polls += 1;
+                    for k in 0..slot.last_good.len() {
+                        let mut sub = self.data[slot.last_good[k]].clone();
+                        sub.timestamp = t;
+                        sub.stale = true;
+                        slot.comp.records_stale += 1;
+                        if self.data.len() < self.config.max_samples {
+                            self.data.push(sub);
+                        } else {
+                            self.dropped += 1;
+                        }
+                    }
+                }
+                if slot.consecutive_failures >= policy.disable_after {
+                    slot.disabled = true;
+                    slot.comp.disabled_at_ns = Some(t.as_nanos());
+                }
+            }
         }
     }
 
@@ -192,20 +346,37 @@ impl MonEq {
             init: self.init_cost,
             finalize: finalize_time(self.config.total_agents.max(1)),
             collection: self.collection_cost,
+            fault_recovery: self.fault_recovery,
             polls: self.polls,
+            retries: self.retries,
+        };
+        let completeness: Vec<Completeness> = self.slots.iter().map(|s| s.comp.clone()).collect();
+        // Clean runs omit the report entirely so un-faulted output is
+        // byte-identical to the pre-fault format; one degraded device puts
+        // every device's counters in the file (a complete table).
+        let file_completeness = if completeness.iter().all(Completeness::is_clean) {
+            Vec::new()
+        } else {
+            completeness.clone()
         };
         let file = OutputFile {
             rank: self.rank,
             agent: self.config.agent_name.clone(),
-            backends: self.backends.iter().map(|b| b.name().to_owned()).collect(),
+            backends: self
+                .slots
+                .iter()
+                .map(|s| s.backend.name().to_owned())
+                .collect(),
             interval_ns: self.interval.as_nanos(),
             points: std::mem::take(&mut self.data),
             tags: std::mem::take(&mut self.tags),
+            completeness: file_completeness,
         };
         FinalizeResult {
             file,
             overhead,
             dropped_records: self.dropped,
+            completeness,
         }
     }
 }
@@ -213,6 +384,7 @@ impl MonEq {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Poll;
     use powermodel::{Metric, Platform, Support};
 
     /// A constant-power test backend.
@@ -238,10 +410,12 @@ mod tests {
         fn capabilities(&self) -> Vec<(Metric, Support)> {
             vec![]
         }
-        fn poll(&mut self, t: SimTime) -> Vec<DataPoint> {
-            (0..self.devices)
-                .map(|d| DataPoint::power(t, &format!("dev{d}"), "board", 50.0))
-                .collect()
+        fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+            Ok(Poll::complete(
+                (0..self.devices)
+                    .map(|d| DataPoint::power(t, &format!("dev{d}"), "board", 50.0))
+                    .collect(),
+            ))
         }
         fn records_per_poll(&self) -> usize {
             self.devices
@@ -254,6 +428,56 @@ mod tests {
             cost: SimDuration::from_micros(cost_us),
             devices,
         })
+    }
+
+    /// A backend that follows a failure script: `script[k]` decides poll
+    /// `k`'s fate (attempt-level, so retries consume script entries).
+    struct Scripted {
+        script: Vec<Result<f64, ReadError>>,
+        cursor: usize,
+    }
+
+    impl EnvBackend for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn platform(&self) -> Platform {
+            Platform::Rapl
+        }
+        fn min_interval(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn poll_cost(&self) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+        fn capabilities(&self) -> Vec<(Metric, Support)> {
+            vec![]
+        }
+        fn read(&mut self, t: SimTime) -> Result<Poll, ReadError> {
+            let step = self.script.get(self.cursor).cloned();
+            self.cursor += 1;
+            match step {
+                Some(Ok(w)) => Ok(Poll::complete(vec![DataPoint::power(t, "dev", "d", w)])),
+                Some(Err(e)) => Err(e),
+                None => Ok(Poll::complete(vec![DataPoint::power(t, "dev", "d", 1.0)])),
+            }
+        }
+        fn records_per_poll(&self) -> usize {
+            1
+        }
+    }
+
+    fn session_with(script: Vec<Result<f64, ReadError>>, retry: RetryPolicy) -> MonEq {
+        MonEq::initialize(
+            0,
+            vec![Box::new(Scripted { script, cursor: 0 })],
+            MonEqConfig {
+                interval: Some(SimDuration::from_millis(100)),
+                retry,
+                ..MonEqConfig::default()
+            },
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -390,5 +614,134 @@ mod tests {
         assert!(big.finalize > small.finalize * 2);
         assert!(big.init > small.init);
         assert_eq!(big.polls, small.polls, "collection is scale-independent");
+    }
+
+    #[test]
+    fn clean_run_reports_clean_completeness_and_omits_it_from_file() {
+        let mut s = MonEq::initialize(
+            0,
+            vec![fake(100, 10, 2)],
+            MonEqConfig {
+                interval: Some(SimDuration::from_millis(100)),
+                ..MonEqConfig::default()
+            },
+            SimTime::ZERO,
+        );
+        s.run_until(SimTime::from_secs(1));
+        let result = s.finalize(SimTime::from_secs(1));
+        assert_eq!(result.completeness.len(), 1);
+        let c = &result.completeness[0];
+        assert!(c.is_clean() && c.reconciles());
+        assert_eq!(c.scheduled, result.overhead.polls);
+        assert_eq!(c.records_fresh as usize, result.file.points.len());
+        assert!(result.file.completeness.is_empty(), "clean file stays lean");
+        assert_eq!(result.overhead.fault_recovery, SimDuration::ZERO);
+        assert_eq!(result.overhead.retries, 0);
+    }
+
+    #[test]
+    fn transient_failures_retry_and_recover() {
+        // Poll 1: fails twice, succeeds on the 3rd attempt (2 retries).
+        let script = vec![
+            Err(ReadError::Transient("x".into())),
+            Err(ReadError::Transient("x".into())),
+            Ok(10.0),
+            Ok(11.0),
+        ];
+        let mut s = session_with(script, RetryPolicy::default());
+        s.run_until(SimTime::from_millis(250));
+        let result = s.finalize(SimTime::from_millis(250));
+        let c = &result.completeness[0];
+        assert_eq!(c.scheduled, 2);
+        assert_eq!(c.succeeded, 2);
+        assert_eq!(c.retried, 2);
+        assert_eq!(c.records_fresh, 2);
+        assert!(c.reconciles());
+        assert_eq!(result.overhead.retries, 2);
+        // Backoff 1 ms + 2 ms charged to fault recovery.
+        assert_eq!(result.overhead.fault_recovery, SimDuration::from_millis(3));
+        // Both polls' watts arrive fresh.
+        assert!(result.file.points.iter().all(|p| !p.stale));
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_last_good_value() {
+        // Poll 1 succeeds; poll 2 fails through all attempts.
+        let mut script = vec![Ok(42.0)];
+        script.extend((0..3).map(|_| Err(ReadError::Transient("x".into()))));
+        let mut s = session_with(script, RetryPolicy::default());
+        s.run_until(SimTime::from_millis(250));
+        let result = s.finalize(SimTime::from_millis(250));
+        let c = &result.completeness[0];
+        assert_eq!(c.scheduled, 2);
+        assert_eq!(c.succeeded, 1);
+        assert_eq!(c.stale_polls, 1);
+        assert_eq!(c.records_stale, 1);
+        assert!(c.reconciles());
+        assert_eq!(c.records_expected(), 2);
+        // The substitute record carries poll 2's timestamp and the stale
+        // flag, with poll 1's value.
+        let sub = result.file.points.last().unwrap();
+        assert!(sub.stale);
+        assert_eq!(sub.watts, 42.0);
+        assert!(sub.timestamp > result.file.points[0].timestamp);
+        // A degraded run writes the completeness table into the file.
+        assert_eq!(result.file.completeness.len(), 1);
+    }
+
+    #[test]
+    fn failure_without_history_is_a_missed_poll() {
+        let script = vec![Err(ReadError::NoData), Ok(5.0)];
+        let mut s = session_with(script, RetryPolicy::default());
+        s.run_until(SimTime::from_millis(250));
+        let result = s.finalize(SimTime::from_millis(250));
+        let c = &result.completeness[0];
+        assert_eq!(c.missed_polls, 1);
+        assert_eq!(c.records_lost, 1);
+        assert_eq!(c.retried, 0, "NoData is not retryable");
+        assert_eq!(c.succeeded, 1);
+        assert!(c.reconciles());
+        assert_eq!(result.file.points.len(), 1);
+    }
+
+    #[test]
+    fn timeout_stall_is_charged_capped() {
+        let policy = RetryPolicy {
+            max_retries: 0,
+            timeout: SimDuration::from_millis(20),
+            ..RetryPolicy::default()
+        };
+        let script = vec![Err(ReadError::Timeout {
+            stalled: SimDuration::from_millis(500),
+        })];
+        let mut s = session_with(script, policy);
+        s.run_until(SimTime::from_millis(150));
+        let result = s.finalize(SimTime::from_millis(150));
+        // The 500 ms stall is capped at the 20 ms per-backend timeout.
+        assert_eq!(result.overhead.fault_recovery, SimDuration::from_millis(20));
+        assert!(result.overhead.total() > result.overhead.collection);
+    }
+
+    #[test]
+    fn device_disables_after_consecutive_failures() {
+        let policy = RetryPolicy {
+            max_retries: 0,
+            disable_after: 3,
+            ..RetryPolicy::default()
+        };
+        let script: Vec<_> = (0..20).map(|_| Err(ReadError::NoData)).collect();
+        let mut s = session_with(script, policy);
+        s.run_until(SimTime::from_secs(1));
+        let result = s.finalize(SimTime::from_secs(1));
+        let c = &result.completeness[0];
+        assert!(c.disabled_at_ns.is_some());
+        // Every poll missed: 3 live failures, the rest disabled.
+        assert_eq!(c.missed_polls, c.scheduled);
+        assert_eq!(c.succeeded, 0);
+        assert!(c.reconciles());
+        assert_eq!(c.records_lost, c.scheduled);
+        // Disabled polls charge no collection cost.
+        let live_cost = SimDuration::from_micros(10) * 3;
+        assert_eq!(result.overhead.collection, live_cost);
     }
 }

@@ -48,7 +48,24 @@ pub use memory::MemoryInfo;
 pub use profile::GpuSpec;
 
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultSpec;
 use simkit::SimDuration;
+
+/// The NVML failure profile for fault-injected runs.
+///
+/// NVML's on-board sampling has whole windows with no fresh samples —
+/// "Part-time Power Measurements: nvidia-smi's Lack of Attention" documents
+/// second-scale gaps in the driver's sampling attention (`blackout` over a
+/// one-second window). Individual queries can also fail transiently when
+/// the PCIe round trip or the driver ioctl hiccups (`transient`).
+pub fn fault_profile() -> FaultSpec {
+    FaultSpec {
+        blackout: 0.06,
+        blackout_window: SimDuration::from_secs(1),
+        transient: 0.02,
+        ..FaultSpec::zero()
+    }
+}
 
 /// Virtual-time cost of one NVML query (§II-C: "each collection takes about
 /// 1.3 ms" — "any call to the GPU for data collection not only needs to go

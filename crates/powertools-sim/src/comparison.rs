@@ -11,11 +11,11 @@ use powermodel::Platform;
 pub enum Tool {
     /// MonEQ — the paper's contribution.
     MonEq,
-    /// PAPI (refs [14], [15]).
+    /// PAPI (refs \[14\], \[15\]).
     Papi,
-    /// TAU ≥ 2.23 (ref [16]).
+    /// TAU ≥ 2.23 (ref \[16\]).
     Tau,
-    /// PowerPack 3.0 (ref [17]).
+    /// PowerPack 3.0 (ref \[17\]).
     PowerPack,
 }
 

@@ -1,6 +1,6 @@
 //! A PAPI-5-shaped power API over the simulated platforms.
 //!
-//! Mirrors the component architecture of PAPI 5 (§III refs [14], [15]):
+//! Mirrors the component architecture of PAPI 5 (§III refs \[14\], \[15\]):
 //! the library enumerates *components* (`rapl`, `nvml`, `micpower`), events
 //! are named `component:::EVENT` strings, and an [`EventSet`] is started,
 //! read, and stopped. Reads return cumulative energy in nanojoules for

@@ -257,7 +257,7 @@ tuple_strategies! {
 
 // ------------------------------------------------------------- collections
 
-/// Accepted size specifications for [`vec`].
+/// Accepted size specifications for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,

@@ -68,6 +68,26 @@ pub use socket::{SocketModel, SocketSpec};
 pub use units::PowerUnits;
 
 use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultSpec;
+use simkit::SimDuration;
+
+/// The RAPL failure profile for fault-injected runs.
+///
+/// MSR reads can fail transiently with `EIO` (`transient`), and the 32-bit
+/// `*_ENERGY_STATUS` counters wrap "in under 60 seconds under load" — a
+/// reader that misses a wrap, or catches the counter mid-update, observes a
+/// corrupted energy delta (`glitch`; see "What Is the Cost of Energy
+/// Monitoring?" on RAPL counter pathologies). The msr driver can also stall
+/// briefly when another core holds the MSR lock (`timeout`).
+pub fn fault_profile() -> FaultSpec {
+    FaultSpec {
+        transient: 0.03,
+        glitch: 0.03,
+        timeout: 0.005,
+        timeout_stall: SimDuration::from_millis(1),
+        ..FaultSpec::zero()
+    }
+}
 
 /// The RAPL column of Table I.
 ///

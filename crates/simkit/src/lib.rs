@@ -16,22 +16,27 @@
 //!   sample index is independent of query order;
 //! * [`stats`] / [`series`] — running moments, exact quantiles, five-number
 //!   boxplot summaries, Welch's t-test, and time-series containers used to
-//!   regenerate the paper's figures.
+//!   regenerate the paper's figures;
+//! * [`fault`] — seeded, order-independent per-device fault processes
+//!   ([`FaultPlan`] / [`FaultSpec`]) used to subject each vendor mechanism
+//!   to its documented failure modes deterministically.
 //!
 //! Determinism is a hard requirement: the same seed must reproduce every
 //! figure byte-for-byte. Nothing in this crate reads wall-clock time or
 //! global state.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultOutcome, FaultPlan, FaultProcess, FaultSpec};
 pub use rng::{DetRng, NoiseStream};
 pub use series::{Sample, TimeSeries};
 pub use stats::{welch_t_test, BoxplotSummary, Histogram, RunningStats, WelchResult};

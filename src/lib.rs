@@ -53,9 +53,11 @@ pub mod prelude {
     pub use moneq::backends::{
         BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend,
     };
-    pub use moneq::{EnvBackend, MonEq, MonEqConfig};
+    pub use moneq::{
+        ClusterRun, Completeness, EnvBackend, MonEq, MonEqConfig, ReadError, RetryPolicy,
+    };
     pub use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
     pub use powermodel::{DemandTrace, Metric, Platform, Support};
     pub use rapl_sim::{MsrAccess, RaplDomain, SocketModel, SocketSpec};
-    pub use simkit::{SimDuration, SimTime, TimeSeries};
+    pub use simkit::{FaultPlan, FaultSpec, SimDuration, SimTime, TimeSeries};
 }

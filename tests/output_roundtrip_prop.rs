@@ -5,7 +5,7 @@
 //! names) are escaped, so even names containing tabs, newlines, commas, or
 //! backslashes survive byte-for-byte.
 
-use moneq::{DataPoint, OutputFile, TagEvent, TagKind};
+use moneq::{Completeness, DataPoint, OutputFile, TagEvent, TagKind};
 use proptest::prelude::*;
 use simkit::SimTime;
 
@@ -23,9 +23,10 @@ fn arb_point() -> impl Strategy<Value = DataPoint> {
         prop::option::of(0.1f64..50.0),
         prop::option::of(0.0f64..2_000.0),
         prop::option::of(-20.0f64..120.0),
+        prop::bool::ANY,
     )
         .prop_map(
-            |(ns, device, domain, watts, volts, amps, temp_c)| DataPoint {
+            |(ns, device, domain, watts, volts, amps, temp_c, stale)| DataPoint {
                 timestamp: SimTime::from_nanos(ns),
                 device,
                 // The regex guarantees a leading letter, so trimming trailing
@@ -35,8 +36,29 @@ fn arb_point() -> impl Strategy<Value = DataPoint> {
                 volts,
                 amps,
                 temp_c,
+                stale,
             },
         )
+}
+
+fn arb_completeness() -> impl Strategy<Value = Completeness> {
+    (
+        arb_label(),
+        prop::collection::vec(0u64..1_000, 8),
+        prop::option::of(0u64..10_000_000_000),
+    )
+        .prop_map(|(device, c, disabled_at_ns)| Completeness {
+            device,
+            scheduled: c[0],
+            succeeded: c[1],
+            retried: c[2],
+            stale_polls: c[3],
+            missed_polls: c[4],
+            records_fresh: c[5],
+            records_stale: c[6],
+            records_lost: c[7],
+            disabled_at_ns,
+        })
 }
 
 fn arb_tag() -> impl Strategy<Value = TagEvent> {
@@ -58,6 +80,7 @@ proptest! {
         interval_ns in 1u64..10_000_000_000,
         mut points in prop::collection::vec(arb_point(), 0..60),
         tags in prop::collection::vec(arb_tag(), 0..10),
+        completeness in prop::collection::vec(arb_completeness(), 0..4),
     ) {
         points.sort_by_key(|p| p.timestamp);
         let f = OutputFile {
@@ -67,6 +90,7 @@ proptest! {
             interval_ns,
             points,
             tags,
+            completeness,
         };
         let text = f.render();
         let back = OutputFile::parse(&text).expect("own output parses");
@@ -98,6 +122,7 @@ proptest! {
                 TagEvent { label: label.clone(), kind: TagKind::Start, at: t },
                 TagEvent { label, kind: TagKind::End, at: t },
             ],
+            completeness: vec![Completeness::new(&device)],
         };
         let back = OutputFile::parse(&f.render()).expect("own output parses");
         prop_assert_eq!(&back, &f);
