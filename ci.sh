@@ -17,6 +17,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The core library crates must not unwrap in non-test code: user-reachable
+# failures are typed errors, lock poisoning is recovered explicitly
+# (PoisonError::into_inner), and rank panics resurface with their rank id.
+echo "==> cargo clippy (simkit, moneq libs) -- -D clippy::unwrap_used"
+cargo clippy -p simkit -p moneq --lib -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -14,6 +14,7 @@
 //! | [`figures`] | Figures 1–5, 7, 8 (Figure 6 is an architecture diagram; its boxes are the `mic-sim` module structure) |
 //! | [`ablations`] | The DESIGN.md ablation suite: polling-interval sweeps, Phi access-path comparison, RAPL capping, finalize scaling |
 //! | [`robustness`] | The DESIGN.md §8 robustness comparison: all mechanisms under identical fault rates |
+//! | [`telemetry`] | The DESIGN.md §9 observability table: per-mechanism query-latency percentiles vs. the §II per-query constants |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
@@ -25,3 +26,4 @@ pub mod render;
 pub mod report;
 pub mod robustness;
 pub mod tables;
+pub mod telemetry;

@@ -86,7 +86,8 @@ pub fn robustness_at(seed: u64, rate: f64) -> RobustnessTable {
 }
 
 /// Build one faulted backend per mechanism, each on its paper workload.
-fn backends(seed: u64, plan: &FaultPlan) -> Vec<Box<dyn EnvBackend>> {
+/// Shared with the telemetry table, which profiles the same five setups.
+pub(crate) fn backends(seed: u64, plan: &FaultPlan) -> Vec<Box<dyn EnvBackend>> {
     let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
     machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
     let bgq = BgqBackend::new(Arc::new(machine), 0).with_faults(plan, "nodecard0");

@@ -33,7 +33,7 @@ fn main() {
                 println!(
                     "usage: repro [--seed N] [--out DIR] [table1 table2 table3 fig1 fig2 \
                      fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations \
-                     robustness]\n\
+                     robustness telemetry]\n\
                      --out DIR additionally writes each figure's series as TSV files"
                 );
                 return;
@@ -231,6 +231,15 @@ fn main() {
             println!(
                 "{}",
                 envmon_analysis::robustness::robustness_at(seed, rate).render()
+            );
+        }
+    }
+    if want("telemetry") {
+        section("TELEMETRY — per-mechanism query latency vs the paper's constants (DESIGN.md §9)");
+        for rate in [0.0, 0.05] {
+            println!(
+                "{}",
+                envmon_analysis::telemetry::telemetry_at(seed, rate).render()
             );
         }
     }

@@ -1,0 +1,156 @@
+//! `telemetry_sweep` — wall-clock cost of the telemetry layer, on vs off.
+//!
+//! Drives the same [`ClusterRun`] workload twice per scale — telemetry
+//! disabled (the default) and enabled — and writes the wall-clock
+//! comparison as JSON (default `BENCH_telemetry.json`). The disabled leg
+//! is the claim under test: with `MonEqConfig::telemetry = false` the
+//! layer is one branch per event, so the disabled runs must cost the same
+//! as the seed code and produce byte-identical output files.
+//!
+//! ```text
+//! telemetry_sweep [--seed N] [--out FILE] [--quick]
+//! ```
+
+use envmon_bench::DEFAULT_SEED;
+use hpc_workloads::{Channel, WorkloadProfile};
+use moneq::{ClusterResult, ClusterRun, MonEqConfig};
+use simkit::{SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct SweepRow {
+    agents: usize,
+    virtual_secs: u64,
+    off_ms: f64,
+    on_ms: f64,
+    records: usize,
+    events: u64,
+}
+
+fn profile(virtual_secs: u64) -> WorkloadProfile {
+    let mut p = WorkloadProfile::new("sweep", SimDuration::from_secs(virtual_secs));
+    p.set_demand(
+        Channel::Cpu,
+        powermodel::PhaseBuilder::new()
+            .phase(SimDuration::from_secs(virtual_secs), 0.6)
+            .build(),
+    );
+    p
+}
+
+fn drive(seed: u64, agents: usize, virtual_secs: u64, telemetry: bool) -> (f64, ClusterResult) {
+    let prof = profile(virtual_secs);
+    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
+    machine.assign_job(&(0..32).collect::<Vec<_>>(), &prof);
+    let machine = Arc::new(machine);
+    let config = MonEqConfig {
+        telemetry,
+        ..MonEqConfig::default()
+    };
+    let mut run = ClusterRun::launch_with(
+        agents,
+        |rank| Box::new(moneq::backends::BgqBackend::new(machine.clone(), rank % 32)),
+        |rank| format!("agent{rank:05}"),
+        SimTime::ZERO,
+        config,
+    )
+    .with_par_agents(moneq::host_cpus());
+    let end = SimTime::from_secs(virtual_secs);
+    let t0 = Instant::now();
+    run.run_until(end);
+    let result = run.finalize(end);
+    (t0.elapsed().as_secs_f64() * 1e3, result)
+}
+
+/// Best-of-N wall-clock: the minimum is the least noisy estimator for a
+/// deterministic workload under scheduler jitter.
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut out = std::path::PathBuf::from("BENCH_telemetry.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = args.next().map(Into::into).expect("--out FILE"),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("telemetry_sweep: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sweep: &[(usize, u64)] = if quick {
+        &[(128, 4)]
+    } else {
+        &[(256, 8), (1_536, 4)]
+    };
+    let reps = if quick { 2 } else { 3 };
+
+    // Sanity: enabling telemetry must not change a single output byte.
+    {
+        let (_, off) = drive(seed, 64, 4, false);
+        let (_, on) = drive(seed, 64, 4, true);
+        assert_eq!(off.files, on.files, "telemetry changed the output files");
+        assert_eq!(off.overheads, on.overheads, "telemetry changed the ledger");
+        assert!(off.telemetry_merged().is_empty(), "off run recorded events");
+        assert!(!on.telemetry_merged().is_empty(), "on run recorded nothing");
+    }
+
+    let mut rows = Vec::new();
+    for &(agents, virtual_secs) in sweep {
+        // Discarded warm-up leg at this footprint (allocator/page faults).
+        drop(drive(seed, agents, virtual_secs, false));
+        let (_, result) = drive(seed, agents, virtual_secs, true);
+        let records: usize = result.files.iter().map(|f| f.points.len()).sum();
+        let merged = result.telemetry_merged();
+        let events: u64 = merged.counters.values().sum();
+        drop(result);
+        let off_ms = best_of(reps, || drive(seed, agents, virtual_secs, false).0);
+        let on_ms = best_of(reps, || drive(seed, agents, virtual_secs, true).0);
+        eprintln!(
+            "agents {agents:>6}  off {off_ms:>8.1} ms  on {on_ms:>8.1} ms  \
+             overhead {:+.1}%  ({events} events)",
+            (on_ms / off_ms - 1.0) * 100.0
+        );
+        rows.push(SweepRow {
+            agents,
+            virtual_secs,
+            off_ms,
+            on_ms,
+            records,
+            events,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"telemetry_overhead_sweep\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"host_cpus\": {},\n", moneq::host_cpus()));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"sweeps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"agents\": {}, \"virtual_secs\": {}, \"records\": {}, \
+             \"events\": {}, \"off_ms\": {:.1}, \"on_ms\": {:.1}, \
+             \"overhead_pct\": {:.1}}}{}\n",
+            r.agents,
+            r.virtual_secs,
+            r.records,
+            r.events,
+            r.off_ms,
+            r.on_ms,
+            (r.on_ms / r.off_ms - 1.0) * 100.0,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("writable output path");
+    eprintln!("[wrote {}]", out.display());
+}

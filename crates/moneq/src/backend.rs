@@ -110,19 +110,66 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Per-fault-kind decision counters kept by an active [`FaultGate`].
+///
+/// Every [`FaultGate::admit`] / [`FaultGate::filter`] decision is tallied
+/// here, so a session's telemetry can report exactly how often each
+/// documented pathology fired per mechanism. Draws are indexed by virtual
+/// time, so these counts are deterministic and identical serial vs.
+/// parallel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Attempts admitted cleanly.
+    pub admitted: u64,
+    /// Attempts admitted with a value glitch (stale-flagged sample).
+    pub glitches: u64,
+    /// Attempts failed with a transient error.
+    pub transient: u64,
+    /// Attempts failed with a timeout stall.
+    pub timeout: u64,
+    /// Attempts failed with no fresh generation to serve.
+    pub no_data: u64,
+    /// Attempts failed inside an unavailability blackout.
+    pub blackout: u64,
+    /// Records silently dropped by per-record drop faults.
+    pub dropped_records: u64,
+}
+
+impl GateStats {
+    /// `true` when the gate never decided anything.
+    pub fn is_empty(&self) -> bool {
+        *self == GateStats::default()
+    }
+
+    /// The counters as `(kind, count)` pairs, for folding into telemetry.
+    pub fn kinds(&self) -> [(&'static str, u64); 7] {
+        [
+            ("admitted", self.admitted),
+            ("glitch", self.glitches),
+            ("transient", self.transient),
+            ("timeout", self.timeout),
+            ("no_data", self.no_data),
+            ("blackout", self.blackout),
+            ("dropped_record", self.dropped_records),
+        ]
+    }
+}
+
 /// Per-device fault admission, shared by every backend adapter.
 ///
 /// A backend holds one gate per device; `read` asks the gate to
 /// [`admit`](FaultGate::admit) each attempt, and the gate translates the
 /// [`FaultProcess`] outcome into a typed [`ReadError`] (or a glitch grant).
 /// An inactive gate ([`FaultGate::none`]) admits everything at zero cost,
-/// so un-faulted runs stay byte-identical to pre-fault behavior.
+/// so un-faulted runs stay byte-identical to pre-fault behavior. Active
+/// gates tally every decision into a [`GateStats`].
 #[derive(Clone, Debug, Default)]
 pub struct FaultGate {
     process: Option<FaultProcess>,
     /// Last admitted instant and its attempt count, used to infer the
     /// attempt index when a session retries at the same poll instant.
     last: Option<(SimTime, u32)>,
+    stats: GateStats,
 }
 
 /// An admitted read attempt.
@@ -146,12 +193,19 @@ impl FaultGate {
         FaultGate {
             process: plan.process_for(label, profile),
             last: None,
+            stats: GateStats::default(),
         }
     }
 
     /// Does this gate ever inject anything?
     pub fn is_active(&self) -> bool {
         self.process.is_some()
+    }
+
+    /// The gate's per-fault-kind decision counters so far. All zero for an
+    /// inactive gate.
+    pub fn stats(&self) -> GateStats {
+        self.stats
     }
 
     /// Admit or fail one read attempt at `t`. Consecutive calls at the
@@ -166,18 +220,36 @@ impl FaultGate {
         };
         self.last = Some((t, attempt));
         match process.outcome(t, attempt) {
-            FaultOutcome::Ok => Ok(Grant { glitch: false }),
-            FaultOutcome::Glitch => Ok(Grant { glitch: true }),
-            FaultOutcome::Transient => Err(ReadError::Transient("injected transient fault".into())),
-            FaultOutcome::Timeout(stalled) => Err(ReadError::Timeout { stalled }),
-            FaultOutcome::NoData => Err(ReadError::NoData),
-            FaultOutcome::Blackout => Err(ReadError::Unavailable("sampling blackout".into())),
+            FaultOutcome::Ok => {
+                self.stats.admitted += 1;
+                Ok(Grant { glitch: false })
+            }
+            FaultOutcome::Glitch => {
+                self.stats.glitches += 1;
+                Ok(Grant { glitch: true })
+            }
+            FaultOutcome::Transient => {
+                self.stats.transient += 1;
+                Err(ReadError::Transient("injected transient fault".into()))
+            }
+            FaultOutcome::Timeout(stalled) => {
+                self.stats.timeout += 1;
+                Err(ReadError::Timeout { stalled })
+            }
+            FaultOutcome::NoData => {
+                self.stats.no_data += 1;
+                Err(ReadError::NoData)
+            }
+            FaultOutcome::Blackout => {
+                self.stats.blackout += 1;
+                Err(ReadError::Unavailable("sampling blackout".into()))
+            }
         }
     }
 
     /// Apply per-record drop faults to an admitted poll's records: returns
     /// the surviving records and the number silently lost.
-    pub fn filter(&self, t: SimTime, points: Vec<DataPoint>) -> (Vec<DataPoint>, u32) {
+    pub fn filter(&mut self, t: SimTime, points: Vec<DataPoint>) -> (Vec<DataPoint>, u32) {
         let Some(process) = &self.process else {
             return (points, 0);
         };
@@ -194,6 +266,7 @@ impl FaultGate {
                 }
             })
             .collect();
+        self.stats.dropped_records += u64::from(missing);
         (kept, missing)
     }
 }
@@ -277,6 +350,13 @@ pub trait EnvBackend: Send {
     /// compiling.
     fn limitations(&self) -> Vec<StatedLimitation> {
         Vec::new()
+    }
+
+    /// This backend's [`FaultGate`] decision counters, when it routes reads
+    /// through one. `None` (the default) means the backend has no gate;
+    /// sessions then record no per-fault-kind telemetry for it.
+    fn gate_stats(&self) -> Option<GateStats> {
+        None
     }
 }
 
@@ -397,7 +477,7 @@ mod tests {
             ..FaultSpec::zero()
         };
         let plan = FaultPlan::Uniform { seed: 5, spec };
-        let gate = FaultGate::from_plan(&plan, "dev", FaultSpec::zero());
+        let mut gate = FaultGate::from_plan(&plan, "dev", FaultSpec::zero());
         let t = SimTime::from_secs(1);
         let pts: Vec<DataPoint> = (0..64)
             .map(|i| DataPoint::power(t, &format!("d{i}"), "x", 1.0))
@@ -408,6 +488,23 @@ mod tests {
         assert_eq!(missing_a, missing_b);
         assert!(missing_a > 0, "0.3 drop rate over 64 records lost nothing");
         assert_eq!(kept_a.len() + missing_a as usize, pts.len());
+    }
+
+    #[test]
+    fn active_gate_tallies_every_decision() {
+        let plan = FaultPlan::uniform(11, 0.2);
+        let mut gate = FaultGate::from_plan(&plan, "dev", FaultSpec::zero());
+        for k in 0..200u64 {
+            let _ = gate.admit(SimTime::from_millis(k * 60));
+        }
+        let s = gate.stats();
+        assert_eq!(
+            s.admitted + s.glitches + s.transient + s.timeout + s.no_data + s.blackout,
+            200,
+            "every admit decision lands in exactly one bucket"
+        );
+        assert!(!s.is_empty());
+        assert!(FaultGate::none().stats().is_empty());
     }
 
     #[test]

@@ -94,6 +94,10 @@ impl EnvBackend for BgqBackend {
         7
     }
 
+    fn gate_stats(&self) -> Option<crate::backend::GateStats> {
+        Some(self.gate.stats())
+    }
+
     fn limitations(&self) -> Vec<crate::backend::StatedLimitation> {
         use crate::backend::StatedLimitation as L;
         vec![

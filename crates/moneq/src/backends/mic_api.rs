@@ -92,6 +92,10 @@ impl EnvBackend for MicApiBackend {
         1
     }
 
+    fn gate_stats(&self) -> Option<crate::backend::GateStats> {
+        Some(self.gate.stats())
+    }
+
     fn limitations(&self) -> Vec<crate::backend::StatedLimitation> {
         use crate::backend::StatedLimitation as L;
         vec![

@@ -137,6 +137,10 @@ impl EnvBackend for NvmlBackend {
         self.nvml.device_count()
     }
 
+    fn gate_stats(&self) -> Option<crate::backend::GateStats> {
+        Some(self.gate.stats())
+    }
+
     fn limitations(&self) -> Vec<crate::backend::StatedLimitation> {
         use crate::backend::StatedLimitation as L;
         vec![

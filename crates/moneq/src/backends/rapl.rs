@@ -123,6 +123,10 @@ impl EnvBackend for RaplBackend {
         RaplDomain::ALL.len()
     }
 
+    fn gate_stats(&self) -> Option<crate::backend::GateStats> {
+        Some(self.gate.stats())
+    }
+
     fn limitations(&self) -> Vec<crate::backend::StatedLimitation> {
         use crate::backend::StatedLimitation as L;
         vec![

@@ -12,9 +12,11 @@ use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::OverheadReport;
 use crate::session::{FinalizeResult, MonEq, MonEqConfig};
-use simkit::{SimDuration, SimTime, TimeSeries};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use simkit::{SimDuration, SimTime, TelemetryReport, TimeSeries};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Number of CPUs the host actually has (1 when it cannot be determined —
 /// the safe assumption, since it keeps the run serial).
@@ -44,6 +46,51 @@ pub struct ClusterRun {
     sessions: Vec<MonEq>,
     par_agents: usize,
     chunk_size: usize,
+    sched: SchedStats,
+}
+
+/// Wall-clock worker-pool scheduling diagnostics for a cluster run.
+///
+/// Unlike everything in a [`TelemetryReport`], these numbers come from the
+/// *host* clock and the racy order in which workers claim chunks, so they
+/// are **not deterministic** and are deliberately kept out of the
+/// determinism-tested telemetry: two runs of the same seed agree on every
+/// counter and histogram but may divide chunks among workers differently.
+#[derive(Clone, Debug, Default)]
+pub struct SchedStats {
+    /// Widest worker pool used by any phase (1 = everything ran serial).
+    pub workers: usize,
+    /// Dispatch units (chunks of consecutive ranks) processed, totalled
+    /// over every `run_until`/`finalize` phase.
+    pub chunks: usize,
+    /// Chunks each worker claimed off the shared index, per worker slot.
+    pub claimed_per_worker: Vec<u64>,
+    /// Wall-clock time each worker spent driving sessions, per worker slot.
+    pub busy_per_worker: Vec<Duration>,
+}
+
+impl SchedStats {
+    /// Fold one phase's stats into the run's running totals.
+    fn absorb(&mut self, other: &SchedStats) {
+        self.workers = self.workers.max(other.workers);
+        self.chunks += other.chunks;
+        if self.claimed_per_worker.len() < other.claimed_per_worker.len() {
+            self.claimed_per_worker
+                .resize(other.claimed_per_worker.len(), 0);
+            self.busy_per_worker
+                .resize(other.busy_per_worker.len(), Duration::ZERO);
+        }
+        for (a, b) in self
+            .claimed_per_worker
+            .iter_mut()
+            .zip(&other.claimed_per_worker)
+        {
+            *a += b;
+        }
+        for (a, b) in self.busy_per_worker.iter_mut().zip(&other.busy_per_worker) {
+            *a += *b;
+        }
+    }
 }
 
 /// The gathered result of a cluster run.
@@ -58,6 +105,34 @@ pub struct ClusterResult {
     /// Per-rank completeness reports (rank → one entry per backend), in
     /// rank order like [`ClusterResult::files`].
     pub completeness: Vec<Vec<Completeness>>,
+    /// Per-rank telemetry snapshots, in rank order. All empty unless the
+    /// sessions were launched with [`MonEqConfig::telemetry`] set.
+    /// Deterministic: serial and parallel drives produce identical reports.
+    pub telemetry: Vec<TelemetryReport>,
+    /// Wall-clock scheduling diagnostics (see [`SchedStats`] — these are
+    /// *not* deterministic and excluded from serial == parallel equality).
+    pub sched: SchedStats,
+}
+
+/// Render a caught panic payload as text (the common `&str` / `String`
+/// payloads verbatim; anything else a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Re-raise the first (lowest-rank) caught rank panic, with the rank id
+/// attached. No-op when nothing panicked.
+fn reraise_rank_panics(mut panics: Vec<(u32, String)>, phase: &str) {
+    panics.sort();
+    if let Some((rank, msg)) = panics.first() {
+        panic!("rank {rank} panicked during cluster {phase}: {msg}");
+    }
 }
 
 impl ClusterRun {
@@ -115,6 +190,7 @@ impl ClusterRun {
             sessions,
             par_agents: 1,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            sched: SchedStats::default(),
         }
     }
 
@@ -147,6 +223,12 @@ impl ClusterRun {
         self.sessions.len()
     }
 
+    /// Wall-clock scheduling diagnostics accumulated so far (chunks
+    /// claimed and busy time per worker across every `run_until` phase).
+    pub fn sched_stats(&self) -> &SchedStats {
+        &self.sched
+    }
+
     /// Worker count actually used for `n_chunks` dispatch units: the
     /// requested width, capped by the chunk count and the host's CPUs.
     /// Returns 1 (serial path, no pool at all) when the host has a single
@@ -168,9 +250,16 @@ impl ClusterRun {
         let n_chunks = self.sessions.len().div_ceil(self.chunk_size.max(1));
         let workers = self.effective_workers(n_chunks);
         if workers <= 1 {
+            let start = Instant::now();
             for s in &mut self.sessions {
                 s.run_until(until);
             }
+            self.sched.absorb(&SchedStats {
+                workers: 1,
+                chunks: n_chunks,
+                claimed_per_worker: vec![n_chunks as u64],
+                busy_per_worker: vec![start.elapsed()],
+            });
             return;
         }
         let chunks: Vec<Mutex<&mut [MonEq]>> = self
@@ -179,18 +268,60 @@ impl ClusterRun {
             .map(Mutex::new)
             .collect();
         let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        // A panic inside one rank's `run_until` is caught *before* it can
+        // unwind through the chunk's mutex guard, recorded with its rank
+        // id, and re-raised after the pool drains — so the caller sees the
+        // original rank panic, never a sibling worker's opaque PoisonError.
+        let panics: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+        let worker_stats: Vec<Mutex<(u64, Duration)>> = (0..workers)
+            .map(|_| Mutex::new((0, Duration::ZERO)))
+            .collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for stats in &worker_stats {
                 scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(chunk) = chunks.get(i) else { break };
-                    // Uncontended: each index is claimed exactly once.
-                    for s in chunk.lock().unwrap().iter_mut() {
-                        s.run_until(until);
+                    let start = Instant::now();
+                    // Uncontended: each index is claimed exactly once, so
+                    // recovering a poisoned guard cannot expose torn state
+                    // from a concurrent writer — only this worker's own
+                    // already-caught panic could have poisoned it.
+                    let mut guard = chunk.lock().unwrap_or_else(PoisonError::into_inner);
+                    for s in guard.iter_mut() {
+                        let rank = s.rank();
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| s.run_until(until))) {
+                            abort.store(true, Ordering::Relaxed);
+                            panics
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push((rank, panic_message(p)));
+                            return;
+                        }
                     }
+                    let mut st = stats.lock().unwrap_or_else(PoisonError::into_inner);
+                    st.0 += 1;
+                    st.1 += start.elapsed();
                 });
             }
         });
+        let (claimed, busy) = worker_stats
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .unzip();
+        self.sched.absorb(&SchedStats {
+            workers,
+            chunks: n_chunks,
+            claimed_per_worker: claimed,
+            busy_per_worker: busy,
+        });
+        reraise_rank_panics(
+            panics.into_inner().unwrap_or_else(PoisonError::into_inner),
+            "run_until",
+        );
     }
 
     /// Tag a section on every rank (collective tags, the common usage).
@@ -212,17 +343,29 @@ impl ClusterRun {
     /// Finalization runs on the same worker pool as `run_until` when
     /// `par_agents > 1`, but files and overheads are always reduced in rank
     /// order, so the result is byte-identical to a serial finalize.
-    pub fn finalize(self, now: SimTime) -> ClusterResult {
+    pub fn finalize(mut self, now: SimTime) -> ClusterResult {
         let n = self.sessions.len();
         let n_chunks = n.div_ceil(self.chunk_size.max(1));
         let workers = self.effective_workers(n_chunks);
         let results: Vec<FinalizeResult> = if workers <= 1 {
-            self.sessions.into_iter().map(|s| s.finalize(now)).collect()
+            let start = Instant::now();
+            let results = self
+                .sessions
+                .drain(..)
+                .map(|s| s.finalize(now))
+                .collect::<Vec<_>>();
+            self.sched.absorb(&SchedStats {
+                workers: 1,
+                chunks: n_chunks,
+                claimed_per_worker: vec![n_chunks as u64],
+                busy_per_worker: vec![start.elapsed()],
+            });
+            results
         } else {
             // One slot per chunk of consecutive ranks: workers claim chunk
             // indices and finalize their sessions; gathering walks the
             // chunks in order afterwards, preserving rank order.
-            let mut it = self.sessions.into_iter();
+            let mut it = self.sessions.drain(..);
             let mut slots: Vec<Mutex<(Vec<MonEq>, Vec<FinalizeResult>)>> = Vec::new();
             loop {
                 let chunk: Vec<MonEq> = it.by_ref().take(self.chunk_size).collect();
@@ -231,34 +374,77 @@ impl ClusterRun {
                 }
                 slots.push(Mutex::new((chunk, Vec::new())));
             }
+            drop(it);
             let next = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            // Same discipline as `run_until`: catch the rank's own panic
+            // before it unwinds through the slot guard and re-raise it
+            // (with the rank id) once the pool drains.
+            let panics: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+            let worker_stats: Vec<Mutex<(u64, Duration)>> = (0..workers)
+                .map(|_| Mutex::new((0, Duration::ZERO)))
+                .collect();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
+                for stats in &worker_stats {
                     scope.spawn(|| loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(slot) = slots.get(i) else { break };
-                        let mut guard = slot.lock().unwrap();
+                        let start = Instant::now();
+                        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
                         let (sessions, results) = &mut *guard;
                         results.reserve_exact(sessions.len());
                         for s in sessions.drain(..) {
-                            results.push(s.finalize(now));
+                            let rank = s.rank();
+                            match catch_unwind(AssertUnwindSafe(|| s.finalize(now))) {
+                                Ok(r) => results.push(r),
+                                Err(p) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    panics
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .push((rank, panic_message(p)));
+                                    return;
+                                }
+                            }
                         }
+                        let mut st = stats.lock().unwrap_or_else(PoisonError::into_inner);
+                        st.0 += 1;
+                        st.1 += start.elapsed();
                     });
                 }
             });
+            reraise_rank_panics(
+                panics.into_inner().unwrap_or_else(PoisonError::into_inner),
+                "finalize",
+            );
+            let (claimed, busy) = worker_stats
+                .into_iter()
+                .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+                .unzip();
+            self.sched.absorb(&SchedStats {
+                workers,
+                chunks: n_chunks,
+                claimed_per_worker: claimed,
+                busy_per_worker: busy,
+            });
             slots
                 .into_iter()
-                .flat_map(|slot| slot.into_inner().unwrap().1)
+                .flat_map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner).1)
                 .collect()
         };
         let mut files = Vec::with_capacity(n);
         let mut overheads = Vec::with_capacity(n);
         let mut completeness = Vec::with_capacity(n);
+        let mut telemetry = Vec::with_capacity(n);
         let mut dropped = 0;
         for r in results {
             files.push(r.file);
             overheads.push(r.overhead);
             completeness.push(r.completeness);
+            telemetry.push(r.telemetry);
             dropped += r.dropped_records;
         }
         ClusterResult {
@@ -266,6 +452,8 @@ impl ClusterRun {
             overheads,
             dropped_records: dropped,
             completeness,
+            telemetry,
+            sched: self.sched,
         }
     }
 }
@@ -317,6 +505,18 @@ impl ClusterResult {
                     None => merged.push(c.clone()),
                 }
             }
+        }
+        merged
+    }
+
+    /// The run-wide telemetry report: every rank's snapshot folded together
+    /// with [`TelemetryReport::absorb`], exactly like
+    /// [`ClusterResult::completeness_by_device`] — counters and histogram
+    /// buckets are exact sums, so the merge is order-independent.
+    pub fn telemetry_merged(&self) -> TelemetryReport {
+        let mut merged = TelemetryReport::default();
+        for t in &self.telemetry {
+            merged.absorb(t);
         }
         merged
     }
@@ -484,6 +684,8 @@ mod tests {
             overheads: vec![OverheadReport::default()],
             dropped_records: 0,
             completeness: vec![vec![]],
+            telemetry: vec![TelemetryReport::default()],
+            sched: SchedStats::default(),
         };
         let series = result.agent_series(0, "a");
         let samples = series.samples();
@@ -524,6 +726,151 @@ mod tests {
         if host_cpus() == 1 {
             assert_eq!(w, 1, "single-CPU hosts must take the serial path");
         }
+    }
+
+    /// A backend that panics on one rank once virtual time reaches `after`.
+    struct PanicAt {
+        rank: usize,
+        bad_rank: usize,
+        after: SimTime,
+    }
+    impl EnvBackend for PanicAt {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+        fn platform(&self) -> Platform {
+            Platform::Rapl
+        }
+        fn min_interval(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn poll_cost(&self) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+        fn capabilities(&self) -> Vec<(Metric, Support)> {
+            vec![]
+        }
+        fn read(&mut self, t: SimTime) -> Result<crate::backend::Poll, crate::backend::ReadError> {
+            if self.rank == self.bad_rank && t >= self.after {
+                panic!("injected failure on rank {}", self.rank);
+            }
+            Ok(crate::backend::Poll::complete(vec![DataPoint::power(
+                t, "dev", "d", 1.0,
+            )]))
+        }
+        fn records_per_poll(&self) -> usize {
+            1
+        }
+    }
+
+    fn launch_panicky(agents: usize, bad_rank: usize, after: SimTime) -> ClusterRun {
+        ClusterRun::launch(
+            agents,
+            Some(SimDuration::from_millis(100)),
+            move |rank| {
+                Box::new(PanicAt {
+                    rank,
+                    bad_rank,
+                    after,
+                })
+            },
+            |rank| format!("node{rank}"),
+            SimTime::ZERO,
+        )
+        .with_par_agents(4)
+        .with_chunk_size(1)
+    }
+
+    #[test]
+    fn parallel_panic_reports_original_rank_not_poison() {
+        // Regression: a panic in one rank's run_until used to poison the
+        // chunk mutex and surface in sibling workers as an opaque
+        // PoisonError panic; the caller must see rank 5's own message.
+        let mut run = launch_panicky(8, 5, SimTime::ZERO);
+        let err = catch_unwind(AssertUnwindSafe(|| run.run_until(SimTime::from_secs(1))))
+            .expect_err("rank 5 must panic");
+        let msg = panic_message(err);
+        assert!(msg.contains("injected failure on rank 5"), "{msg}");
+        assert!(!msg.contains("PoisonError"), "{msg}");
+        if host_cpus() >= 2 {
+            assert!(
+                msg.contains("rank 5 panicked during cluster run_until"),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_finalize_panic_reports_original_rank() {
+        // The panic only trips during the final drive inside finalize.
+        let mut run = launch_panicky(8, 3, SimTime::from_millis(1_500));
+        run.run_until(SimTime::from_secs(1)); // before the trip point
+        let err = catch_unwind(AssertUnwindSafe(move || {
+            run.finalize(SimTime::from_secs(2));
+        }))
+        .expect_err("rank 3 must panic in finalize");
+        let msg = panic_message(err);
+        assert!(msg.contains("injected failure on rank 3"), "{msg}");
+        assert!(!msg.contains("PoisonError"), "{msg}");
+        if host_cpus() >= 2 {
+            assert!(
+                msg.contains("rank 3 panicked during cluster finalize"),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_gathers_per_rank_and_merges() {
+        let base = MonEqConfig {
+            interval: Some(SimDuration::from_millis(100)),
+            telemetry: true,
+            ..MonEqConfig::default()
+        };
+        let mut run = ClusterRun::launch_with(
+            3,
+            |rank| Box::new(Fake { rank }),
+            |rank| format!("node{rank}"),
+            SimTime::ZERO,
+            base,
+        );
+        run.run_until(SimTime::from_secs(1));
+        let result = run.finalize(SimTime::from_secs(1));
+        assert_eq!(result.telemetry.len(), 3);
+        for t in &result.telemetry {
+            assert!(!t.is_empty());
+            assert!(t.counter("polls.succeeded") > 0);
+            assert!(t.histograms.contains_key("query_latency/fake"));
+        }
+        let merged = result.telemetry_merged();
+        let scheduled: u64 = result.completeness.iter().map(|r| r[0].scheduled).sum();
+        assert_eq!(merged.counter("polls.scheduled"), scheduled);
+        // Every poll of the fake backend costs exactly its poll_cost, so
+        // the merged latency histogram is a constant distribution.
+        let h = &merged.histograms["query_latency/fake"];
+        assert_eq!(h.percentile(0.99), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn telemetry_off_by_default_reports_empty() {
+        let mut run = launch(2);
+        run.run_until(SimTime::from_secs(1));
+        let result = run.finalize(SimTime::from_secs(1));
+        assert_eq!(result.telemetry.len(), 2);
+        assert!(result.telemetry.iter().all(TelemetryReport::is_empty));
+    }
+
+    #[test]
+    fn sched_stats_account_all_chunks() {
+        let mut run = launch(13).with_par_agents(4).with_chunk_size(3);
+        run.run_until(SimTime::from_secs(1));
+        let claimed: u64 = run.sched_stats().claimed_per_worker.iter().sum();
+        assert_eq!(claimed, 5, "13 ranks / chunk 3 = 5 chunks, all claimed");
+        let result = run.finalize(SimTime::from_secs(2));
+        assert_eq!(result.sched.chunks, 10, "run_until + finalize phases");
+        assert!(result.sched.workers >= 1);
+        let total: u64 = result.sched.claimed_per_worker.iter().sum();
+        assert_eq!(total, 10);
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct Completeness {
     /// Virtual-time nanosecond at which the device was disabled after too
     /// many consecutive failures; `None` if it stayed enabled.
     pub disabled_at_ns: Option<u64>,
+    /// Ranks on which the device was disabled (sorted, deduplicated).
+    /// A session records its own rank here at disable time; cluster merges
+    /// take the set union, so a device disabled on several ranks counts
+    /// each rank exactly once no matter how reports are merged.
+    pub disabled_ranks: Vec<u32>,
 }
 
 impl Completeness {
@@ -88,6 +93,26 @@ impl Completeness {
             && self.records_stale == 0
             && self.records_lost == 0
             && self.disabled_at_ns.is_none()
+            && self.disabled_ranks.is_empty()
+    }
+
+    /// How many distinct ranks disabled this device. Unlike counting
+    /// disables across merges naively, this cannot double-count: a rank
+    /// appears in [`Completeness::disabled_ranks`] at most once however
+    /// many partial reports mentioning it are absorbed.
+    pub fn disabled_count(&self) -> usize {
+        self.disabled_ranks.len()
+    }
+
+    /// Record that rank `rank` disabled this device (idempotent).
+    pub fn mark_disabled(&mut self, rank: u32, at_ns: u64) {
+        self.disabled_at_ns = Some(match self.disabled_at_ns {
+            Some(prev) => prev.min(at_ns),
+            None => at_ns,
+        });
+        if let Err(pos) = self.disabled_ranks.binary_search(&rank) {
+            self.disabled_ranks.insert(pos, rank);
+        }
     }
 
     /// Fraction of expected records that arrived fresh (1.0 for an empty
@@ -116,6 +141,14 @@ impl Completeness {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        // Set union keyed by (device, rank): a rank already present is not
+        // inserted again, so repeated or overlapping merges cannot inflate
+        // the disable count.
+        for &r in &other.disabled_ranks {
+            if let Err(pos) = self.disabled_ranks.binary_search(&r) {
+                self.disabled_ranks.insert(pos, r);
+            }
+        }
     }
 }
 
@@ -155,6 +188,37 @@ mod tests {
         c.disabled_at_ns = Some(4);
         a.absorb(&c);
         assert_eq!(a.disabled_at_ns, Some(4));
+    }
+
+    #[test]
+    fn absorb_dedupes_disables_by_rank() {
+        // Regression: a device disabled on several ranks must count each
+        // rank once, however the partial reports are merged (including a
+        // rank appearing in more than one partial merge).
+        let mut part_a = Completeness::new("dev");
+        part_a.mark_disabled(3, 900);
+        part_a.mark_disabled(7, 400);
+        let mut part_b = Completeness::new("dev");
+        part_b.mark_disabled(7, 650); // rank 7 again, later instant
+        part_b.mark_disabled(1, 500);
+        let mut merged = Completeness::new("dev");
+        merged.absorb(&part_a);
+        merged.absorb(&part_b);
+        merged.absorb(&part_a); // overlapping re-merge must not inflate
+        assert_eq!(merged.disabled_ranks, vec![1, 3, 7]);
+        assert_eq!(merged.disabled_count(), 3);
+        assert_eq!(merged.disabled_at_ns, Some(400), "earliest disable wins");
+        assert!(!merged.is_clean());
+    }
+
+    #[test]
+    fn mark_disabled_is_idempotent_and_keeps_earliest() {
+        let mut c = Completeness::new("dev");
+        c.mark_disabled(5, 200);
+        c.mark_disabled(5, 100);
+        c.mark_disabled(5, 300);
+        assert_eq!(c.disabled_ranks, vec![5]);
+        assert_eq!(c.disabled_at_ns, Some(100));
     }
 
     #[test]

@@ -49,6 +49,13 @@
 //! exponential backoff, last-good-value substitution with staleness flags,
 //! per-device disable, and an exact per-device [`Completeness`] report
 //! ([`completeness`]).
+//!
+//! With [`session::MonEqConfig::telemetry`] set, the same sessions also
+//! record a deterministic observability layer ([`simkit::telemetry`]):
+//! event counters, per-mechanism query-latency histograms, and
+//! simulated-time spans, gathered per rank and merged across a cluster
+//! exactly like [`Completeness`]. Disabled (the default), the layer costs
+//! one branch per event and allocates nothing.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -63,10 +70,12 @@ pub mod reading;
 pub mod session;
 pub mod tags;
 
-pub use backend::{EnvBackend, FaultGate, Grant, Poll, ReadError, RetryPolicy, StatedLimitation};
-pub use cluster::{host_cpus, ClusterResult, ClusterRun};
+pub use backend::{
+    EnvBackend, FaultGate, GateStats, Grant, Poll, ReadError, RetryPolicy, StatedLimitation,
+};
+pub use cluster::{host_cpus, ClusterResult, ClusterRun, SchedStats};
 pub use completeness::Completeness;
-pub use output::{OutputFile, ParseError};
+pub use output::{OutputError, OutputFile, ParseError};
 pub use overhead::{finalize_time, init_time, OverheadReport};
 pub use reading::DataPoint;
 pub use session::{FinalizeResult, MonEq, MonEqConfig};

@@ -54,6 +54,47 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Failures loading an output file from disk: either the I/O itself or the
+/// parse of what was read. Typed (rather than stringly) so callers can
+/// distinguish a missing file from a corrupt one.
+#[derive(Debug)]
+pub enum OutputError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file's contents did not parse.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for OutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutputError::Io(e) => write!(f, "reading output file: {e}"),
+            OutputError::Parse(e) => write!(f, "parsing output file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OutputError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OutputError::Io(e) => Some(e),
+            OutputError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for OutputError {
+    fn from(e: std::io::Error) -> Self {
+        OutputError::Io(e)
+    }
+}
+
+impl From<ParseError> for OutputError {
+    fn from(e: ParseError) -> Self {
+        OutputError::Parse(e)
+    }
+}
+
 // Values render through f64's shortest-round-trip `Display`, so
 // `parse(render(f)) == f` exactly — no `{:.6}` truncation. A lone `-` still
 // means "absent": `Display` never renders a bare minus, so it stays
@@ -147,9 +188,9 @@ impl OutputFile {
     }
 
     /// Load and parse a file written by [`OutputFile::write_to`].
-    pub fn from_path(path: &std::path::Path) -> Result<Self, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        Self::parse(&text).map_err(|e| e.to_string())
+    pub fn from_path(path: &std::path::Path) -> Result<Self, OutputError> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::parse(&text)?)
     }
 
     /// Render to the on-disk text format.
@@ -198,7 +239,7 @@ impl OutputFile {
             );
         }
         for c in &self.completeness {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "CMP\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 escape(&c.device),
@@ -215,6 +256,14 @@ impl OutputFile {
                     None => "-".to_owned(),
                 },
             );
+            // Disabling ranks are a 12th field present only when some rank
+            // disabled the device, so pre-existing CMP lines (and their
+            // byte-exact round-trips) are unchanged.
+            if !c.disabled_ranks.is_empty() {
+                let ranks: Vec<String> = c.disabled_ranks.iter().map(u32::to_string).collect();
+                let _ = write!(out, "\t{}", ranks.join(","));
+            }
+            out.push('\n');
         }
         out
     }
@@ -280,13 +329,21 @@ impl OutputFile {
                 continue;
             }
             if fields[0] == "CMP" {
-                if fields.len() != 11 {
-                    return Err(err(ln, "CMP line needs 11 fields"));
+                if fields.len() != 11 && fields.len() != 12 {
+                    return Err(err(ln, "CMP line needs 11 or 12 fields"));
                 }
                 let count = |s: &str, what: &str| -> Result<u64, ParseError> {
                     s.parse().map_err(|_| err(ln, &format!("bad {what}")))
                 };
+                let disabled_ranks = match fields.get(11) {
+                    None => Vec::new(),
+                    Some(list) => list
+                        .split(',')
+                        .map(|r| r.parse::<u32>().map_err(|_| err(ln, "bad disabled rank")))
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
                 completeness.push(Completeness {
+                    disabled_ranks,
                     device: unescape(fields[1]).map_err(|m| err(ln, &m))?,
                     scheduled: count(fields[2], "scheduled count")?,
                     succeeded: count(fields[3], "succeeded count")?,
@@ -435,7 +492,16 @@ mod tests {
     fn from_path_missing_file_errors() {
         let err = OutputFile::from_path(std::path::Path::new("/nonexistent/x.dat"))
             .expect_err("missing file must error");
-        assert!(!err.is_empty());
+        assert!(matches!(err, OutputError::Io(_)), "{err:?}");
+        assert!(!err.to_string().is_empty());
+        // A corrupt file surfaces as a Parse error with its line number.
+        let dir = std::env::temp_dir().join(format!("moneq-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.dat");
+        std::fs::write(&path, "garbage\n").unwrap();
+        let err = OutputFile::from_path(&path).expect_err("corrupt file must error");
+        assert!(matches!(err, OutputError::Parse(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -506,6 +572,7 @@ mod tests {
         c.records_stale = 7;
         c.records_lost = 7;
         c.disabled_at_ns = Some(5_600_000_000);
+        c.disabled_ranks = vec![2, 3];
         let mut clean = Completeness::new("rapl\tmsr"); // hostile name
         clean.scheduled = 10;
         clean.succeeded = 10;
@@ -513,9 +580,30 @@ mod tests {
         f.completeness = vec![c, clean];
         let text = f.render();
         assert_eq!(text.lines().filter(|l| l.starts_with("CMP\t")).count(), 2);
+        // The disabled device carries the 12th (ranks) field; the clean one
+        // keeps the original 11-field framing.
+        let lines: Vec<&str> = text.lines().filter(|l| l.starts_with("CMP\t")).collect();
+        assert_eq!(lines[0].split('\t').count(), 12);
+        assert!(lines[0].ends_with("\t2,3"), "{:?}", lines[0]);
+        assert_eq!(lines[1].split('\t').count(), 11);
         let back = OutputFile::parse(&text).unwrap();
         assert_eq!(back, f);
         assert!(back.completeness[0].reconciles());
+        assert_eq!(back.completeness[0].disabled_count(), 2);
+    }
+
+    #[test]
+    fn eleven_field_cmp_lines_still_parse() {
+        // Files written before the disabled-ranks field must keep loading.
+        let good = sample_file().render();
+        let legacy = format!("{good}CMP\tdev\t4\t2\t0\t0\t2\t2\t0\t2\t900\n");
+        let back = OutputFile::parse(&legacy).unwrap();
+        assert_eq!(back.completeness.len(), 1);
+        assert_eq!(back.completeness[0].disabled_at_ns, Some(900));
+        assert!(back.completeness[0].disabled_ranks.is_empty());
+        // And a malformed 12th field is rejected, not ignored.
+        let bad = format!("{good}CMP\tdev\t4\t2\t0\t0\t2\t2\t0\t2\t900\tx,y\n");
+        assert!(OutputFile::parse(&bad).is_err());
     }
 
     #[test]

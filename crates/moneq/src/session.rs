@@ -22,10 +22,10 @@
 use crate::backend::{validate_interval, EnvBackend, ReadError, RetryPolicy};
 use crate::completeness::Completeness;
 use crate::output::OutputFile;
-use crate::overhead::{finalize_time, init_time, OverheadReport};
+use crate::overhead::{finalize_time, init_time, OverheadReport, IO_STRIPE_WIDTH};
 use crate::reading::DataPoint;
 use crate::tags::{TagEvent, TagKind};
-use simkit::{EventQueue, SimDuration, SimTime};
+use simkit::{EventQueue, SimDuration, SimTime, Telemetry, TelemetryReport};
 
 /// Session configuration.
 ///
@@ -63,6 +63,10 @@ pub struct MonEqConfig {
     pub total_agents: usize,
     /// How the session reacts to backend read failures.
     pub retry: RetryPolicy,
+    /// Record telemetry (counters / histograms / spans) for this session.
+    /// Off by default: a disabled registry costs one branch per event and
+    /// allocates nothing, so existing runs are bit-for-bit unchanged.
+    pub telemetry: bool,
 }
 
 impl Default for MonEqConfig {
@@ -73,6 +77,7 @@ impl Default for MonEqConfig {
             agent_name: "node0".into(),
             total_agents: 1,
             retry: RetryPolicy::default(),
+            telemetry: false,
         }
     }
 }
@@ -96,6 +101,12 @@ pub struct FinalizeResult {
     /// Per-backend completeness counters (always populated; written into
     /// the output file only when some device was degraded).
     pub completeness: Vec<Completeness>,
+    /// The session's telemetry snapshot: counters, per-mechanism query
+    /// latency histograms, and span aggregates. Empty unless
+    /// [`MonEqConfig::telemetry`] was set. Derived exclusively from the
+    /// virtual timeline, so serial and parallel drives of the same seed
+    /// produce identical reports.
+    pub telemetry: TelemetryReport,
 }
 
 /// One attached backend plus its degradation state.
@@ -129,6 +140,7 @@ pub struct MonEq {
     fault_recovery: SimDuration,
     polls: u64,
     retries: u64,
+    telemetry: Telemetry,
     state: State,
 }
 
@@ -177,9 +189,12 @@ impl MonEq {
                 }
             })
             .collect();
+        let mut telemetry = Telemetry::with(config.telemetry);
+        telemetry.span_enter("session", now);
         MonEq {
             rank,
             slots,
+            telemetry,
             // Capped initial reservation: at cluster scale (tens of
             // thousands of ranks in one process) preallocating the full
             // max_samples per rank would exhaust memory before a single
@@ -208,6 +223,11 @@ impl MonEq {
         self.interval
     }
 
+    /// The agent rank this session belongs to.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
     /// Number of records collected so far.
     pub fn records(&self) -> usize {
         self.data.len()
@@ -219,12 +239,44 @@ impl MonEq {
         assert_eq!(self.state, State::Running, "session already finalized");
         while let Some(ev) = self.timer.pop_until(until) {
             let t = ev.at;
-            for i in 0..self.slots.len() {
-                self.poll_slot(i, t);
+            if self.telemetry.is_enabled() {
+                self.telemetry.count("polls.fired", 1);
+                self.telemetry.span_enter("poll", t);
+                let before = self.collection_cost + self.fault_recovery;
+                for i in 0..self.slots.len() {
+                    self.poll_slot_instrumented(i, t);
+                }
+                let spent = (self.collection_cost + self.fault_recovery) - before;
+                self.telemetry.span_exit(t + spent);
+            } else {
+                for i in 0..self.slots.len() {
+                    self.poll_slot(i, t);
+                }
             }
             self.polls += 1;
             self.timer.schedule(t + self.interval, ());
         }
+    }
+
+    /// [`MonEq::poll_slot`] wrapped in per-backend telemetry: a
+    /// `poll/{backend}` span plus a `query_latency/{backend}` histogram
+    /// sample covering the poll cost and any fault-recovery time this poll
+    /// charged — all simulated time, so the sample is identical however
+    /// the session is scheduled. Disabled devices record nothing (their
+    /// polls do no mechanism work).
+    fn poll_slot_instrumented(&mut self, i: usize, t: SimTime) {
+        if self.slots[i].disabled {
+            self.poll_slot(i, t);
+            return;
+        }
+        let name = self.slots[i].backend.name();
+        self.telemetry.span_enter(&format!("poll/{name}"), t);
+        let before = self.collection_cost + self.fault_recovery;
+        self.poll_slot(i, t);
+        let spent = (self.collection_cost + self.fault_recovery) - before;
+        self.telemetry.span_exit(t + spent);
+        self.telemetry
+            .record(&format!("query_latency/{name}"), spent);
     }
 
     /// One backend's share of one timer fire: read with bounded retry,
@@ -233,9 +285,13 @@ impl MonEq {
         let policy = self.config.retry;
         let slot = &mut self.slots[i];
         slot.comp.scheduled += 1;
+        self.telemetry.count("polls.scheduled", 1);
         if slot.disabled {
             slot.comp.missed_polls += 1;
             slot.comp.records_lost += slot.backend.records_per_poll() as u64;
+            self.telemetry.count("polls.missed", 1);
+            self.telemetry
+                .count("records.lost", slot.backend.records_per_poll() as u64);
             return;
         }
         self.collection_cost += slot.backend.poll_cost();
@@ -244,6 +300,15 @@ impl MonEq {
             match slot.backend.read(t) {
                 Ok(poll) => break Ok(poll),
                 Err(e) => {
+                    self.telemetry.count(
+                        match &e {
+                            ReadError::Transient(_) => "faults.transient",
+                            ReadError::Timeout { .. } => "faults.timeout",
+                            ReadError::NoData => "faults.no_data",
+                            ReadError::Unavailable(_) => "faults.unavailable",
+                        },
+                        1,
+                    );
                     if let ReadError::Timeout { stalled } = &e {
                         self.fault_recovery += (*stalled).min(policy.timeout);
                     }
@@ -252,8 +317,10 @@ impl MonEq {
                         self.retries += 1;
                         slot.comp.retried += 1;
                         // Exponential backoff before retry n: base << (n-1).
-                        self.fault_recovery +=
-                            policy.base_backoff.saturating_mul(1u64 << (attempt - 1));
+                        let backoff = policy.base_backoff.saturating_mul(1u64 << (attempt - 1));
+                        self.fault_recovery += backoff;
+                        self.telemetry.count("polls.retried", 1);
+                        self.telemetry.record("retry_backoff", backoff);
                         continue;
                     }
                     break Err(e);
@@ -265,6 +332,9 @@ impl MonEq {
                 slot.consecutive_failures = 0;
                 slot.comp.succeeded += 1;
                 slot.comp.records_lost += u64::from(poll.missing);
+                self.telemetry.count("polls.succeeded", 1);
+                self.telemetry
+                    .count("records.lost", u64::from(poll.missing));
                 let mut fresh: Vec<usize> = Vec::new();
                 for p in poll.points {
                     // Only genuinely fresh readings may serve as
@@ -273,8 +343,10 @@ impl MonEq {
                     // "last good".
                     if p.stale {
                         slot.comp.records_stale += 1;
+                        self.telemetry.count("records.stale", 1);
                     } else {
                         slot.comp.records_fresh += 1;
+                        self.telemetry.count("records.fresh", 1);
                         if self.data.len() < self.config.max_samples {
                             fresh.push(self.data.len());
                         }
@@ -283,6 +355,7 @@ impl MonEq {
                         self.data.push(p);
                     } else {
                         self.dropped += 1;
+                        self.telemetry.count("records.dropped", 1);
                     }
                 }
                 if !fresh.is_empty() {
@@ -294,23 +367,30 @@ impl MonEq {
                 if slot.last_good.is_empty() {
                     slot.comp.missed_polls += 1;
                     slot.comp.records_lost += slot.backend.records_per_poll() as u64;
+                    self.telemetry.count("polls.missed", 1);
+                    self.telemetry
+                        .count("records.lost", slot.backend.records_per_poll() as u64);
                 } else {
                     slot.comp.stale_polls += 1;
+                    self.telemetry.count("polls.stale_substituted", 1);
                     for k in 0..slot.last_good.len() {
                         let mut sub = self.data[slot.last_good[k]].clone();
                         sub.timestamp = t;
                         sub.stale = true;
                         slot.comp.records_stale += 1;
+                        self.telemetry.count("records.stale", 1);
                         if self.data.len() < self.config.max_samples {
                             self.data.push(sub);
                         } else {
                             self.dropped += 1;
+                            self.telemetry.count("records.dropped", 1);
                         }
                     }
                 }
                 if slot.consecutive_failures >= policy.disable_after {
                     slot.disabled = true;
-                    slot.comp.disabled_at_ns = Some(t.as_nanos());
+                    slot.comp.mark_disabled(self.rank, t.as_nanos());
+                    self.telemetry.count("devices.disabled", 1);
                 }
             }
         }
@@ -340,6 +420,25 @@ impl MonEq {
         assert_eq!(self.state, State::Running, "double finalize");
         self.run_until(now);
         self.state = State::Finalized;
+        if self.telemetry.is_enabled() {
+            // Per-mechanism fault-gate decision counters (how often each
+            // documented pathology actually fired), finalize I/O-wave
+            // occupancy, and the closing of the session span.
+            for i in 0..self.slots.len() {
+                let name = self.slots[i].backend.name();
+                let Some(gs) = self.slots[i].backend.gate_stats() else {
+                    continue;
+                };
+                for (kind, n) in gs.kinds() {
+                    if n > 0 {
+                        self.telemetry.count(&format!("gate.{kind}/{name}"), n);
+                    }
+                }
+            }
+            let waves = self.config.total_agents.max(1).div_ceil(IO_STRIPE_WIDTH) as u64;
+            self.telemetry.count("finalize.waves", waves);
+            self.telemetry.span_exit(now);
+        }
         let app_runtime = now.saturating_since(self.started_at);
         let overhead = OverheadReport {
             app_runtime,
@@ -377,6 +476,7 @@ impl MonEq {
             overhead,
             dropped_records: self.dropped,
             completeness,
+            telemetry: self.telemetry.report(),
         }
     }
 }
@@ -720,6 +820,77 @@ mod tests {
         // The 500 ms stall is capped at the 20 ms per-backend timeout.
         assert_eq!(result.overhead.fault_recovery, SimDuration::from_millis(20));
         assert!(result.overhead.total() > result.overhead.collection);
+    }
+
+    #[test]
+    fn telemetry_mirrors_completeness_and_latency() {
+        // Poll 1 retries twice then succeeds; poll 2 is clean.
+        let script = vec![
+            Err(ReadError::Transient("x".into())),
+            Err(ReadError::Transient("x".into())),
+            Ok(10.0),
+            Ok(11.0),
+        ];
+        let mut s = MonEq::initialize(
+            0,
+            vec![Box::new(Scripted { script, cursor: 0 })],
+            MonEqConfig {
+                interval: Some(SimDuration::from_millis(100)),
+                telemetry: true,
+                ..MonEqConfig::default()
+            },
+            SimTime::ZERO,
+        );
+        s.run_until(SimTime::from_millis(250));
+        let result = s.finalize(SimTime::from_millis(250));
+        let t = &result.telemetry;
+        assert_eq!(t.counter("polls.scheduled"), 2);
+        assert_eq!(t.counter("polls.succeeded"), 2);
+        assert_eq!(t.counter("polls.retried"), 2);
+        assert_eq!(t.counter("faults.transient"), 2);
+        assert_eq!(t.counter("records.fresh"), 2);
+        // Query latency: poll 1 = 10 us cost + 1 ms + 2 ms backoff, poll 2
+        // = 10 us. Exact min/max; mean is exact too.
+        let h = &t.histograms["query_latency/scripted"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(SimDuration::from_micros(10)));
+        assert_eq!(h.max(), Some(SimDuration::from_micros(3_010)));
+        // Spans: one session span, two poll spans, two per-backend spans.
+        assert_eq!(t.spans["session"].count, 1);
+        assert_eq!(t.spans["poll"].count, 2);
+        assert_eq!(t.spans["poll/scripted"].count, 2);
+        assert_eq!(t.spans["poll/scripted"].depth, 2);
+        assert_eq!(
+            t.spans["poll/scripted"].total,
+            SimDuration::from_micros(3_020)
+        );
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default_and_output_identical() {
+        let mk = |telemetry: bool| {
+            let script = vec![Err(ReadError::Transient("x".into())), Ok(10.0), Ok(11.0)];
+            let mut s = MonEq::initialize(
+                0,
+                vec![Box::new(Scripted { script, cursor: 0 })],
+                MonEqConfig {
+                    interval: Some(SimDuration::from_millis(100)),
+                    telemetry,
+                    ..MonEqConfig::default()
+                },
+                SimTime::ZERO,
+            );
+            s.run_until(SimTime::from_millis(250));
+            s.finalize(SimTime::from_millis(250))
+        };
+        let off = mk(false);
+        let on = mk(true);
+        assert!(off.telemetry.is_empty());
+        assert!(!on.telemetry.is_empty());
+        // Telemetry must never change what the session produces.
+        assert_eq!(off.file.render(), on.file.render());
+        assert_eq!(off.overhead, on.overhead);
+        assert_eq!(off.completeness, on.completeness);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   regenerate the paper's figures;
 //! * [`fault`] — seeded, order-independent per-device fault processes
 //!   ([`FaultPlan`] / [`FaultSpec`]) used to subject each vendor mechanism
-//!   to its documented failure modes deterministically.
+//!   to its documented failure modes deterministically;
+//! * [`telemetry`] — zero-cost-when-disabled observability ([`Telemetry`]):
+//!   named counters, simulated-time log₂ histograms, hierarchical spans,
+//!   and mergeable [`TelemetryReport`] snapshots.
 //!
 //! Determinism is a hard requirement: the same seed must reproduce every
 //! figure byte-for-byte. Nothing in this crate reads wall-clock time or
@@ -33,6 +36,7 @@ pub mod fault;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
@@ -40,4 +44,5 @@ pub use fault::{FaultOutcome, FaultPlan, FaultProcess, FaultSpec};
 pub use rng::{DetRng, NoiseStream};
 pub use series::{Sample, TimeSeries};
 pub use stats::{welch_t_test, BoxplotSummary, Histogram, RunningStats, WelchResult};
+pub use telemetry::{LogHistogram, SpanStats, Telemetry, TelemetryReport};
 pub use time::{SimDuration, SimTime};

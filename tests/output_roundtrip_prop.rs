@@ -46,18 +46,27 @@ fn arb_completeness() -> impl Strategy<Value = Completeness> {
         arb_label(),
         prop::collection::vec(0u64..1_000, 8),
         prop::option::of(0u64..10_000_000_000),
+        // Rank sets exercise the optional 12th CMP field: empty keeps the
+        // legacy 11-field line, non-empty round-trips through it.
+        prop::collection::vec(0u32..64, 0..4),
     )
-        .prop_map(|(device, c, disabled_at_ns)| Completeness {
-            device,
-            scheduled: c[0],
-            succeeded: c[1],
-            retried: c[2],
-            stale_polls: c[3],
-            missed_polls: c[4],
-            records_fresh: c[5],
-            records_stale: c[6],
-            records_lost: c[7],
-            disabled_at_ns,
+        .prop_map(|(device, c, disabled_at_ns, mut ranks)| {
+            // The field is a sorted, deduped set — normalise the draw.
+            ranks.sort_unstable();
+            ranks.dedup();
+            Completeness {
+                device,
+                scheduled: c[0],
+                succeeded: c[1],
+                retried: c[2],
+                stale_polls: c[3],
+                missed_polls: c[4],
+                records_fresh: c[5],
+                records_stale: c[6],
+                records_lost: c[7],
+                disabled_at_ns,
+                disabled_ranks: ranks,
+            }
         })
 }
 
