@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Bench regression guard: re-run the sweep binaries in smoke (--quick) mode
+# and compare their headline ratios against the committed BENCH_*.json
+# files. A ratio regressing by more than 20% fails the build.
+#
+#   ./ci-bench-check.sh
+#
+# Only *ratios* are guarded, never absolute wall-clock: smoke mode runs
+# smaller scales than the committed full sweeps and CI machines differ, but
+# the ratios are scale-free claims the benches exist to defend:
+#
+#   BENCH_cache.json      collection_factor — charged-cost reduction from
+#                         batched collection (exactly the domain size, 32)
+#   BENCH_cluster.json    speedup — parallel vs serial drive of the same
+#                         deterministic workload
+#   BENCH_telemetry.json  on/off wall ratio — cost of enabling telemetry
+#
+# The sweep binaries additionally self-check the deterministic invariants
+# (byte-identical outputs, serial == parallel) on every run, so a pass here
+# also re-proves those at smoke scale.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# All numeric values for a JSON key, one per line (the BENCH files are
+# line-per-row on purpose, so no JSON parser is needed).
+vals() { # file key
+    grep -o "\"$2\": *-\{0,1\}[0-9.]*" "$1" | sed 's/.*: *//'
+}
+minof() { sort -g | head -1; }
+maxof() { sort -g | tail -1; }
+
+fail=0
+
+# check_ge LABEL FRESH COMMITTED: higher is better, fresh must hold at
+# least 80% of the committed ratio.
+check_ge() {
+    awk -v l="$1" -v f="$2" -v c="$3" 'BEGIN {
+        if (f + 0 < 0.8 * c) {
+            printf "FAIL %-28s %.2f vs committed %.2f (>20%% regression)\n", l, f, c
+            exit 1
+        }
+        printf "ok   %-28s %.2f vs committed %.2f\n", l, f, c
+    }' || fail=1
+}
+
+# check_le LABEL FRESH COMMITTED: lower is better, fresh may exceed the
+# committed ratio by at most 20%.
+check_le() {
+    awk -v l="$1" -v f="$2" -v c="$3" 'BEGIN {
+        if (f + 0 > 1.2 * c) {
+            printf "FAIL %-28s %.2f vs committed %.2f (>20%% regression)\n", l, f, c
+            exit 1
+        }
+        printf "ok   %-28s %.2f vs committed %.2f\n", l, f, c
+    }' || fail=1
+}
+
+echo "==> rebuilding sweep binaries (release)"
+cargo build --release -q -p envmon-bench
+
+echo "==> cache_sweep --quick"
+./target/release/cache_sweep --quick --out "$tmp/cache.json"
+check_ge "cache collection_factor" \
+    "$(vals "$tmp/cache.json" collection_factor | minof)" \
+    "$(vals BENCH_cache.json collection_factor | minof)"
+
+echo "==> cluster_sweep --quick"
+./target/release/cluster_sweep --quick --out "$tmp/cluster.json"
+check_ge "cluster parallel speedup" \
+    "$(vals "$tmp/cluster.json" speedup | maxof)" \
+    "$(vals BENCH_cluster.json speedup | minof)"
+
+echo "==> telemetry_sweep --quick"
+./target/release/telemetry_sweep --quick --out "$tmp/telemetry.json"
+# overhead_pct is (on/off - 1)*100; compare as on/off ratios.
+fresh_ratio=$(vals "$tmp/telemetry.json" overhead_pct | maxof |
+    awk '{print 1 + $1 / 100}')
+committed_ratio=$(vals BENCH_telemetry.json overhead_pct | maxof |
+    awk '{print 1 + $1 / 100}')
+check_le "telemetry on/off ratio" "$fresh_ratio" "$committed_ratio"
+
+if [[ $fail -ne 0 ]]; then
+    echo "bench ratios regressed; if intentional, regenerate the BENCH_*.json"
+    echo "files with the full (non --quick) sweeps and commit them"
+    exit 1
+fi
+echo "BENCH OK"

@@ -2,36 +2,73 @@
 # Local CI gate: formatting, lints, build, and the full test suite.
 #
 #   ./ci.sh          # everything (what a PR must pass)
-#   ./ci.sh --quick  # skip the release build, debug tests only
+#   ./ci.sh --quick  # skip the release build and the doc gate, debug tests only
 #
 # Lints are hard errors (-D warnings) so the tree stays clippy-clean.
+# Every stage prints its own wall-clock so CI-time regressions are
+# attributable to a stage, not just to "the build got slower".
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+# Run one named, timed stage. The command is a single string (eval'd) so
+# stages can carry env vars and redirections.
+stage() {
+    local name="$1" cmd="$2"
+    echo "==> $name"
+    local t0=$SECONDS
+    eval "$cmd"
+    echo "    ($name: $((SECONDS - t0))s)"
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+skipped() {
+    echo "==> SKIPPED ($1): $2"
+}
+
+stage "cargo fmt --check" \
+    "cargo fmt --check"
+
+stage "cargo clippy --workspace --all-targets -- -D warnings" \
+    "cargo clippy --workspace --all-targets -- -D warnings"
 
 # The core library crates must not unwrap in non-test code: user-reachable
 # failures are typed errors, lock poisoning is recovered explicitly
 # (PoisonError::into_inner), and rank panics resurface with their rank id.
-echo "==> cargo clippy (simkit, moneq libs) -- -D clippy::unwrap_used"
-cargo clippy -p simkit -p moneq --lib -- -D warnings -D clippy::unwrap_used
-
-echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+stage "cargo clippy (simkit, moneq libs) -- -D clippy::unwrap_used" \
+    "cargo clippy -p simkit -p moneq --lib -- -D warnings -D clippy::unwrap_used"
 
 if [[ $quick -eq 0 ]]; then
-    echo "==> cargo build --release"
-    cargo build --release
+    stage "cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)" \
+        "RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --quiet"
+else
+    skipped "--quick" "cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 fi
 
-echo "==> cargo test --workspace"
-cargo test --workspace -q --no-fail-fast
+# The examples are documentation that compiles; keep them compiling.
+stage "cargo build --examples" \
+    "cargo build --examples --quiet"
+
+if [[ $quick -eq 0 ]]; then
+    stage "cargo build --release" \
+        "cargo build --release"
+else
+    skipped "--quick" "cargo build --release"
+fi
+
+stage "cargo test --workspace" \
+    "cargo test --workspace -q --no-fail-fast"
+
+# Determinism gate: every headline number is re-derived and compared to the
+# paper's value programmatically; `repro report` exits non-zero if any of
+# the agreement checks disagree, so a drifting constant fails the build.
+if [[ $quick -eq 0 ]]; then
+    stage "repro report (paper-agreement gate)" \
+        "cargo run --release -q -p envmon-bench --bin repro -- report > /dev/null"
+else
+    stage "repro report (paper-agreement gate)" \
+        "cargo run -q -p envmon-bench --bin repro -- report > /dev/null"
+fi
 
 echo "CI OK"

@@ -15,12 +15,14 @@
 //! | [`ablations`] | The DESIGN.md ablation suite: polling-interval sweeps, Phi access-path comparison, RAPL capping, finalize scaling |
 //! | [`robustness`] | The DESIGN.md §8 robustness comparison: all mechanisms under identical fault rates |
 //! | [`telemetry`] | The DESIGN.md §9 observability table: per-mechanism query-latency percentiles vs. the §II per-query constants |
+//! | [`caching`] | The DESIGN.md §10 caching ablation: naive vs batched collection cost per mechanism, with byte-identity verification |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod caching;
 pub mod figures;
 pub mod render;
 pub mod report;

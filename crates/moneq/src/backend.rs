@@ -341,6 +341,58 @@ pub trait EnvBackend: Send {
         self.read(t).map(|p| p.points).unwrap_or_default()
     }
 
+    /// The mechanism's *update grid*: the cadence on which the hardware
+    /// regenerates the values a read observes (560 ms EMON generations,
+    /// ~60 ms NVML register refresh, the RAPL counters' ~1 ms tick, the
+    /// SMC's 50 ms sampling window). Two reads inside one grid period can
+    /// only observe the same generation, which is what makes shared-read
+    /// caching sound; [`simkit::CadenceCache`] keys on this grid.
+    ///
+    /// Defaults to [`EnvBackend::min_interval`] (a reliable, conservative
+    /// grid); each adapter overrides it with the mechanism's actual
+    /// cadence.
+    fn read_cadence(&self) -> SimDuration {
+        self.min_interval()
+    }
+
+    /// May a stored poll result for the *same instant* be served again in
+    /// place of a live [`EnvBackend::read`], with byte-identical effect?
+    ///
+    /// `true` only when the backend's served values are a pure function
+    /// of the query instant (no polling-history state like RAPL's
+    /// previous-snapshot delta or NVML's sample-ring drain cursor) *and*
+    /// no fault gate is active (fault draws are per-attempt state). When
+    /// `false`, a cache hit still shares the access-path *cost*, but the
+    /// value is recomputed locally — deterministically identical, since
+    /// every mechanism model is a deterministic function of grid time.
+    fn replayable(&self) -> bool {
+        false
+    }
+
+    /// Batched collection: one access-path round-trip serving `agents`
+    /// co-resident consumers of the same device. Returns one [`Poll`] per
+    /// consumer — clones of a single live read, which is exact because
+    /// co-resident consumers of one mechanism can only observe the same
+    /// generation. Charge [`EnvBackend::batched_cost`] for the whole
+    /// batch instead of `agents` individual [`EnvBackend::poll_cost`]s.
+    fn read_many(&mut self, t: SimTime, agents: usize) -> Result<Vec<Poll>, ReadError> {
+        if agents == 0 {
+            return Ok(Vec::new());
+        }
+        let first = self.read(t)?;
+        Ok(vec![first; agents])
+    }
+
+    /// Virtual-time cost of one batched [`EnvBackend::read_many`] serving
+    /// `agents` consumers: the access path is crossed once, so the
+    /// default is a single [`EnvBackend::poll_cost`] regardless of batch
+    /// width — the amortisation the real MonEQ gets from per-node-card
+    /// collection.
+    fn batched_cost(&self, agents: usize) -> SimDuration {
+        let _ = agents;
+        self.poll_cost()
+    }
+
     /// Upper bound on records per poll (used to size the preallocated
     /// array).
     fn records_per_poll(&self) -> usize;

@@ -90,6 +90,20 @@ impl EnvBackend for BgqBackend {
         Ok(Poll::with_missing(kept, missing))
     }
 
+    fn read_cadence(&self) -> SimDuration {
+        // EMON serves whole 560 ms generations; queries inside one
+        // generation window observe identical domain readings.
+        bgq_sim::emon::EMON_GENERATION_PERIOD
+    }
+
+    fn replayable(&self) -> bool {
+        // EMON readings are a pure function of the generation the query
+        // falls in (per-generation stable noise, no polling-history
+        // state), so a stored poll replays exactly — unless a fault gate
+        // is active, whose per-attempt draws must not be skipped.
+        !self.gate.is_active()
+    }
+
     fn records_per_poll(&self) -> usize {
         7
     }

@@ -88,6 +88,19 @@ impl EnvBackend for MicApiBackend {
         Ok(Poll::with_missing(kept, missing))
     }
 
+    fn read_cadence(&self) -> SimDuration {
+        // The SMC resamples every 50 ms; in-band queries inside one window
+        // are served from the same generation.
+        mic_sim::smc::SMC_SAMPLE_PERIOD
+    }
+
+    fn replayable(&self) -> bool {
+        // The reading is a pure function of the query instant (card and
+        // SMC are deterministic models; SCIF sequence numbers never reach
+        // the power value), so an un-faulted stored poll replays exactly.
+        !self.gate.is_active()
+    }
+
     fn records_per_poll(&self) -> usize {
         1
     }

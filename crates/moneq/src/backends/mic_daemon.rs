@@ -95,6 +95,19 @@ impl EnvBackend for MicDaemonBackend {
         Ok(Poll::with_missing(kept, missing))
     }
 
+    fn read_cadence(&self) -> SimDuration {
+        // The pseudo-file is regenerated from the SMC's latest 50 ms
+        // generation; reads inside one window parse identical text.
+        mic_sim::smc::SMC_SAMPLE_PERIOD
+    }
+
+    fn replayable(&self) -> bool {
+        // The parsed reading is a pure function of the query instant (the
+        // daemon rerenders the file from the deterministic SMC state), so
+        // an un-faulted stored poll replays exactly.
+        !self.gate.is_active()
+    }
+
     fn records_per_poll(&self) -> usize {
         1
     }

@@ -133,6 +133,20 @@ impl EnvBackend for NvmlBackend {
         Ok(Poll::with_missing(kept, missing))
     }
 
+    fn read_cadence(&self) -> SimDuration {
+        // The board power register refreshes ~every 60 ms (§II-C); point
+        // reads inside one refresh window observe the same value.
+        SimDuration::from_millis(60)
+    }
+
+    fn replayable(&self) -> bool {
+        // Point reads are a pure function of the query instant; buffer
+        // mode drains a ring relative to `last_drained` (polling-history
+        // state), and an active fault gate draws per attempt — both rule
+        // out replaying a stored poll.
+        !self.use_sample_buffer && !self.gate.is_active()
+    }
+
     fn records_per_poll(&self) -> usize {
         self.nvml.device_count()
     }

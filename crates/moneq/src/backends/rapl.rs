@@ -119,6 +119,18 @@ impl EnvBackend for RaplBackend {
         Ok(Poll::with_missing(kept, missing))
     }
 
+    fn read_cadence(&self) -> SimDuration {
+        // The energy-status counters tick on a ~1 ms grid; reads inside
+        // one tick observe the same counter generation. (The ±50k-cycle
+        // jitter never matters for caching: RAPL stays non-replayable, so
+        // only the access-path cost is shared, never a stored value.)
+        SimDuration::from_millis(1)
+    }
+
+    // `replayable` stays the default `false`: power is a delta against the
+    // previous snapshot (`self.prev`), so a served value depends on this
+    // backend's own polling history, not just the query instant.
+
     fn records_per_poll(&self) -> usize {
         RaplDomain::ALL.len()
     }

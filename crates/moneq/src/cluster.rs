@@ -11,11 +11,12 @@ use crate::backend::EnvBackend;
 use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::OverheadReport;
+use crate::plan::{CollectionPlan, SharedReadCache};
 use crate::session::{FinalizeResult, MonEq, MonEqConfig};
-use simkit::{SimDuration, SimTime, TelemetryReport, TimeSeries};
+use simkit::{CacheStats, SimDuration, SimTime, TelemetryReport, TimeSeries};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Number of CPUs the host actually has (1 when it cannot be determined —
@@ -46,6 +47,10 @@ pub struct ClusterRun {
     sessions: Vec<MonEq>,
     par_agents: usize,
     chunk_size: usize,
+    plan: CollectionPlan,
+    /// One shared read cache per sharing domain (empty for the per-agent
+    /// plan). Arcs are shared with the domain's sessions.
+    caches: Vec<Arc<SharedReadCache>>,
     sched: SchedStats,
 }
 
@@ -109,6 +114,12 @@ pub struct ClusterResult {
     /// sessions were launched with [`MonEqConfig::telemetry`] set.
     /// Deterministic: serial and parallel drives produce identical reports.
     pub telemetry: Vec<TelemetryReport>,
+    /// Exact shared-read cache ledger, folded over every sharing domain.
+    /// All zero unless a collection plan was active
+    /// ([`ClusterRun::with_collection_plan`]). Deterministic: domain
+    /// chunks are driven in rank order, so serial and parallel runs agree
+    /// on every count.
+    pub cache: CacheStats,
     /// Wall-clock scheduling diagnostics (see [`SchedStats`] — these are
     /// *not* deterministic and excluded from serial == parallel equality).
     pub sched: SchedStats,
@@ -190,8 +201,45 @@ impl ClusterRun {
             sessions,
             par_agents: 1,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            plan: CollectionPlan::per_agent(),
+            caches: Vec::new(),
             sched: SchedStats::default(),
         }
+    }
+
+    /// Activate a batched collection plan: `plan.domain_size()` consecutive
+    /// ranks share one [`SharedReadCache`], so each generation is fetched
+    /// once per domain (by whichever rank reaches it first) and distributed
+    /// to co-resident ranks at zero marginal charged cost.
+    ///
+    /// The caller must make the domains match the hardware the ranks are
+    /// attached to — every rank of a domain has to read the *same* device
+    /// (node card, socket, card), or a distributed value would be wrong
+    /// for some ranks. Outputs are byte-identical with the plan on or off;
+    /// only the charged collection overhead changes.
+    ///
+    /// Dispatch chunks are aligned up to whole domains, so a parallel run
+    /// drives each domain's ranks on one worker in rank order — leader
+    /// election stays deterministic and the domain's cache lock
+    /// uncontended.
+    pub fn with_collection_plan(mut self, plan: CollectionPlan) -> Self {
+        self.plan = plan;
+        self.caches.clear();
+        if plan.is_shared() {
+            self.caches = (0..plan.domains(self.sessions.len()))
+                .map(|_| Arc::new(SharedReadCache::new()))
+                .collect();
+            for (rank, session) in self.sessions.iter_mut().enumerate() {
+                session.attach_shared_cache(Arc::clone(&self.caches[plan.domain_of(rank)]));
+            }
+        }
+        self
+    }
+
+    /// The active collection plan (per-agent unless
+    /// [`ClusterRun::with_collection_plan`] changed it).
+    pub fn collection_plan(&self) -> CollectionPlan {
+        self.plan
     }
 
     /// Set the worker-pool width for `run_until`/`finalize`. `1` (the
@@ -234,6 +282,22 @@ impl ClusterRun {
     /// Returns 1 (serial path, no pool at all) when the host has a single
     /// CPU or there is at most one chunk — spawning workers then only adds
     /// overhead with zero possible speedup.
+    /// The chunk size actually used for dispatch: the configured size,
+    /// rounded up to a whole number of sharing domains when a collection
+    /// plan is active. A domain split across two workers would let ranks
+    /// of one domain race on leader election, making the charged
+    /// overheads depend on scheduling; whole-domain chunks keep parallel
+    /// runs identical to serial ones.
+    fn effective_chunk_size(&self) -> usize {
+        let chunk = self.chunk_size.max(1);
+        let domain = self.plan.domain_size();
+        if domain <= 1 {
+            chunk
+        } else {
+            chunk.div_ceil(domain) * domain
+        }
+    }
+
     fn effective_workers(&self, n_chunks: usize) -> usize {
         if n_chunks < 2 {
             return 1;
@@ -247,7 +311,8 @@ impl ClusterRun {
     /// worker pool; each session still observes exactly the serial event
     /// sequence, because no state is shared between ranks.
     pub fn run_until(&mut self, until: SimTime) {
-        let n_chunks = self.sessions.len().div_ceil(self.chunk_size.max(1));
+        let chunk_size = self.effective_chunk_size();
+        let n_chunks = self.sessions.len().div_ceil(chunk_size);
         let workers = self.effective_workers(n_chunks);
         if workers <= 1 {
             let start = Instant::now();
@@ -260,11 +325,12 @@ impl ClusterRun {
                 claimed_per_worker: vec![n_chunks as u64],
                 busy_per_worker: vec![start.elapsed()],
             });
+            self.prune_caches(until);
             return;
         }
         let chunks: Vec<Mutex<&mut [MonEq]>> = self
             .sessions
-            .chunks_mut(self.chunk_size)
+            .chunks_mut(chunk_size)
             .map(Mutex::new)
             .collect();
         let next = AtomicUsize::new(0);
@@ -322,6 +388,16 @@ impl ClusterRun {
             panics.into_inner().unwrap_or_else(PoisonError::into_inner),
             "run_until",
         );
+        self.prune_caches(until);
+    }
+
+    /// Drop cached generations every rank has now been driven past. Later
+    /// polls are strictly after `until`, so at worst they fall in the
+    /// generation containing `until` — which the prune keeps.
+    fn prune_caches(&self, until: SimTime) {
+        for cache in &self.caches {
+            cache.prune_before(until);
+        }
     }
 
     /// Tag a section on every rank (collective tags, the common usage).
@@ -345,7 +421,8 @@ impl ClusterRun {
     /// order, so the result is byte-identical to a serial finalize.
     pub fn finalize(mut self, now: SimTime) -> ClusterResult {
         let n = self.sessions.len();
-        let n_chunks = n.div_ceil(self.chunk_size.max(1));
+        let chunk_size = self.effective_chunk_size();
+        let n_chunks = n.div_ceil(chunk_size);
         let workers = self.effective_workers(n_chunks);
         let results: Vec<FinalizeResult> = if workers <= 1 {
             let start = Instant::now();
@@ -368,7 +445,7 @@ impl ClusterRun {
             let mut it = self.sessions.drain(..);
             let mut slots: Vec<Mutex<(Vec<MonEq>, Vec<FinalizeResult>)>> = Vec::new();
             loop {
-                let chunk: Vec<MonEq> = it.by_ref().take(self.chunk_size).collect();
+                let chunk: Vec<MonEq> = it.by_ref().take(chunk_size).collect();
                 if chunk.is_empty() {
                     break;
                 }
@@ -447,12 +524,17 @@ impl ClusterRun {
             telemetry.push(r.telemetry);
             dropped += r.dropped_records;
         }
+        let mut cache = CacheStats::default();
+        for c in &self.caches {
+            cache.absorb(&c.stats());
+        }
         ClusterResult {
             files,
             overheads,
             dropped_records: dropped,
             completeness,
             telemetry,
+            cache,
             sched: self.sched,
         }
     }
@@ -685,6 +767,7 @@ mod tests {
             dropped_records: 0,
             completeness: vec![vec![]],
             telemetry: vec![TelemetryReport::default()],
+            cache: CacheStats::default(),
             sched: SchedStats::default(),
         };
         let series = result.agent_series(0, "a");
@@ -871,6 +954,130 @@ mod tests {
         assert!(result.sched.workers >= 1);
         let total: u64 = result.sched.claimed_per_worker.iter().sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn shared_plan_keeps_outputs_identical_and_cuts_charged_cost() {
+        let drive = |run: &mut ClusterRun| run.run_until(SimTime::from_secs(2));
+        let mut naive = launch(10);
+        drive(&mut naive);
+        let naive = naive.finalize(SimTime::from_secs(2));
+        // Domains {0-3}, {4-7}, {8-9} (ragged tail on purpose).
+        let mut shared = launch(10).with_collection_plan(CollectionPlan::shared(4));
+        assert!(shared.collection_plan().is_shared());
+        drive(&mut shared);
+        let shared = shared.finalize(SimTime::from_secs(2));
+        // Data is untouched by the plan; only the charged cost moves.
+        assert_eq!(naive.files, shared.files);
+        assert_eq!(naive.completeness, shared.completeness);
+        for (rank, (n, s)) in naive.overheads.iter().zip(&shared.overheads).enumerate() {
+            if rank % 4 == 0 {
+                assert_eq!(n.collection, s.collection, "leader rank {rank} pays live");
+            } else {
+                assert_eq!(
+                    s.collection,
+                    SimDuration::ZERO,
+                    "follower rank {rank} rides the leader's fetch"
+                );
+            }
+            assert_eq!(n.polls, s.polls);
+        }
+        // Ledger: every poll is exactly one lookup; per generation the
+        // leader misses and the domain's other ranks hit.
+        let scheduled: u64 = shared.overheads.iter().map(|o| o.polls).sum();
+        assert_eq!(shared.cache.lookups(), scheduled);
+        assert_eq!(shared.cache.bypasses, 0);
+        let polls = shared.overheads[0].polls;
+        assert_eq!(shared.cache.misses, polls * 3, "one leader per domain");
+        assert_eq!(shared.cache.hits, polls * 7);
+        assert!(naive.cache.is_empty(), "no plan, no ledger");
+    }
+
+    #[test]
+    fn shared_plan_parallel_matches_serial_including_ledger() {
+        let mut serial = launch(24).with_collection_plan(CollectionPlan::shared(8));
+        serial.run_until(SimTime::from_secs(1));
+        let serial = serial.finalize(SimTime::from_secs(2));
+        // Chunk 3 is misaligned on purpose; dispatch aligns it up to 8.
+        let mut parallel = launch(24)
+            .with_collection_plan(CollectionPlan::shared(8))
+            .with_par_agents(4)
+            .with_chunk_size(3);
+        parallel.run_until(SimTime::from_secs(1));
+        let parallel = parallel.finalize(SimTime::from_secs(2));
+        assert_eq!(serial.files, parallel.files);
+        assert_eq!(serial.overheads, parallel.overheads);
+        assert_eq!(serial.cache, parallel.cache);
+    }
+
+    /// A backend whose readings depend only on the query instant (one
+    /// sensor genuinely shared by the whole domain) and which counts its
+    /// live reads, so tests can see the leader reading for everyone.
+    struct SharedSensor {
+        reads: Arc<AtomicUsize>,
+    }
+    impl EnvBackend for SharedSensor {
+        fn name(&self) -> &'static str {
+            "shared-sensor"
+        }
+        fn platform(&self) -> Platform {
+            Platform::Rapl
+        }
+        fn min_interval(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn poll_cost(&self) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+        fn capabilities(&self) -> Vec<(Metric, Support)> {
+            vec![]
+        }
+        fn read(&mut self, t: SimTime) -> Result<crate::backend::Poll, crate::backend::ReadError> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            Ok(crate::backend::Poll::complete(vec![DataPoint::power(
+                t,
+                "dev",
+                "d",
+                t.as_nanos() as f64 * 1e-9,
+            )]))
+        }
+        fn replayable(&self) -> bool {
+            true
+        }
+        fn records_per_poll(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn replayable_backend_reads_once_per_domain_generation() {
+        let run_with = |plan: Option<CollectionPlan>| {
+            let reads = Arc::new(AtomicUsize::new(0));
+            let handle = Arc::clone(&reads);
+            let mut run = ClusterRun::launch(
+                4,
+                Some(SimDuration::from_millis(100)),
+                move |_| {
+                    Box::new(SharedSensor {
+                        reads: Arc::clone(&handle),
+                    })
+                },
+                |rank| format!("node{rank}"),
+                SimTime::ZERO,
+            );
+            if let Some(p) = plan {
+                run = run.with_collection_plan(p);
+            }
+            run.run_until(SimTime::from_secs(1));
+            let result = run.finalize(SimTime::from_secs(1));
+            (result, reads.load(Ordering::Relaxed))
+        };
+        let (naive, naive_reads) = run_with(None);
+        let (shared, shared_reads) = run_with(Some(CollectionPlan::shared(4)));
+        assert_eq!(naive.files, shared.files, "replayed values are exact");
+        let polls = shared.overheads[0].polls as usize;
+        assert_eq!(naive_reads, polls * 4);
+        assert_eq!(shared_reads, polls, "only the leader touches the sensor");
     }
 
     #[test]

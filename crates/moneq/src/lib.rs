@@ -56,6 +56,14 @@
 //! simulated-time spans, gathered per rank and merged across a cluster
 //! exactly like [`Completeness`]. Disabled (the default), the layer costs
 //! one branch per event and allocates nothing.
+//!
+//! A [`plan::CollectionPlan`] ([`cluster::ClusterRun::with_collection_plan`])
+//! adds cadence-aware shared collection: ranks behind one sensor elect a
+//! per-generation leader through a [`plan::SharedReadCache`], so a
+//! 32-agent node card pays for one EMON query instead of 32. Off by
+//! default; when on, output files stay byte-identical (sensors are
+//! deterministic functions of grid time) — only the charged collection
+//! cost drops.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -66,6 +74,7 @@ pub mod cluster;
 pub mod completeness;
 pub mod output;
 pub mod overhead;
+pub mod plan;
 pub mod reading;
 pub mod session;
 pub mod tags;
@@ -77,6 +86,7 @@ pub use cluster::{host_cpus, ClusterResult, ClusterRun, SchedStats};
 pub use completeness::Completeness;
 pub use output::{OutputError, OutputFile, ParseError};
 pub use overhead::{finalize_time, init_time, OverheadReport};
+pub use plan::{CollectionPlan, SharedLookup, SharedRead, SharedReadCache};
 pub use reading::DataPoint;
 pub use session::{FinalizeResult, MonEq, MonEqConfig};
 pub use tags::{TagEvent, TagKind};

@@ -1,0 +1,312 @@
+//! The batched collection planner: sharing domains and the shared read
+//! cache behind them.
+//!
+//! On a real machine several agent ranks sit behind one sensor: on BG/Q a
+//! node card hosts 32 nodes but EMON publishes *one* set of domain
+//! readings for the whole card; on Stampede every rank on a node shares
+//! the socket's RAPL counters and the card's SMC. A naive deployment has
+//! all co-resident agents pay the full access-path cost (1.10 ms per EMON
+//! query, ~1.3 ms per NVML PCIe round-trip) for data that can only be the
+//! same generation — the 32× waste the real MonEQ sidesteps with
+//! per-node-card collection.
+//!
+//! A [`CollectionPlan`] declares how many consecutive ranks share one
+//! sensor. Within a sharing domain, leader election is implicit and
+//! deterministic: the first rank to consult the domain's
+//! [`SharedReadCache`] for a given generation performs the real query
+//! (and is charged for it); everyone after it gets the generation at zero
+//! marginal cost. Because every mechanism model is a deterministic
+//! function of grid time, a follower's recomputed value is bit-equal to
+//! the leader's, so outputs are byte-identical whether the plan is on or
+//! off — the plan changes the *charged cost*, never the data.
+//!
+//! Faults never hide behind the cache: a leader whose read fails
+//! publishes a failure marker, and every follower then bypasses the cache
+//! and performs (and pays for) its own live read — stale data is never
+//! served across a fault, and a disabled leader simply stops publishing,
+//! so the next rank in the domain takes over.
+
+use crate::backend::Poll;
+use simkit::{CacheLookup, CacheStats, CadenceCache, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// How agent ranks map onto shared sensors.
+///
+/// `domain_size` consecutive ranks form one sharing domain (ranks 0..n-1,
+/// n..2n-1, …). The caller must make the domains match the hardware: every
+/// rank in a domain has to be attached to the *same* device (the same node
+/// card, socket, or card), because a stored read may be distributed to any
+/// rank of the domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollectionPlan {
+    domain_size: usize,
+}
+
+impl CollectionPlan {
+    /// Every rank collects for itself — the naive deployment, and the
+    /// default. No cache is consulted at all, so runs are bit-identical
+    /// to builds that predate the planner.
+    pub fn per_agent() -> Self {
+        CollectionPlan { domain_size: 1 }
+    }
+
+    /// `domain_size` consecutive ranks share one sensor.
+    ///
+    /// Panics if `domain_size` is zero.
+    pub fn shared(domain_size: usize) -> Self {
+        assert!(domain_size >= 1, "a sharing domain needs at least one rank");
+        CollectionPlan { domain_size }
+    }
+
+    /// The BG/Q sharing domain: 32 nodes per node card, one EMON sensor
+    /// set for all of them (§II-A).
+    pub fn node_card() -> Self {
+        Self::shared(32)
+    }
+
+    /// Ranks per sharing domain.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Does this plan actually share anything?
+    pub fn is_shared(&self) -> bool {
+        self.domain_size > 1
+    }
+
+    /// The sharing-domain index rank `rank` belongs to.
+    pub fn domain_of(&self, rank: usize) -> usize {
+        rank / self.domain_size
+    }
+
+    /// Number of sharing domains covering `agents` ranks (the last domain
+    /// may be ragged).
+    pub fn domains(&self, agents: usize) -> usize {
+        agents.div_ceil(self.domain_size)
+    }
+}
+
+impl Default for CollectionPlan {
+    fn default() -> Self {
+        Self::per_agent()
+    }
+}
+
+/// One generation's stored outcome, as published by its leader.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SharedRead {
+    /// The exact poll instant the leader queried at. A stored poll may
+    /// only be *replayed* at this same instant (record timestamps carry
+    /// the query time); at any other instant in the generation, followers
+    /// recompute locally and share only the cost.
+    pub at: SimTime,
+    /// The leader's poll, stored only when the backend declared itself
+    /// [`replayable`](crate::backend::EnvBackend::replayable). `None` is a
+    /// cost-only marker: the generation was fetched (so followers skip
+    /// the access-path charge) but the value must be recomputed locally.
+    pub poll: Option<Poll>,
+}
+
+/// What a [`SharedReadCache::consult`] found (the owned counterpart of
+/// [`simkit::CacheLookup`], so the cache lock is never held across the
+/// caller's read).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SharedLookup {
+    /// A leader already fetched this generation; the access-path cost is
+    /// not charged again.
+    Hit(SharedRead),
+    /// The leader's read failed: bypass the cache and perform your own
+    /// live read at full cost.
+    Failed,
+    /// Nobody fetched this generation yet — you are the leader: read at
+    /// full cost and [`publish`](SharedReadCache::publish) the outcome.
+    Miss,
+}
+
+/// One sharing domain's cache: a [`CadenceCache`] per mechanism, behind a
+/// mutex so a domain's ranks can share it across cluster worker threads.
+///
+/// The lock is uncontended by construction — [`crate::ClusterRun`] aligns
+/// its dispatch chunks on domain boundaries, so all ranks of a domain are
+/// driven by one worker — and lock poisoning is recovered explicitly
+/// (`PoisonError::into_inner`), per the crate's no-unwrap discipline.
+#[derive(Debug, Default)]
+pub struct SharedReadCache {
+    caches: Mutex<BTreeMap<&'static str, CadenceCache<SharedRead>>>,
+}
+
+impl SharedReadCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SharedReadCache::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<&'static str, CadenceCache<SharedRead>>> {
+        self.caches.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up mechanism `name`'s generation at `t`, creating the
+    /// per-mechanism cache on first use with update grid `cadence`.
+    pub fn consult(&self, name: &'static str, cadence: SimDuration, t: SimTime) -> SharedLookup {
+        let mut caches = self.lock();
+        let cache = caches
+            .entry(name)
+            .or_insert_with(|| CadenceCache::new(cadence));
+        match cache.lookup(t) {
+            CacheLookup::Hit(read) => SharedLookup::Hit(read.clone()),
+            CacheLookup::Failed => SharedLookup::Failed,
+            CacheLookup::Miss => SharedLookup::Miss,
+        }
+    }
+
+    /// Publish a leader's successful read for `t`'s generation. First
+    /// writer wins, so a republish can never flip a stored outcome.
+    pub fn publish(&self, name: &'static str, cadence: SimDuration, t: SimTime, read: SharedRead) {
+        let mut caches = self.lock();
+        caches
+            .entry(name)
+            .or_insert_with(|| CadenceCache::new(cadence))
+            .insert(t, read);
+    }
+
+    /// Publish a leader's *failed* read for `t`'s generation: followers
+    /// will bypass the cache and read for themselves at full cost.
+    pub fn publish_failure(&self, name: &'static str, cadence: SimDuration, t: SimTime) {
+        let mut caches = self.lock();
+        caches
+            .entry(name)
+            .or_insert_with(|| CadenceCache::new(cadence))
+            .insert_failure(t);
+    }
+
+    /// Drop generations every rank has been driven past (called by the
+    /// cluster at window boundaries so Mira-scale sweeps don't accumulate
+    /// a whole run's generations).
+    pub fn prune_before(&self, t: SimTime) {
+        for cache in self.lock().values_mut() {
+            cache.prune_before(t);
+        }
+    }
+
+    /// The exact hit/miss/bypass ledger, folded over every mechanism.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for cache in self.lock().values() {
+            total.absorb(&cache.stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::DataPoint;
+
+    const CADENCE: SimDuration = SimDuration::from_millis(560);
+
+    fn poll_at(t: SimTime) -> Poll {
+        Poll::complete(vec![DataPoint::power(t, "nodecard", "chip", 50.0)])
+    }
+
+    #[test]
+    fn plan_maps_ranks_onto_domains() {
+        let plan = CollectionPlan::node_card();
+        assert_eq!(plan.domain_size(), 32);
+        assert!(plan.is_shared());
+        assert_eq!(plan.domain_of(0), 0);
+        assert_eq!(plan.domain_of(31), 0);
+        assert_eq!(plan.domain_of(32), 1);
+        assert_eq!(plan.domains(1_536 * 32), 1_536, "Mira's node cards");
+        assert_eq!(plan.domains(33), 2, "ragged tail gets its own domain");
+        let naive = CollectionPlan::default();
+        assert!(!naive.is_shared());
+        assert_eq!(naive.domain_of(7), 7);
+    }
+
+    #[test]
+    fn leader_publishes_followers_hit() {
+        let cache = SharedReadCache::new();
+        let t = SimTime::from_millis(600);
+        assert_eq!(cache.consult("bgq-emon", CADENCE, t), SharedLookup::Miss);
+        cache.publish(
+            "bgq-emon",
+            CADENCE,
+            t,
+            SharedRead {
+                at: t,
+                poll: Some(poll_at(t)),
+            },
+        );
+        // Any instant in the same 560 ms generation hits.
+        let later = SimTime::from_millis(1_100);
+        match cache.consult("bgq-emon", CADENCE, later) {
+            SharedLookup::Hit(read) => {
+                assert_eq!(read.at, t);
+                assert_eq!(read.poll, Some(poll_at(t)));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (1, 1, 0));
+    }
+
+    #[test]
+    fn failed_leader_forces_bypass_and_next_generation_recovers() {
+        let cache = SharedReadCache::new();
+        let t = SimTime::from_millis(600);
+        assert_eq!(cache.consult("bgq-emon", CADENCE, t), SharedLookup::Miss);
+        cache.publish_failure("bgq-emon", CADENCE, t);
+        assert_eq!(
+            cache.consult("bgq-emon", CADENCE, SimTime::from_millis(700)),
+            SharedLookup::Failed
+        );
+        // The next generation is a fresh election.
+        assert_eq!(
+            cache.consult("bgq-emon", CADENCE, SimTime::from_millis(1_200)),
+            SharedLookup::Miss
+        );
+        assert_eq!(cache.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn mechanisms_are_cached_independently() {
+        let cache = SharedReadCache::new();
+        let t = SimTime::from_millis(100);
+        cache.publish(
+            "mic-micras",
+            SimDuration::from_millis(50),
+            t,
+            SharedRead { at: t, poll: None },
+        );
+        // A different mechanism at the same instant is still a miss.
+        assert_eq!(
+            cache.consult("rapl-msr", SimDuration::from_millis(1), t),
+            SharedLookup::Miss
+        );
+        match cache.consult("mic-micras", SimDuration::from_millis(50), t) {
+            SharedLookup::Hit(read) => assert_eq!(read.poll, None, "cost-only marker"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prune_drops_finished_generations() {
+        let cache = SharedReadCache::new();
+        for k in 0..8u64 {
+            let t = SimTime::from_millis(k * 560 + 10);
+            cache.publish("bgq-emon", CADENCE, t, SharedRead { at: t, poll: None });
+        }
+        cache.prune_before(SimTime::from_millis(4 * 560));
+        // Generations 0-3 are gone (misses again), 4+ still hit.
+        assert_eq!(
+            cache.consult("bgq-emon", CADENCE, SimTime::from_millis(560)),
+            SharedLookup::Miss
+        );
+        assert!(matches!(
+            cache.consult("bgq-emon", CADENCE, SimTime::from_millis(4 * 560 + 10)),
+            SharedLookup::Hit(_)
+        ));
+    }
+}

@@ -19,13 +19,15 @@
 //! disabled for the rest of the run. Every outcome is accounted in the
 //! per-device [`Completeness`] report.
 
-use crate::backend::{validate_interval, EnvBackend, ReadError, RetryPolicy};
+use crate::backend::{validate_interval, EnvBackend, Poll, ReadError, RetryPolicy};
 use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::{finalize_time, init_time, OverheadReport, IO_STRIPE_WIDTH};
+use crate::plan::{SharedLookup, SharedRead, SharedReadCache};
 use crate::reading::DataPoint;
 use crate::tags::{TagEvent, TagKind};
 use simkit::{EventQueue, SimDuration, SimTime, Telemetry, TelemetryReport};
+use std::sync::Arc;
 
 /// Session configuration.
 ///
@@ -141,6 +143,10 @@ pub struct MonEq {
     polls: u64,
     retries: u64,
     telemetry: Telemetry,
+    /// The sharing domain's read cache, when a collection plan is active
+    /// ([`MonEq::attach_shared_cache`]). `None` (the default) keeps the
+    /// poll path bit-identical to builds that predate the planner.
+    shared_cache: Option<Arc<SharedReadCache>>,
     state: State,
 }
 
@@ -212,10 +218,21 @@ impl MonEq {
             fault_recovery: SimDuration::ZERO,
             polls: 0,
             retries: 0,
+            shared_cache: None,
             interval,
             config,
             state: State::Running,
         }
+    }
+
+    /// Attach the sharing domain's read cache (the cluster does this when
+    /// a [`crate::CollectionPlan`] is active). Polls then consult the
+    /// cache before charging the access path: the first rank to reach a
+    /// generation reads live and publishes; co-resident ranks get the
+    /// generation at zero marginal cost. Must be attached before any poll
+    /// fires, or early generations are simply all misses.
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedReadCache>) {
+        self.shared_cache = Some(cache);
     }
 
     /// The effective polling interval.
@@ -294,9 +311,48 @@ impl MonEq {
                 .count("records.lost", slot.backend.records_per_poll() as u64);
             return;
         }
-        self.collection_cost += slot.backend.poll_cost();
+        // Collection-plan consult: when a sharing domain's cache is
+        // attached, ask whether this generation was already fetched by
+        // the domain's leader. A hit skips the access-path charge (and,
+        // for replayable backends at the same instant, the read itself);
+        // a failure marker forces a full-cost local read — faults are
+        // never papered over by a sibling's cached value.
+        let name = slot.backend.name();
+        let mut charged = true;
+        let mut leader = false;
+        let mut replay: Option<Poll> = None;
+        if let Some(cache) = &self.shared_cache {
+            match cache.consult(name, slot.backend.read_cadence(), t) {
+                SharedLookup::Hit(read) => {
+                    charged = false;
+                    if slot.backend.replayable() && read.at == t {
+                        replay = read.poll;
+                    }
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.count(&format!("cache.hit/{name}"), 1);
+                    }
+                }
+                SharedLookup::Failed => {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.count(&format!("cache.bypass/{name}"), 1);
+                    }
+                }
+                SharedLookup::Miss => {
+                    leader = true;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.count(&format!("cache.miss/{name}"), 1);
+                    }
+                }
+            }
+        }
+        if charged {
+            self.collection_cost += slot.backend.poll_cost();
+        }
         let mut attempt = 0u32;
         let outcome = loop {
+            if let Some(poll) = replay.take() {
+                break Ok(poll);
+            }
             match slot.backend.read(t) {
                 Ok(poll) => break Ok(poll),
                 Err(e) => {
@@ -327,6 +383,30 @@ impl MonEq {
                 }
             }
         };
+        // The generation's leader publishes its outcome so co-resident
+        // ranks share the fetch. Values are stored only for replayable
+        // backends; otherwise a cost-only marker is published and
+        // followers recompute locally (deterministically identical).
+        if leader {
+            if let Some(cache) = &self.shared_cache {
+                let cadence = slot.backend.read_cadence();
+                match &outcome {
+                    Ok(poll) => {
+                        let stored = slot.backend.replayable().then(|| poll.clone());
+                        cache.publish(
+                            name,
+                            cadence,
+                            t,
+                            SharedRead {
+                                at: t,
+                                poll: stored,
+                            },
+                        );
+                    }
+                    Err(_) => cache.publish_failure(name, cadence, t),
+                }
+            }
+        }
         match outcome {
             Ok(poll) => {
                 slot.consecutive_failures = 0;

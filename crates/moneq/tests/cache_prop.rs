@@ -1,0 +1,181 @@
+//! Property tests for the batched collection planner.
+//!
+//! The planner's contract is that it changes the *charged cost*, never the
+//! data: with a [`CollectionPlan`] attached, output files and completeness
+//! ledgers must be byte-identical to the naive per-agent run — across
+//! seeds, workloads, domain shapes, and fault rates — while the cache
+//! ledger reconciles exactly with the poll counts.
+
+use hpc_workloads::{Channel, WorkloadProfile};
+use moneq::backends::BgqBackend;
+use moneq::{ClusterResult, ClusterRun, CollectionPlan, MonEqConfig};
+use proptest::prelude::*;
+use simkit::{FaultPlan, SimDuration, SimTime};
+use std::sync::Arc;
+
+const HORIZON: SimTime = SimTime::from_secs(4);
+
+fn workload(steady: bool) -> WorkloadProfile {
+    if steady {
+        let mut p = WorkloadProfile::new("steady", SimDuration::from_secs(4));
+        p.set_demand(
+            Channel::Cpu,
+            powermodel::PhaseBuilder::new()
+                .phase(SimDuration::from_secs(4), 0.7)
+                .build(),
+        );
+        p
+    } else {
+        hpc_workloads::Mmps::figure1().profile()
+    }
+}
+
+/// Drive `agents` EMON agents on one shared node card. `domain = None` is
+/// the naive per-agent run; `faulted_ranks` get a fault gate at `rate`.
+fn run(
+    seed: u64,
+    agents: usize,
+    domain: Option<usize>,
+    rate: f64,
+    steady: bool,
+    faulted_ranks: &[usize],
+    telemetry: bool,
+) -> ClusterResult {
+    let plan = FaultPlan::uniform(seed, rate);
+    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
+    machine.assign_job(&[0], &workload(steady));
+    let machine = Arc::new(machine);
+    let config = MonEqConfig {
+        telemetry,
+        ..MonEqConfig::default()
+    };
+    let mut cluster = ClusterRun::launch_with(
+        agents,
+        |rank| {
+            let b = BgqBackend::new(machine.clone(), 0);
+            if faulted_ranks.contains(&rank) {
+                Box::new(b.with_faults(&plan, &format!("nodecard{rank}")))
+            } else {
+                Box::new(b)
+            }
+        },
+        |rank| format!("agent{rank:02}"),
+        SimTime::ZERO,
+        config,
+    );
+    if let Some(d) = domain {
+        cluster = cluster.with_collection_plan(CollectionPlan::shared(d));
+    }
+    cluster.run_until(HORIZON);
+    cluster.finalize(HORIZON)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline safety property: whatever the seed, workload, domain
+    /// shape, and fault rate, turning the plan on changes no output byte
+    /// and no completeness counter.
+    #[test]
+    fn planned_outputs_are_byte_identical_to_naive(
+        seed in 0u64..1_000_000,
+        agents in 1usize..=20,
+        domain in 1usize..=8,
+        rate_idx in 0usize..3,
+        steady in any::<bool>(),
+    ) {
+        let rate = [0.0, 0.05, 0.15][rate_idx];
+        let faulted: Vec<usize> = if rate > 0.0 { (0..agents).collect() } else { Vec::new() };
+        let naive = run(seed, agents, None, rate, steady, &faulted, false);
+        let planned = run(seed, agents, Some(domain), rate, steady, &faulted, false);
+        prop_assert_eq!(&naive.files, &planned.files);
+        prop_assert_eq!(&naive.completeness, &planned.completeness);
+    }
+
+    /// Under zero faults the implicit leader election is exact: one leader
+    /// fetch per domain-generation, every other lookup a hit, and the cache
+    /// ledger reconciles with the poll counts to the last poll.
+    #[test]
+    fn zero_fault_ledger_reconciles_with_poll_counts(
+        seed in 0u64..1_000_000,
+        domain in 2usize..=8,
+        domains in 1usize..=3,
+    ) {
+        let agents = domain * domains;
+        let naive = run(seed, agents, None, 0.0, true, &[], false);
+        let planned = run(seed, agents, Some(domain), 0.0, true, &[], false);
+        prop_assert_eq!(&naive.files, &planned.files);
+        let polls = planned.completeness[0][0].scheduled;
+        let scheduled: u64 = planned
+            .completeness
+            .iter()
+            .flatten()
+            .map(|c| c.scheduled)
+            .sum();
+        prop_assert_eq!(planned.cache.lookups(), scheduled);
+        prop_assert_eq!(planned.cache.misses, polls * domains as u64);
+        prop_assert_eq!(planned.cache.hits, polls * (agents - domains) as u64);
+        prop_assert_eq!(planned.cache.bypasses, 0);
+        // Followers are free: charged collection drops by the domain factor.
+        let total = |r: &ClusterResult| {
+            r.overheads
+                .iter()
+                .fold(SimDuration::ZERO, |acc, o| acc + o.collection)
+        };
+        prop_assert_eq!(total(&naive), total(&planned) * domain as u64);
+    }
+}
+
+/// A faulted leader must never hide behind the cache: its failed reads are
+/// published as failure markers and every follower bypasses the cache with
+/// a live read of its own. Only rank 0 (the implicit leader) is faulted,
+/// so every bypass is a follower refusing a failed generation.
+#[test]
+fn faulted_leader_forces_followers_to_bypass() {
+    let (seed, agents) = (11, 8);
+    let naive = run(seed, agents, None, 0.25, true, &[0], false);
+    let planned = run(seed, agents, Some(agents), 0.25, true, &[0], false);
+    assert_eq!(naive.files, planned.files);
+    assert_eq!(naive.completeness, planned.completeness);
+    assert!(
+        planned.cache.bypasses > 0,
+        "leader failures never reached the followers: {:?}",
+        planned.cache
+    );
+    // The fault-free followers stay clean even while their leader fails —
+    // a failed generation is re-read live, never served stale.
+    for c in planned.completeness.iter().skip(1).flatten() {
+        assert!(c.is_clean(), "follower degraded by leader's faults: {c:?}");
+    }
+    // Once rank 0's device is disabled it stops publishing and rank 1
+    // takes over as leader; misses keep accruing either way.
+    assert!(planned.cache.misses > 0);
+}
+
+/// The telemetry counters are the cache ledger, event for event.
+#[test]
+fn telemetry_counters_match_the_cache_ledger() {
+    let (seed, agents, domain) = (2015, 8, 4);
+    let planned = run(
+        seed,
+        agents,
+        Some(domain),
+        0.15,
+        true,
+        &(0..8).collect::<Vec<_>>(),
+        true,
+    );
+    let merged = planned.telemetry_merged();
+    let count = |prefix: &str| -> u64 {
+        merged
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    assert_eq!(count("cache.hit/"), planned.cache.hits);
+    assert_eq!(count("cache.miss/"), planned.cache.misses);
+    assert_eq!(count("cache.bypass/"), planned.cache.bypasses);
+    assert!(planned.cache.lookups() > 0);
+}

@@ -1,0 +1,273 @@
+//! Cadence-aware generation cache.
+//!
+//! Every vendor mechanism in the paper publishes data on a fixed cadence:
+//! EMON regenerates node-card values every 560 ms, NVML's power register
+//! refreshes about every 60 ms, RAPL's energy counters tick on a ~1 ms
+//! grid, the Phi's SMC samples every 50 ms. A query between two updates
+//! can only observe the generation it already saw — yet a naive consumer
+//! pays the full access-path cost for every query.
+//!
+//! [`CadenceCache`] is the primitive that exploits this: it maps a query
+//! time onto the mechanism's update grid (via [`SimTime::grid_floor`]) and
+//! keys stored values by **generation index**, so repeat reads within one
+//! generation are hits. The cache also remembers *failed* generations
+//! (a faulted read must never be papered over by a sibling's cached value:
+//! consumers see [`CacheLookup::Failed`] and fall back to their own live
+//! read), and keeps exact hit/miss/bypass accounting for telemetry.
+//!
+//! The cache is deliberately value-agnostic (`T` is whatever the consumer
+//! stores — `moneq` stores whole poll results) and single-threaded; share
+//! it behind a mutex when several consumers poll the same device.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Exact cache-decision counters, mergeable like every other telemetry
+/// ledger in the workspace (sums of exact counts are exact).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served by a stored generation (the access-path cost was
+    /// not paid again).
+    pub hits: u64,
+    /// Lookups for a generation nobody had fetched yet; the caller
+    /// performed the live read (and usually stored its outcome).
+    pub misses: u64,
+    /// Lookups that found a *failure marker*: the generation's first
+    /// reader faulted, so the caller bypassed the cache and paid for its
+    /// own live read rather than inherit a failure or serve stale data.
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// `true` when no lookup was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == CacheStats::default()
+    }
+
+    /// Total lookups decided (every lookup lands in exactly one bucket).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.bypasses
+    }
+
+    /// Fold another ledger into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bypasses += other.bypasses;
+    }
+
+    /// The counters as `(kind, count)` pairs, for folding into telemetry.
+    pub fn kinds(&self) -> [(&'static str, u64); 3] {
+        [
+            ("hit", self.hits),
+            ("miss", self.misses),
+            ("bypass", self.bypasses),
+        ]
+    }
+}
+
+/// What a [`CadenceCache::lookup`] found for the queried generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheLookup<'a, T> {
+    /// The generation is stored: use the value, skip the access path.
+    Hit(&'a T),
+    /// The generation's first reader failed; do your own live read at
+    /// full cost (never inherit a failure, never serve stale).
+    Failed,
+    /// Nobody has fetched this generation yet; do the live read and
+    /// [`CadenceCache::insert`] (or [`insert_failure`]) the outcome.
+    ///
+    /// [`insert_failure`]: CadenceCache::insert_failure
+    Miss,
+}
+
+/// A generation-keyed cache over one mechanism's update grid.
+#[derive(Clone, Debug)]
+pub struct CadenceCache<T> {
+    period: SimDuration,
+    anchor: SimTime,
+    /// Generation index → stored value, or `None` for a failure marker.
+    entries: BTreeMap<u64, Option<T>>,
+    stats: CacheStats,
+}
+
+impl<T> CadenceCache<T> {
+    /// A cache over the update grid `period`, anchored at `SimTime::ZERO`
+    /// (every mechanism model in this workspace anchors its grid there).
+    ///
+    /// Panics if `period` is zero — a zero cadence has no generations.
+    pub fn new(period: SimDuration) -> Self {
+        Self::with_anchor(period, SimTime::ZERO)
+    }
+
+    /// A cache over a grid anchored at `anchor`.
+    pub fn with_anchor(period: SimDuration, anchor: SimTime) -> Self {
+        assert!(!period.is_zero(), "cadence cache needs a non-zero period");
+        CadenceCache {
+            period,
+            anchor,
+            entries: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The update-grid period this cache is keyed on.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The generation index a query at `t` observes.
+    pub fn generation_of(&self, t: SimTime) -> u64 {
+        t.grid_index(self.anchor, self.period)
+    }
+
+    /// Look up the generation `t` falls in, tallying the decision.
+    pub fn lookup(&mut self, t: SimTime) -> CacheLookup<'_, T> {
+        match self.entries.get(&self.generation_of(t)) {
+            Some(Some(v)) => {
+                self.stats.hits += 1;
+                CacheLookup::Hit(v)
+            }
+            Some(None) => {
+                self.stats.bypasses += 1;
+                CacheLookup::Failed
+            }
+            None => {
+                self.stats.misses += 1;
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Store the live value fetched for `t`'s generation. First writer
+    /// wins: a generation already stored (value or failure marker) is
+    /// left untouched, so re-inserts cannot flip an outcome.
+    pub fn insert(&mut self, t: SimTime, value: T) {
+        self.entries
+            .entry(self.generation_of(t))
+            .or_insert(Some(value));
+    }
+
+    /// Mark `t`'s generation as failed (its first reader faulted); later
+    /// readers get [`CacheLookup::Failed`] and bypass. First writer wins.
+    pub fn insert_failure(&mut self, t: SimTime) {
+        self.entries.entry(self.generation_of(t)).or_insert(None);
+    }
+
+    /// Drop every generation that completed strictly before `t` — safe
+    /// once all consumers have been driven past `t`, since later queries
+    /// can only land in generations that overlap or follow it.
+    pub fn prune_before(&mut self, t: SimTime) {
+        let keep_from = self.generation_of(t);
+        self.entries = self.entries.split_off(&keep_from);
+    }
+
+    /// Number of generations currently stored (incl. failure markers).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The exact lookup ledger so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn repeat_reads_within_a_generation_hit() {
+        let mut c: CadenceCache<u32> = CadenceCache::new(SimDuration::from_millis(560));
+        assert_eq!(c.lookup(ms(600)), CacheLookup::Miss);
+        c.insert(ms(600), 7);
+        // 600 ms and 1100 ms share generation [560, 1120).
+        assert_eq!(c.generation_of(ms(600)), c.generation_of(ms(1_100)));
+        assert_eq!(c.lookup(ms(1_100)), CacheLookup::Hit(&7));
+        // 1200 ms is the next generation.
+        assert_eq!(c.lookup(ms(1_200)), CacheLookup::Miss);
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                bypasses: 0
+            }
+        );
+        assert_eq!(c.stats().lookups(), 3);
+    }
+
+    #[test]
+    fn failed_generations_force_bypass_not_staleness() {
+        let mut c: CadenceCache<u32> = CadenceCache::new(SimDuration::from_millis(50));
+        c.insert(ms(10), 1);
+        assert_eq!(c.lookup(ms(60)), CacheLookup::Miss);
+        c.insert_failure(ms(60));
+        // The failed generation never serves the older value.
+        assert_eq!(c.lookup(ms(80)), CacheLookup::Failed);
+        assert_eq!(c.lookup(ms(99)), CacheLookup::Failed);
+        // The next generation is a fresh miss again.
+        assert_eq!(c.lookup(ms(100)), CacheLookup::Miss);
+        assert_eq!(c.stats().bypasses, 2);
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let mut c: CadenceCache<u32> = CadenceCache::new(SimDuration::from_millis(50));
+        c.insert(ms(0), 1);
+        c.insert(ms(10), 2);
+        assert_eq!(c.lookup(ms(49)), CacheLookup::Hit(&1));
+        c.insert_failure(ms(20));
+        assert_eq!(c.lookup(ms(49)), CacheLookup::Hit(&1));
+        // And a failure marker is not flipped by a later value either.
+        c.insert_failure(ms(60));
+        c.insert(ms(70), 9);
+        assert_eq!(c.lookup(ms(80)), CacheLookup::Failed);
+    }
+
+    #[test]
+    fn prune_drops_only_completed_generations() {
+        let mut c: CadenceCache<u32> = CadenceCache::new(SimDuration::from_millis(100));
+        for k in 0..10u64 {
+            c.insert(ms(k * 100), k as u32);
+        }
+        assert_eq!(c.len(), 10);
+        // Pruning at 450 ms keeps generation 4 (covers [400, 500)) onward.
+        c.prune_before(ms(450));
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.lookup(ms(420)), CacheLookup::Hit(&4));
+        assert_eq!(c.lookup(ms(399)), CacheLookup::Miss);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn anchored_grids_and_stat_merge() {
+        let anchor = SimTime::from_millis(30);
+        let mut c: CadenceCache<u8> =
+            CadenceCache::with_anchor(SimDuration::from_millis(100), anchor);
+        assert_eq!(c.generation_of(ms(30)), 0);
+        assert_eq!(c.generation_of(ms(129)), 0);
+        assert_eq!(c.generation_of(ms(130)), 1);
+        c.insert(ms(40), 1);
+        assert_eq!(c.lookup(ms(129)), CacheLookup::Hit(&1));
+        let mut total = CacheStats::default();
+        assert!(total.is_empty());
+        total.absorb(&c.stats());
+        total.absorb(&c.stats());
+        assert_eq!(total.hits, 2);
+        let kinds = total.kinds();
+        assert_eq!(kinds[0], ("hit", 2));
+        assert_eq!(kinds[1], ("miss", 0));
+        assert_eq!(kinds[2], ("bypass", 0));
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`fault`] — seeded, order-independent per-device fault processes
 //!   ([`FaultPlan`] / [`FaultSpec`]) used to subject each vendor mechanism
 //!   to its documented failure modes deterministically;
+//! * [`cache`] — the cadence-aware generation cache ([`CadenceCache`]):
+//!   maps query times onto a mechanism's update grid so repeat reads
+//!   within one generation are served without re-paying the access path,
+//!   with exact hit/miss/bypass accounting ([`CacheStats`]);
 //! * [`telemetry`] — zero-cost-when-disabled observability ([`Telemetry`]):
 //!   named counters, simulated-time log₂ histograms, hierarchical spans,
 //!   and mergeable [`TelemetryReport`] snapshots.
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod event;
 pub mod fault;
 pub mod rng;
@@ -39,6 +44,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use cache::{CacheLookup, CacheStats, CadenceCache};
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{FaultOutcome, FaultPlan, FaultProcess, FaultSpec};
 pub use rng::{DetRng, NoiseStream};
