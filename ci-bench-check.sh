@@ -14,6 +14,11 @@
 #   BENCH_cluster.json    speedup — parallel vs serial drive of the same
 #                         deterministic workload
 #   BENCH_telemetry.json  on/off wall ratio — cost of enabling telemetry
+#   BENCH_accuracy.json   cadence-error growth factors (NVML/EMON error
+#                         rises with transient frequency; EMON worst on
+#                         sub-560 ms bursts) plus two hard invariants:
+#                         every decomposition closes exactly and RAPL's
+#                         constant-workload error stays within one tick
 #
 # The sweep binaries additionally self-check the deterministic invariants
 # (byte-identical outputs, serial == parallel) on every run, so a pass here
@@ -81,6 +86,31 @@ fresh_ratio=$(vals "$tmp/telemetry.json" overhead_pct | maxof |
 committed_ratio=$(vals BENCH_telemetry.json overhead_pct | maxof |
     awk '{print 1 + $1 / 100}')
 check_le "telemetry on/off ratio" "$fresh_ratio" "$committed_ratio"
+
+echo "==> accuracy_sweep --quick"
+./target/release/accuracy_sweep --quick --out "$tmp/accuracy.json"
+check_ge "emon cadence growth" \
+    "$(vals "$tmp/accuracy.json" emon_cadence_growth)" \
+    "$(vals BENCH_accuracy.json emon_cadence_growth)"
+check_ge "nvml cadence growth" \
+    "$(vals "$tmp/accuracy.json" nvml_cadence_growth)" \
+    "$(vals BENCH_accuracy.json nvml_cadence_growth)"
+check_ge "emon burst factor" \
+    "$(vals "$tmp/accuracy.json" emon_burst_factor)" \
+    "$(vals BENCH_accuracy.json emon_burst_factor)"
+# Exactness and the tick bound are invariants, not ratios: no tolerance.
+if [[ "$(vals "$tmp/accuracy.json" rapl_within_tick)" != "1" ]]; then
+    echo "FAIL rapl constant-workload error exceeds the one-tick bound"
+    fail=1
+else
+    echo "ok   rapl error within one tick"
+fi
+if vals "$tmp/accuracy.json" exact | grep -qv '^1$'; then
+    echo "FAIL an error decomposition no longer closes exactly"
+    fail=1
+else
+    echo "ok   all decompositions close exactly"
+fi
 
 if [[ $fail -ne 0 ]]; then
     echo "bench ratios regressed; if intentional, regenerate the BENCH_*.json"

@@ -2,16 +2,29 @@
 # Local CI gate: formatting, lints, build, and the full test suite.
 #
 #   ./ci.sh          # everything (what a PR must pass)
-#   ./ci.sh --quick  # skip the release build and the doc gate, debug tests only
+#   ./ci.sh --quick  # skip the release build and the doc gate, debug tests
+#                    # only, and cut proptest case counts (PROPTEST_CASES=32)
 #
 # Lints are hard errors (-D warnings) so the tree stays clippy-clean.
 # Every stage prints its own wall-clock so CI-time regressions are
-# attributable to a stage, not just to "the build got slower".
+# attributable to a stage, not just to "the build got slower"; the test
+# suite runs as named stages (unit / property / golden / scale) so a slow
+# property sweep cannot hide behind "tests got slower".
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
+
+# One knob paces every property suite: the vendored proptest reads
+# PROPTEST_CASES (dev default 64; ProptestConfig::scaled keeps the heavy
+# suites proportional). Quick mode trades depth for stage budget; full
+# mode runs 4x the dev default. An explicit PROPTEST_CASES wins.
+if [[ $quick -eq 1 ]]; then
+    pt_cases="${PROPTEST_CASES:-32}"
+else
+    pt_cases="${PROPTEST_CASES:-256}"
+fi
 
 # Run one named, timed stage. The command is a single string (eval'd) so
 # stages can carry env vars and redirections.
@@ -57,8 +70,34 @@ else
     skipped "--quick" "cargo build --release"
 fi
 
-stage "cargo test --workspace" \
-    "cargo test --workspace -q --no-fail-fast"
+# The test suite, split so each class of test accounts its own time.
+# unit: every crate's #[cfg(test)] modules, bin self-tests, and doctests.
+stage "tests: unit (libs, bins, doctests)" \
+    "cargo test --workspace --lib --bins -q --no-fail-fast &&
+     cargo test --workspace --doc -q --no-fail-fast"
+
+# property: every proptest suite in the workspace, paced by PROPTEST_CASES.
+stage "tests: property (PROPTEST_CASES=$pt_cases)" \
+    "PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
+        --test accuracy_prop --test cluster_parallel_prop \
+        --test fault_prop --test output_roundtrip_prop \
+        --test telemetry_prop &&
+     PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
+        -p bgq-sim -p hpc-workloads -p mic-sim -p nvml-sim \
+        -p powermodel -p rapl-sim -p simkit --test proptests &&
+     PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
+        -p moneq --test cache_prop --test tags_prop"
+
+# golden: byte-exact conformance of the paper-facing output formats
+# (tests/golden/*.txt; GOLDEN_BLESS=1 re-blesses after intended changes).
+stage "tests: golden (conformance)" \
+    "cargo test -q --no-fail-fast \
+        --test golden_conformance --test figure_shapes \
+        --test listing1_all_backends"
+
+# scale: the Mira-scale cluster drive.
+stage "tests: scale (cluster)" \
+    "cargo test -q --no-fail-fast --test cluster_scale"
 
 # Determinism gate: every headline number is re-derived and compared to the
 # paper's value programmatically; `repro report` exits non-zero if any of

@@ -112,6 +112,33 @@ impl EmonApi {
         })
     }
 
+    /// The effective sample instant of `domain` for a query at `t`:
+    /// the served generation plus the domain's skew. This is the instant
+    /// whose machine truth the reading reflects (before noise) — the
+    /// "cadence" leg of the accuracy decomposition.
+    pub fn sample_instant(&self, domain: Domain, t: SimTime) -> SimTime {
+        self.generation_read_at(t) + self.domain_skew(domain)
+    }
+
+    /// Read all seven domains at `t` with the per-generation measurement
+    /// noise left out: the machine truth at each domain's skewed sample
+    /// instant, exactly what [`EmonApi::read_domains`] perturbs. The
+    /// accuracy harness attributes `read_domains − read_domains_ideal` to
+    /// measurement noise and `read_domains_ideal − truth(t)` to the
+    /// generation/skew staleness.
+    pub fn read_domains_ideal(&self, machine: &BgqMachine, t: SimTime) -> [DomainReading; 7] {
+        let card = machine.card(self.board_index);
+        Domain::ALL.map(|domain| {
+            let truth = card.domain_power(domain, self.sample_instant(domain, t));
+            let volts = domain.rail_voltage();
+            DomainReading {
+                domain,
+                volts,
+                amps: truth / volts,
+            }
+        })
+    }
+
     /// Total node-card power at query time `t`, watts (the original EMON
     /// call's result).
     pub fn total_power(&self, machine: &BgqMachine, t: SimTime) -> f64 {
@@ -244,6 +271,24 @@ mod tests {
             sram > sram_spec.idle_w + 0.5 * sram_spec.dynamic_w,
             "sram still idle: {sram}"
         );
+    }
+
+    #[test]
+    fn ideal_read_is_the_noise_free_truth_at_the_sample_instant() {
+        let m = machine();
+        let api = EmonApi::open(0);
+        let t = SimTime::from_secs(10);
+        let ideal = api.read_domains_ideal(&m, t);
+        let noisy = api.read_domains(&m, t);
+        for (i, r) in ideal.iter().enumerate() {
+            let truth = m
+                .card(0)
+                .domain_power(r.domain, api.sample_instant(r.domain, t));
+            assert!((r.watts() - truth).abs() < 1e-9, "{:?}", r.domain);
+            // The real read only differs by the ~0.5% noise multiplier.
+            let rel = (noisy[i].watts() - r.watts()).abs() / r.watts().max(1e-9);
+            assert!(rel < 0.05, "{:?}: rel {rel}", r.domain);
+        }
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //! | [`robustness`] | The DESIGN.md §8 robustness comparison: all mechanisms under identical fault rates |
 //! | [`telemetry`] | The DESIGN.md §9 observability table: per-mechanism query-latency percentiles vs. the §II per-query constants |
 //! | [`caching`] | The DESIGN.md §10 caching ablation: naive vs batched collection cost per mechanism, with byte-identity verification |
+//! | [`accuracy`] | The DESIGN.md §11 accuracy ablation: reported-vs-true energy per mechanism with the error decomposed into named components |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod accuracy;
 pub mod caching;
 pub mod figures;
 pub mod render;

@@ -1,0 +1,147 @@
+//! `accuracy_sweep` — the error-decomposition claims as a guarded bench.
+//!
+//! Runs the DESIGN.md §11 accuracy ablation and writes the headline
+//! numbers as JSON (default `BENCH_accuracy.json`). Three scale-free
+//! claims are under test, the same ones `repro accuracy` prints:
+//!
+//! 1. every decomposition closes **bit-for-bit** (`"exact": 1` on every
+//!    row);
+//! 2. NVML's and EMON's unsigned cadence error per true joule **grows
+//!    with transient frequency** across the slow/medium/fast wave
+//!    profiles (the growth ratios are the guarded numbers);
+//! 3. RAPL's constant-workload error stays **within one update tick**
+//!    (`"rapl_within_tick": 1`), and EMON is the worst mechanism under
+//!    the sub-560 ms burst wave (`"emon_burst_factor"` > 1).
+//!
+//! ```text
+//! accuracy_sweep [--seed N] [--out FILE] [--quick]
+//! ```
+
+use envmon_analysis::accuracy::{accuracy, AccuracyTable};
+use envmon_bench::DEFAULT_SEED;
+use std::time::Instant;
+
+/// fast/slow growth of the unsigned cadence share for one mechanism.
+fn cadence_growth(table: &AccuracyTable, mechanism: &str) -> f64 {
+    let rows = table.mechanism_sweep(mechanism);
+    assert_eq!(rows.len(), 3, "{mechanism} sweep incomplete");
+    rows[2].cadence_share() / rows[0].cadence_share()
+}
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut out = std::path::PathBuf::from("BENCH_accuracy.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = args.next().map(Into::into).expect("--out FILE"),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("accuracy_sweep: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The ablation itself is one fixed-size sweep; --quick only skips the
+    // repeat used to confirm determinism.
+    let t0 = Instant::now();
+    let table = accuracy(seed);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if !quick {
+        assert_eq!(
+            accuracy(seed).render(),
+            table.render(),
+            "accuracy ablation not deterministic"
+        );
+    }
+
+    // Claim 1: every decomposition closes bit-for-bit.
+    let all_rows = || table.sweep.iter().chain(&table.burst);
+    for r in all_rows() {
+        assert_eq!(
+            r.report.decomposition.total(),
+            r.report.total_error_j(),
+            "{}/{} decomposition open",
+            r.profile,
+            r.report.mechanism
+        );
+    }
+
+    // Claim 2: cadence error grows with transient frequency.
+    let emon_growth = cadence_growth(&table, "bgq-emon");
+    let nvml_growth = cadence_growth(&table, "nvml");
+    assert!(emon_growth > 1.0, "EMON cadence flat: {emon_growth}");
+    assert!(nvml_growth > 1.0, "NVML cadence flat: {nvml_growth}");
+
+    // Claim 3: RAPL within a tick; EMON worst under the burst wave.
+    let rapl_err = table.rapl_constant.total_error_j().abs();
+    assert!(
+        rapl_err <= table.rapl_tick_bound_j,
+        "RAPL error {rapl_err} beyond tick bound {}",
+        table.rapl_tick_bound_j
+    );
+    let emon_burst = table
+        .burst
+        .iter()
+        .find(|r| r.report.mechanism == "bgq-emon")
+        .expect("emon burst row");
+    let runner_up = table
+        .burst
+        .iter()
+        .filter(|r| r.report.mechanism != "bgq-emon")
+        .map(|r| r.cadence_share())
+        .fold(0.0f64, f64::max);
+    let emon_burst_factor = emon_burst.cadence_share() / runner_up;
+    assert!(
+        emon_burst_factor > 1.0,
+        "EMON not worst: {emon_burst_factor}"
+    );
+
+    eprintln!(
+        "cadence growth fast/slow: emon {emon_growth:.2}x nvml {nvml_growth:.2}x  \
+         burst: emon worst by {emon_burst_factor:.2}x  rapl {rapl_err:.4} J <= {:.4} J  \
+         ({elapsed_ms:.0} ms)",
+        table.rapl_tick_bound_j
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"accuracy_sweep\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"elapsed_ms\": {elapsed_ms:.0},\n"));
+    json.push_str(&format!("  \"emon_cadence_growth\": {emon_growth:.3},\n"));
+    json.push_str(&format!("  \"nvml_cadence_growth\": {nvml_growth:.3},\n"));
+    json.push_str(&format!(
+        "  \"emon_burst_factor\": {emon_burst_factor:.3},\n"
+    ));
+    json.push_str(&format!("  \"rapl_error_j\": {rapl_err:.6},\n"));
+    json.push_str(&format!(
+        "  \"rapl_tick_bound_j\": {:.6},\n",
+        table.rapl_tick_bound_j
+    ));
+    json.push_str("  \"rapl_within_tick\": 1,\n");
+    json.push_str("  \"rows\": [\n");
+    let rows: Vec<_> = all_rows().collect();
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"profile\": \"{}\", \"mechanism\": \"{}\", \"polls\": {}, \
+             \"true_j\": {:.3}, \"reported_j\": {:.3}, \"rel_err_pct\": {:.4}, \
+             \"cadence_share\": {:.6}, \"exact\": {}}}{}\n",
+            r.profile,
+            r.report.mechanism,
+            r.report.polls,
+            r.report.true_energy_j,
+            r.report.reported_energy_j,
+            r.report.relative_error() * 100.0,
+            r.cadence_share(),
+            i32::from(r.report.decomposition.total() == r.report.total_error_j()),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("writable output path");
+    eprintln!("[wrote {}]", out.display());
+}

@@ -33,7 +33,7 @@ fn main() {
                 println!(
                     "usage: repro [--seed N] [--out DIR] [table1 table2 table3 fig1 fig2 \
                      fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations \
-                     robustness telemetry caching]\n\
+                     robustness telemetry caching accuracy]\n\
                      --out DIR additionally writes each figure's series as TSV files"
                 );
                 return;
@@ -246,6 +246,10 @@ fn main() {
     if want("caching") {
         section("CACHING — naive vs batched collection per mechanism (DESIGN.md §10)");
         print!("{}", envmon_analysis::caching::caching(seed).render());
+    }
+    if want("accuracy") {
+        section("ACCURACY — reported vs true energy, error decomposed (DESIGN.md §11)");
+        print!("{}", envmon_analysis::accuracy::accuracy(seed).render());
     }
     if want("ablations") {
         section("ABLATION — RAPL sampling-interval sweep");

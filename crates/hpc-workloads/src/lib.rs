@@ -26,6 +26,7 @@ pub mod mmps;
 pub mod noop;
 pub mod profile;
 pub mod tagged;
+pub mod transients;
 pub mod vecadd;
 
 pub use gauss::GaussianElimination;
@@ -33,4 +34,5 @@ pub use mmps::Mmps;
 pub use noop::{FixedRuntime, Noop};
 pub use profile::{Channel, TagSpan, WorkloadProfile};
 pub use tagged::TaggedLoops;
+pub use transients::SquareWave;
 pub use vecadd::VectorAdd;

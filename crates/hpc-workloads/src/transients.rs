@@ -1,0 +1,193 @@
+//! Square-wave transient workloads — the accuracy sweep's stimulus.
+//!
+//! The related-work error analyses ("Part-time Power Measurements" for
+//! NVML, the RAPL dissection papers) all make the same point: a
+//! mechanism's measurement error is a function of how fast the workload
+//! *changes* relative to the mechanism's update cadence. A constant load
+//! is measured well by everything; a load that toggles faster than the
+//! update grid is invisible to it. [`SquareWave`] makes that knob
+//! explicit: a duty-cycled square wave on every demand channel, with the
+//! toggle period as the only parameter that varies across the three
+//! standard profiles ([`SquareWave::slow`] / [`SquareWave::medium`] /
+//! [`SquareWave::fast`]). The standard periods are deliberately
+//! non-commensurate with every update grid in the simulator (560 ms EMON
+//! generations, 60 ms NVML refreshes, 50 ms SMC windows, 1 ms counter
+//! ticks) so the sweep measures tracking error rather than a grid
+//! resonance; they also stay above ~2× the slowest component ramp
+//! (NVML's 1.3 s core tau), where error still grows with transient
+//! frequency instead of saturating. The extra [`SquareWave::burst`]
+//! profile toggles *inside* one 560 ms EMON generation — the regime
+//! where EMON is at its worst — for the cross-mechanism comparison.
+
+use crate::profile::{Channel, WorkloadProfile};
+use powermodel::{DemandTrace, PhaseBuilder};
+use simkit::SimDuration;
+
+/// A duty-cycled square wave between two demand levels on all four
+/// compute channels (CPU, memory, accelerator, accelerator memory).
+#[derive(Clone, Debug)]
+pub struct SquareWave {
+    /// Full high+low period of the wave.
+    pub period: SimDuration,
+    /// Fraction of each period spent at [`SquareWave::high`].
+    pub duty: f64,
+    /// Demand level in the low half-cycle.
+    pub low: f64,
+    /// Demand level in the high half-cycle.
+    pub high: f64,
+    /// Virtual runtime of the whole workload.
+    pub virtual_runtime: SimDuration,
+}
+
+impl SquareWave {
+    /// A wave with the standard levels (0.15 low, 0.85 high, 50% duty).
+    pub fn with_period(period: SimDuration) -> Self {
+        SquareWave {
+            period,
+            duty: 0.5,
+            low: 0.15,
+            high: 0.85,
+            virtual_runtime: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Slow transients: 14.17 s period (~25 EMON generations per cycle)
+    /// — quasi-static for every mechanism.
+    pub fn slow() -> Self {
+        SquareWave::with_period(SimDuration::from_millis(14_170))
+    }
+
+    /// Medium transients: 3.59 s period (~6.4 EMON generations).
+    pub fn medium() -> Self {
+        SquareWave::with_period(SimDuration::from_millis(3_590))
+    }
+
+    /// Fast transients: 1.77 s period — each half-cycle spans barely one
+    /// and a half EMON generations and sits near NVML's 1.3 s ramp tau,
+    /// so both mechanisms chase the wave without ever settling.
+    pub fn fast() -> Self {
+        SquareWave::with_period(SimDuration::from_millis(1_770))
+    }
+
+    /// Burst transients: 310 ms period — nearly two full toggles inside
+    /// one 560 ms EMON generation, and faster than six NVML refreshes.
+    /// Not part of the monotone three-profile sweep (components low-pass
+    /// this hard a wave, so per-mechanism error *saturates* here); used
+    /// for the cross-mechanism "EMON worst under sub-560 ms transients"
+    /// comparison.
+    pub fn burst() -> Self {
+        SquareWave::with_period(SimDuration::from_millis(310))
+    }
+
+    /// The three standard profiles in increasing transient frequency,
+    /// with their names — what `repro accuracy` sweeps.
+    pub fn standard_profiles() -> Vec<(&'static str, SquareWave)> {
+        vec![
+            ("slow-14.17s", SquareWave::slow()),
+            ("medium-3.59s", SquareWave::medium()),
+            ("fast-1.77s", SquareWave::fast()),
+        ]
+    }
+
+    /// Toggles per second (two per period).
+    pub fn transient_frequency_hz(&self) -> f64 {
+        2.0 / self.period.as_secs_f64()
+    }
+
+    /// The wave as a demand trace.
+    fn trace(&self) -> DemandTrace {
+        assert!(
+            self.duty > 0.0 && self.duty < 1.0,
+            "duty must be inside (0, 1)"
+        );
+        let high_span = self.period.mul_f64(self.duty);
+        let low_span =
+            SimDuration::from_nanos(self.period.as_nanos().saturating_sub(high_span.as_nanos()));
+        let mut b = PhaseBuilder::new();
+        let mut elapsed = SimDuration::ZERO;
+        while elapsed < self.virtual_runtime {
+            b = b.phase(high_span, self.high).phase(low_span, self.low);
+            elapsed += self.period;
+        }
+        b.build()
+    }
+
+    /// The square wave on every compute channel, so each platform's
+    /// devices all see the same transient structure.
+    pub fn profile(&self) -> WorkloadProfile {
+        let mut p = WorkloadProfile::new(
+            format!("square-{}ms", self.period.as_millis()),
+            self.virtual_runtime,
+        );
+        let trace = self.trace();
+        for ch in [
+            Channel::Cpu,
+            Channel::Memory,
+            Channel::Accelerator,
+            Channel::AcceleratorMemory,
+        ] {
+            p.set_demand(ch, trace.clone());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    #[test]
+    fn wave_toggles_between_levels() {
+        let w = SquareWave::slow();
+        let d = w.profile().demand(Channel::Cpu);
+        // High half-cycle then low half-cycle.
+        assert_eq!(d.level_at(SimTime::from_millis(100)), 0.85);
+        assert_eq!(d.level_at(SimTime::from_millis(10_000)), 0.15);
+        assert_eq!(d.level_at(SimTime::from_millis(14_170 + 100)), 0.85);
+    }
+
+    #[test]
+    fn profiles_order_by_transient_frequency() {
+        let ps = SquareWave::standard_profiles();
+        assert_eq!(ps.len(), 3);
+        for pair in ps.windows(2) {
+            assert!(
+                pair[0].1.transient_frequency_hz() < pair[1].1.transient_frequency_hz(),
+                "{} not slower than {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn all_compute_channels_carry_the_wave() {
+        let p = SquareWave::burst().profile();
+        for ch in [
+            Channel::Cpu,
+            Channel::Memory,
+            Channel::Accelerator,
+            Channel::AcceleratorMemory,
+        ] {
+            let d = p.demand(ch);
+            assert_eq!(d.level_at(SimTime::from_millis(10)), 0.85, "{ch:?}");
+            assert_eq!(d.level_at(SimTime::from_millis(200)), 0.15, "{ch:?}");
+        }
+    }
+
+    #[test]
+    fn burst_toggles_inside_one_emon_generation() {
+        let w = SquareWave::burst();
+        assert!(w.period.as_millis() < 560);
+    }
+
+    #[test]
+    fn wave_spans_the_whole_runtime() {
+        let w = SquareWave::fast();
+        let d = w.profile().demand(Channel::Cpu);
+        // Just before the end the wave is still toggling, after it is idle.
+        let late = SimTime::from_millis(59_990);
+        assert!(d.level_at(late) > 0.0, "wave ended early");
+    }
+}

@@ -38,6 +38,25 @@ pub struct SmcReading {
     pub vccp_amps: f64,
 }
 
+/// The SMC power pipeline with its stages separated — see
+/// [`Smc::read_power_parts`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmcPowerParts {
+    /// The 50 ms generation the query observes.
+    pub generation: SimTime,
+    /// Exact mean card power over the sampling window ending at the
+    /// generation (pure averaging semantics, no counter, no noise).
+    pub exact_mean_w: f64,
+    /// The same mean computed from the wrapping energy counter — adds
+    /// the unit truncation the real SMC pays.
+    pub counter_mean_w: f64,
+    /// [`SmcPowerParts::counter_mean_w`] plus sensor-chain noise (before
+    /// the non-negative clamp).
+    pub noisy_w: f64,
+    /// The reported value: clamped, in microwatts.
+    pub reported_uw: u64,
+}
+
 /// The SMC sampling engine for one card.
 #[derive(Clone, Debug)]
 pub struct Smc {
@@ -80,23 +99,48 @@ impl Smc {
         t.grid_floor(SimTime::ZERO, SMC_SAMPLE_PERIOD)
     }
 
-    /// Read the SMC's current telemetry generation at query time `t`.
-    pub fn read(&self, card: &PhiCard, t: SimTime) -> SmcReading {
+    /// The SMC power pipeline at `t` with each stage separated — the
+    /// oracle surface for the accuracy harness. The stages are, in
+    /// pipeline order: the exact windowed mean (what an infinitely fine
+    /// counter would report — the *averaging* semantics isolated), the
+    /// actual wrapping-counter mean (adds the ~15.3 µJ truncation), the
+    /// value after sensor-chain noise, and the reported microwatts.
+    /// [`Smc::read`] returns the last stage; it is the same computation.
+    pub fn read_power_parts(&self, card: &PhiCard, t: SimTime) -> SmcPowerParts {
         let generation = self.generation_at(t);
         // RAPL-style power: energy-counter delta over the sampling window.
-        let power_w = if generation.as_nanos() >= self.window.as_nanos() {
+        let (exact_mean_w, counter_mean_w) = if generation.as_nanos() >= self.window.as_nanos() {
             let earlier = generation - self.window;
             let raw0 = self.counter.raw(earlier, |at| card.total_energy(at));
             let raw1 = self.counter.raw(generation, |at| card.total_energy(at));
-            self.counter
+            let counter = self
+                .counter
                 .counts_to_joules(self.counter.delta_counts(raw0, raw1))
-                / self.window.as_secs_f64()
+                / self.window.as_secs_f64();
+            let exact = (card.total_energy(generation) - card.total_energy(earlier))
+                / self.window.as_secs_f64();
+            (exact, counter)
         } else {
-            card.total_power(generation)
+            let p = card.total_power(generation);
+            (p, p)
         };
         // Sensor-chain noise, stable per generation.
         let k = t.grid_index(SimTime::ZERO, SMC_SAMPLE_PERIOD);
-        let power_w = (power_w + self.power_sensor_noise_w * self.noise.normal(k)).max(0.0);
+        let noisy_w = counter_mean_w + self.power_sensor_noise_w * self.noise.normal(k);
+        SmcPowerParts {
+            generation,
+            exact_mean_w,
+            counter_mean_w,
+            noisy_w,
+            reported_uw: (noisy_w.max(0.0) * 1e6).round() as u64,
+        }
+    }
+
+    /// Read the SMC's current telemetry generation at query time `t`.
+    pub fn read(&self, card: &PhiCard, t: SimTime) -> SmcReading {
+        let parts = self.read_power_parts(card, t);
+        let generation = parts.generation;
+        let power_w = parts.noisy_w.max(0.0);
         let die = self.temp_sensor.observe(t, |at| card.die_temp(at));
         SmcReading {
             generation,
@@ -157,6 +201,26 @@ mod tests {
         let (card, smc) = setup();
         let r = smc.read(&card, SimTime::from_millis(20));
         assert!(r.total_power_uw > 50_000_000, "{}", r.total_power_uw);
+    }
+
+    #[test]
+    fn power_parts_final_stage_is_the_reported_value() {
+        let (card, smc) = setup();
+        for ms in [20u64, 1_000, 12_345, 60_010, 100_000] {
+            let t = SimTime::from_millis(ms);
+            let parts = smc.read_power_parts(&card, t);
+            let r = smc.read(&card, t);
+            assert_eq!(parts.reported_uw, r.total_power_uw, "t = {t}");
+            assert_eq!(parts.generation, r.generation);
+            // Counter truncation only loses whole units over the window.
+            let max_quant = 2.0 * (1.0 / 65_536.0) / SMC_SAMPLE_PERIOD.as_secs_f64();
+            assert!(
+                (parts.counter_mean_w - parts.exact_mean_w).abs() <= max_quant,
+                "t = {t}: counter {} vs exact {}",
+                parts.counter_mean_w,
+                parts.exact_mean_w
+            );
+        }
     }
 
     #[test]

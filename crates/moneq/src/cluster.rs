@@ -1081,6 +1081,144 @@ mod tests {
     }
 
     #[test]
+    fn single_rank_domain_plan_is_the_naive_plan_in_disguise() {
+        let end = SimTime::from_secs(1);
+        let mut naive = launch(6);
+        naive.run_until(end);
+        let naive = naive.finalize(end);
+        let mut single = launch(6).with_collection_plan(CollectionPlan::shared(1));
+        assert!(!single.collection_plan().is_shared());
+        single.run_until(end);
+        let single = single.finalize(end);
+        assert_eq!(naive.files, single.files);
+        assert_eq!(naive.overheads, single.overheads);
+        assert!(single.cache.is_empty(), "no sharing, no cache ledger");
+    }
+
+    #[test]
+    fn ragged_tail_domain_elects_its_own_leader() {
+        // 9 ranks, domain size 4 -> {0-3}, {4-7}, {8}: the rank count is
+        // not divisible by the domain size, so the tail is a one-rank
+        // domain whose only member must lead itself every generation.
+        let plan = CollectionPlan::shared(4);
+        assert_eq!(plan.domains(9), 3);
+        assert_eq!(plan.domain_of(8), 2);
+        let end = SimTime::from_secs(2);
+        let mut naive = launch(9);
+        naive.run_until(end);
+        let naive = naive.finalize(end);
+        let mut shared = launch(9).with_collection_plan(plan);
+        shared.run_until(end);
+        let shared = shared.finalize(end);
+        assert_eq!(naive.files, shared.files);
+        for (rank, (n, s)) in naive.overheads.iter().zip(&shared.overheads).enumerate() {
+            if rank % 4 == 0 {
+                assert_eq!(n.collection, s.collection, "leader rank {rank} pays live");
+            } else {
+                assert_eq!(s.collection, SimDuration::ZERO, "follower rank {rank}");
+            }
+        }
+        // The tail leader misses every generation exactly like the full
+        // domains' leaders; only the six followers ever hit.
+        let polls = shared.overheads[0].polls;
+        assert_eq!(shared.cache.misses, polls * 3);
+        assert_eq!(shared.cache.hits, polls * 6);
+        assert_eq!(shared.cache.bypasses, 0);
+    }
+
+    /// Healthy until `fail_from`, then every read on rank 0 fails — drives
+    /// a domain leader through retries into the disable path mid-run.
+    struct FailsFrom {
+        rank: usize,
+        fail_from: SimTime,
+    }
+    impl EnvBackend for FailsFrom {
+        fn name(&self) -> &'static str {
+            "fails-from"
+        }
+        fn platform(&self) -> Platform {
+            Platform::Rapl
+        }
+        fn min_interval(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn poll_cost(&self) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+        fn capabilities(&self) -> Vec<(Metric, Support)> {
+            vec![]
+        }
+        fn read(&mut self, t: SimTime) -> Result<crate::backend::Poll, crate::backend::ReadError> {
+            if self.rank == 0 && t >= self.fail_from {
+                return Err(crate::backend::ReadError::Transient("dead sensor".into()));
+            }
+            Ok(crate::backend::Poll::complete(vec![DataPoint::power(
+                t,
+                "dev",
+                "d",
+                100.0 + self.rank as f64,
+            )]))
+        }
+        fn records_per_poll(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn disabled_leader_hands_the_domain_to_the_next_rank() {
+        let fail_from = SimTime::from_secs(3);
+        let launch_flaky = || {
+            ClusterRun::launch(
+                4,
+                Some(SimDuration::from_millis(100)),
+                move |rank| Box::new(FailsFrom { rank, fail_from }) as Box<dyn EnvBackend>,
+                |rank| format!("node{rank}"),
+                SimTime::ZERO,
+            )
+        };
+        let end = SimTime::from_secs(8);
+        let mut naive = launch_flaky();
+        naive.run_until(end);
+        let naive = naive.finalize(end);
+        let mut shared = launch_flaky().with_collection_plan(CollectionPlan::shared(4));
+        shared.run_until(end);
+        let shared = shared.finalize(end);
+        // The plan changes charged cost only — data, substitutions, and
+        // the disable marker are identical with it on or off.
+        assert_eq!(naive.files, shared.files);
+        assert_eq!(naive.completeness, shared.completeness);
+        // Rank 0 was disabled mid-window, strictly between the first
+        // failure and the end of the run; the healthy ranks never were.
+        let c0 = &shared.completeness[0][0];
+        assert_eq!(c0.disabled_ranks, vec![0]);
+        let disabled_at = c0.disabled_at_ns.expect("rank 0 must disable");
+        assert!(disabled_at > fail_from.as_nanos() && disabled_at < end.as_nanos());
+        for rank in 1..4 {
+            assert!(shared.completeness[rank][0].disabled_ranks.is_empty());
+        }
+        // While rank 0 was failing-but-enabled it published failure
+        // markers, so its followers bypassed the cache at full cost.
+        assert!(shared.cache.bypasses > 0, "failure markers force bypasses");
+        // After the disable, rank 1 is the first to consult each
+        // generation and takes over as leader: it pays live reads the
+        // deeper followers never do, on top of the bypass-phase cost all
+        // three paid equally.
+        let collection = |rank: usize| shared.overheads[rank].collection;
+        assert_eq!(collection(2), collection(3), "pure followers pay alike");
+        assert!(collection(2) > SimDuration::ZERO, "bypass phase is charged");
+        assert!(
+            collection(1) > collection(2),
+            "rank 1 leads the post-disable generations: {:?} vs {:?}",
+            collection(1),
+            collection(2)
+        );
+        // Disabled polls never consult the cache: the ledger accounts one
+        // lookup for every poll except rank 0's post-disable (missed) ones.
+        let polls: u64 = shared.overheads.iter().map(|o| o.polls).sum();
+        assert_eq!(shared.cache.lookups(), polls - c0.missed_polls);
+    }
+
+    #[test]
     fn worst_case_overhead_is_maximal() {
         let mut run = launch(3);
         run.run_until(SimTime::from_secs(1));

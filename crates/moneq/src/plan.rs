@@ -292,6 +292,41 @@ mod tests {
     }
 
     #[test]
+    fn single_rank_domains_share_nothing() {
+        let plan = CollectionPlan::shared(1);
+        assert!(
+            !plan.is_shared(),
+            "a 1-rank domain has nobody to share with"
+        );
+        assert_eq!(plan.domain_size(), 1);
+        assert_eq!(plan.domain_of(0), 0);
+        assert_eq!(plan.domain_of(9), 9);
+        assert_eq!(plan.domains(9), 9);
+        assert_eq!(plan.domains(0), 0, "no ranks, no domains");
+        assert_eq!(CollectionPlan::shared(4).domains(0), 0);
+        assert_eq!(plan, CollectionPlan::per_agent());
+    }
+
+    #[test]
+    fn prune_at_exact_generation_boundary_keeps_the_boundary() {
+        let cache = SharedReadCache::new();
+        for k in 0..4u64 {
+            let t = SimTime::from_millis(k * 560);
+            cache.publish("bgq-emon", CADENCE, t, SharedRead { at: t, poll: None });
+        }
+        // 1120 ms is exactly where generation 2 begins: 0 and 1 go, 2 stays.
+        cache.prune_before(SimTime::from_millis(1_120));
+        assert_eq!(
+            cache.consult("bgq-emon", CADENCE, SimTime::from_millis(1_119)),
+            SharedLookup::Miss
+        );
+        assert!(matches!(
+            cache.consult("bgq-emon", CADENCE, SimTime::from_millis(1_120)),
+            SharedLookup::Hit(_)
+        ));
+    }
+
+    #[test]
     fn prune_drops_finished_generations() {
         let cache = SharedReadCache::new();
         for k in 0..8u64 {

@@ -26,7 +26,7 @@ use crate::overhead::{finalize_time, init_time, OverheadReport, IO_STRIPE_WIDTH}
 use crate::plan::{SharedLookup, SharedRead, SharedReadCache};
 use crate::reading::DataPoint;
 use crate::tags::{TagEvent, TagKind};
-use simkit::{EventQueue, SimDuration, SimTime, Telemetry, TelemetryReport};
+use simkit::{EventQueue, SamplingPolicy, SimDuration, SimTime, Telemetry, TelemetryReport};
 use std::sync::Arc;
 
 /// Session configuration.
@@ -69,6 +69,14 @@ pub struct MonEqConfig {
     /// Off by default: a disabled registry costs one branch per event and
     /// allocates nothing, so existing runs are bit-for-bit unchanged.
     pub telemetry: bool,
+    /// When the session polls, relative to its nominal interval grid.
+    /// The default ([`SamplingPolicy::Aligned`]) computes every fire time
+    /// with the exact arithmetic of builds that predate the knob, so
+    /// default runs stay byte-identical; the other policies shift poll
+    /// *times* only and compose with the retry, telemetry, and
+    /// collection-plan layers unchanged. The session's rank keys the
+    /// policy's random draws, so cluster ranks decorrelate automatically.
+    pub sampling: SamplingPolicy,
 }
 
 impl Default for MonEqConfig {
@@ -80,6 +88,7 @@ impl Default for MonEqConfig {
             total_agents: 1,
             retry: RetryPolicy::default(),
             telemetry: false,
+            sampling: SamplingPolicy::default(),
         }
     }
 }
@@ -142,6 +151,9 @@ pub struct MonEq {
     fault_recovery: SimDuration,
     polls: u64,
     retries: u64,
+    /// Nominal time of poll index 0 — the fixed point the sampling policy
+    /// measures offsets from (grid policies never accumulate drift).
+    sampling_anchor: SimTime,
     telemetry: Telemetry,
     /// The sharing domain's read cache, when a collection plan is active
     /// ([`MonEq::attach_shared_cache`]). `None` (the default) keeps the
@@ -179,8 +191,15 @@ impl MonEq {
                 .expect("non-empty backends"),
         };
         let init_cost = init_time(config.total_agents.max(1));
+        config.sampling.validate(interval);
         let mut timer = EventQueue::new();
-        let first = now + init_cost + interval;
+        // The anchor is the historical first-fire time; the policy places
+        // the actual first poll relative to it (Aligned: exactly on it,
+        // via the same `now + init_cost + interval` arithmetic).
+        let sampling_anchor = now + init_cost + interval;
+        let first = config
+            .sampling
+            .first_fire(sampling_anchor, interval, u64::from(rank));
         timer.schedule(first, ());
         let slots = backends
             .into_iter()
@@ -218,6 +237,7 @@ impl MonEq {
             fault_recovery: SimDuration::ZERO,
             polls: 0,
             retries: 0,
+            sampling_anchor,
             shared_cache: None,
             interval,
             config,
@@ -271,7 +291,16 @@ impl MonEq {
                 }
             }
             self.polls += 1;
-            self.timer.schedule(t + self.interval, ());
+            // `polls` is the index of the poll being scheduled; Aligned
+            // reduces to the historical `t + interval`.
+            let next = self.config.sampling.next_fire(
+                self.sampling_anchor,
+                self.interval,
+                t,
+                self.polls,
+                u64::from(self.rank),
+            );
+            self.timer.schedule(next, ());
         }
     }
 

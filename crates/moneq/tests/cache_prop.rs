@@ -71,7 +71,7 @@ fn run(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::scaled(12))]
 
     /// The headline safety property: whatever the seed, workload, domain
     /// shape, and fault rate, turning the plan on changes no output byte

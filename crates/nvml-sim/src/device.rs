@@ -223,6 +223,36 @@ impl Device {
     pub fn true_power(&self, t: SimTime) -> f64 {
         self.power.total_power(t)
     }
+
+    /// Exact true board energy over `[from, to]`, joules (closed-form
+    /// oracle, not part of the NVML surface).
+    pub fn true_energy(&self, from: SimTime, to: SimTime) -> f64 {
+        self.power.total_energy(from, to)
+    }
+
+    /// The instant whose truth a `power_usage` read at `t` reflects: the
+    /// start of the current 60 ms driver refresh slot (the sensor grid is
+    /// unjittered, so this is a pure grid floor).
+    pub fn power_sample_instant(&self, t: SimTime) -> SimTime {
+        self.power_sensor.generation_time(t)
+    }
+
+    /// The `power_usage` pipeline at `t` with each stage separated
+    /// ([`powermodel::Observation`]): the refresh-slot instant, the
+    /// limit-clamped truth there, the value after the ±W accuracy noise,
+    /// and after the milliwatt rounding the API reports. The final stage
+    /// matches [`Device::power_usage`] exactly (before its non-negative
+    /// clamp). Oracle surface for the accuracy harness.
+    pub fn power_usage_parts(&self, t: SimTime) -> Result<powermodel::Observation, NvmlError> {
+        if !self.spec.is_kepler {
+            return Err(NvmlError::NotSupported);
+        }
+        let power = &self.power;
+        let limit = *self.power_limit_watts.read();
+        Ok(self
+            .power_sensor
+            .observe_parts(t, |at| power.total_power(at).min(limit)))
+    }
 }
 
 /// The NVML library handle.
@@ -317,6 +347,25 @@ mod tests {
             "no ramp: early {early}, settled {settled}"
         );
         assert!((50.0..60.0).contains(&settled), "settled {settled}");
+    }
+
+    #[test]
+    fn power_usage_parts_final_stage_is_the_reported_value() {
+        let nvml = nvml_with(VectorAdd::figure5().profile(), GpuSpec::k20());
+        let d = nvml.device_by_index(0).unwrap();
+        for ms in [500u64, 5_000, 12_345, 60_000] {
+            let t = SimTime::from_millis(ms);
+            let parts = d.power_usage_parts(t).unwrap();
+            let reported = (parts.quantized.max(0.0) * 1_000.0).round() as u32;
+            assert_eq!(reported, d.power_usage(t).unwrap(), "t = {t}");
+            assert_eq!(parts.generation, d.power_sample_instant(t));
+            assert!(parts.generation <= t);
+            assert!(t - parts.generation < SimDuration::from_millis(60));
+            // The noise-free stage is the limit-clamped truth at the slot.
+            let limit = f64::from(d.power_management_limit().unwrap()) / 1e3;
+            let truth = d.true_power(parts.generation);
+            assert!((parts.ideal - truth.min(limit)).abs() < 1e-9);
+        }
     }
 
     #[test]

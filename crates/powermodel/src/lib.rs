@@ -20,6 +20,8 @@
 //!   order-independent noise (the NVML ±5 W accuracy, RAPL update jitter);
 //! * [`energy`] — wrapping integer energy counters (the RAPL 32-bit
 //!   `*_ENERGY_STATUS` registers and their >60 s overflow hazard);
+//! * [`ledger`] — exact closed-form ground-truth energy over arbitrary
+//!   windows, the reference for the `envmon-accuracy` error decomposition;
 //! * [`thermal`] — a first-order RC thermal model (Figure 5's temperature);
 //! * [`capability`] — the Table I environmental-data capability matrix.
 
@@ -30,6 +32,7 @@ pub mod capability;
 pub mod demand;
 pub mod device;
 pub mod energy;
+pub mod ledger;
 pub mod sensor;
 pub mod thermal;
 
@@ -37,5 +40,6 @@ pub use capability::{paper_matrix, CapabilityMatrix, Metric, MetricGroup, Platfo
 pub use demand::{DemandTrace, PhaseBuilder};
 pub use device::{ComponentSpec, DevicePower, DeviceSpec};
 pub use energy::{EnergyCounter, EnergyCounterSpec};
-pub use sensor::{ScalarSensor, SensorSpec};
+pub use ledger::{TrueEnergyLedger, WindowEnergy};
+pub use sensor::{Observation, ScalarSensor, SensorSpec};
 pub use thermal::{ThermalSpec, ThermalTrace};

@@ -142,17 +142,50 @@ impl ScalarSensor {
     ///
     /// The observation is `quantize(truth(generation_time) + noise(slot))`.
     pub fn observe<F: Fn(SimTime) -> f64>(&self, t: SimTime, truth: F) -> f64 {
+        self.observe_parts(t, truth).quantized
+    }
+
+    /// Observe the sensor at `t` with every pipeline stage exposed: the
+    /// effective sample instant, the value before noise, after noise, and
+    /// after quantization. [`ScalarSensor::observe`] returns the last
+    /// stage; the accuracy harness attributes `ideal − truth(t)` to
+    /// cadence, `noisy − ideal` to noise, and `quantized − noisy` to
+    /// quantization. Bit-identical to `observe` on the final stage — it
+    /// *is* the same computation.
+    pub fn observe_parts<F: Fn(SimTime) -> f64>(&self, t: SimTime, truth: F) -> Observation {
         let k = self.generation_index(t);
         let gen_t = self.slot_generation_time(k);
-        let mut v = truth(gen_t);
+        let ideal = truth(gen_t);
+        let mut v = ideal;
         if self.spec.noise_sigma > 0.0 {
             v += self.spec.noise_sigma * self.noise.child("value").normal(k);
         }
+        let noisy = v;
         if self.spec.quantum > 0.0 {
             v = (v / self.spec.quantum).round() * self.spec.quantum;
         }
-        v
+        Observation {
+            generation: gen_t,
+            ideal,
+            noisy,
+            quantized: v,
+        }
     }
+}
+
+/// One sensor observation with its pipeline stages separated — see
+/// [`ScalarSensor::observe_parts`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// The (possibly jittered) generation instant the value was sampled at.
+    pub generation: SimTime,
+    /// Ground truth at [`Observation::generation`]: staleness only.
+    pub ideal: f64,
+    /// [`Observation::ideal`] plus the sensor's value noise.
+    pub noisy: f64,
+    /// [`Observation::noisy`] rounded to the sensor quantum — what
+    /// [`ScalarSensor::observe`] reports.
+    pub quantized: f64,
 }
 
 #[cfg(test)]

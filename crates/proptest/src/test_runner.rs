@@ -20,6 +20,18 @@ impl ProptestConfig {
             ..Self::default()
         }
     }
+
+    /// A config whose case count scales with the `PROPTEST_CASES`
+    /// environment variable: `base` is the count when the variable holds
+    /// the default (64); setting it lower (CI quick mode) or higher
+    /// (thorough runs) scales `base` proportionally, never below one
+    /// case. Heavy suites use this instead of [`Self::with_cases`] so a
+    /// single knob paces the whole workspace.
+    pub fn scaled(base: u32) -> Self {
+        let default = Self::default();
+        let cases = ((u64::from(base) * u64::from(default.cases)) / 64).max(1) as u32;
+        ProptestConfig { cases, ..default }
+    }
 }
 
 impl Default for ProptestConfig {

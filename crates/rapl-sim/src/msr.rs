@@ -194,6 +194,32 @@ impl MsrDevice {
         self.counters[idx].raw(gen_t, |at| socket.domain_energy(domain, at))
     }
 
+    /// The effective sample instant of a `domain` read at `t`: the
+    /// jittered ±50,000-cycle update grid decides which ~1 ms counter
+    /// generation the read observes, and the counter value is the
+    /// socket's cumulative energy at that generation's tick. The accuracy
+    /// harness splits "poll vs nominal grid" (sampling phase) from
+    /// "nominal grid vs jitter-selected generation" (cadence) with it.
+    pub fn generation_instant(&self, domain: RaplDomain, t: SimTime) -> SimTime {
+        let gen_t = self.grid[Self::domain_index(domain)].generation_time(t);
+        // The counter itself latches on the unjittered tick grid; the
+        // jitter only decides *which* tick a read observes.
+        gen_t.grid_floor(
+            SimTime::ZERO,
+            self.counters[Self::domain_index(domain)]
+                .spec()
+                .update_period,
+        )
+    }
+
+    /// Cumulative energy of `domain` at the generation a read at `t`
+    /// observes, in exact joules *before* the counter truncates to units
+    /// and wraps — [`MsrDevice::read_energy_status`] minus quantization.
+    pub fn generation_energy(&self, domain: RaplDomain, t: SimTime) -> f64 {
+        self.socket
+            .domain_energy(domain, self.generation_instant(domain, t))
+    }
+
     /// Read any implemented register.
     pub fn read(&self, reg: u32, t: SimTime) -> Result<u64, MsrError> {
         match reg {
@@ -304,6 +330,18 @@ mod tests {
             d.read(MSR_PKG_ENERGY_STATUS, t).unwrap(),
             d.read(MSR_PKG_ENERGY_STATUS, t).unwrap()
         );
+    }
+
+    #[test]
+    fn generation_energy_is_the_counter_before_quantization() {
+        let d = device(MsrAccess::root()).unwrap();
+        let t = SimTime::from_millis(12_345);
+        let gen = d.generation_instant(RaplDomain::Pkg, t);
+        assert!(gen <= t, "generation after the read");
+        assert!(t - gen < SimDuration::from_millis(2), "stale beyond a tick");
+        let exact = d.generation_energy(RaplDomain::Pkg, t);
+        let truncated = (exact / d.units().joules_per_count()) as u64 % (1u64 << 32);
+        assert_eq!(d.read_energy_status(RaplDomain::Pkg, t), truncated);
     }
 
     #[test]

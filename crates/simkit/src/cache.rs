@@ -251,6 +251,36 @@ mod tests {
     }
 
     #[test]
+    fn prune_at_exact_window_boundary_keeps_the_boundary_generation() {
+        let mut c: CadenceCache<u32> = CadenceCache::new(SimDuration::from_millis(100));
+        for k in 0..6u64 {
+            c.insert(ms(k * 100), k as u32);
+        }
+        // 500 ms is exactly where generation 5 begins: everything strictly
+        // before the boundary goes, the generation starting on it stays.
+        c.prune_before(ms(500));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(ms(500)), CacheLookup::Hit(&5));
+        assert_eq!(c.lookup(ms(499)), CacheLookup::Miss);
+        // Pruning at the same boundary again is a no-op.
+        c.prune_before(ms(500));
+        assert_eq!(c.len(), 1);
+        // On an anchored grid, pruning at the anchor itself drops nothing,
+        // and a boundary prune (130 ms starts generation 1) behaves the
+        // same as on the zero-anchored grid.
+        let anchor = SimTime::from_millis(30);
+        let mut a: CadenceCache<u8> =
+            CadenceCache::with_anchor(SimDuration::from_millis(100), anchor);
+        a.insert(ms(40), 1);
+        a.prune_before(anchor);
+        assert_eq!(a.len(), 1);
+        a.insert(ms(130), 2);
+        a.prune_before(ms(130));
+        assert_eq!(a.lookup(ms(129)), CacheLookup::Miss);
+        assert_eq!(a.lookup(ms(130)), CacheLookup::Hit(&2));
+    }
+
+    #[test]
     fn anchored_grids_and_stat_merge() {
         let anchor = SimTime::from_millis(30);
         let mut c: CadenceCache<u8> =

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod sampling;
 pub mod series;
 pub mod stats;
 pub mod telemetry;
@@ -48,6 +49,7 @@ pub use cache::{CacheLookup, CacheStats, CadenceCache};
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{FaultOutcome, FaultPlan, FaultProcess, FaultSpec};
 pub use rng::{DetRng, NoiseStream};
+pub use sampling::SamplingPolicy;
 pub use series::{Sample, TimeSeries};
 pub use stats::{welch_t_test, BoxplotSummary, Histogram, RunningStats, WelchResult};
 pub use telemetry::{LogHistogram, SpanStats, Telemetry, TelemetryReport};

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub use bgq_sim;
+pub use envmon_accuracy as accuracy;
 pub use envmon_analysis as analysis;
 pub use hpc_workloads as workloads;
 pub use mic_sim;
@@ -45,6 +46,7 @@ pub use simkit;
 /// The commonly used names, flattened.
 pub mod prelude {
     pub use bgq_sim::{BgqConfig, BgqMachine, EmonApi};
+    pub use envmon_accuracy::{ErrorReport, MechanismProbe};
     pub use hpc_workloads::{
         Channel, FixedRuntime, GaussianElimination, Mmps, Noop, TaggedLoops, VectorAdd,
         WorkloadProfile,
@@ -57,7 +59,7 @@ pub mod prelude {
         ClusterRun, Completeness, EnvBackend, MonEq, MonEqConfig, ReadError, RetryPolicy,
     };
     pub use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
-    pub use powermodel::{DemandTrace, Metric, Platform, Support};
+    pub use powermodel::{DemandTrace, Metric, Platform, Support, TrueEnergyLedger};
     pub use rapl_sim::{MsrAccess, RaplDomain, SocketModel, SocketSpec};
-    pub use simkit::{FaultPlan, FaultSpec, SimDuration, SimTime, TimeSeries};
+    pub use simkit::{FaultPlan, FaultSpec, SamplingPolicy, SimDuration, SimTime, TimeSeries};
 }

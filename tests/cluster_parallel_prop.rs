@@ -52,7 +52,7 @@ fn run_cluster(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::scaled(12))]
 
     #[test]
     fn parallel_equals_serial(

@@ -78,7 +78,7 @@ fn run_faulted(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::scaled(10))]
 
     /// (1) No panic, and exact reconciliation — per rank and merged.
     #[test]

@@ -1,0 +1,148 @@
+//! Golden conformance: the rendered MonEQ output file for a fixed-seed
+//! session against every backend, byte-for-byte.
+//!
+//! The output format is the library's public contract (§III's "common
+//! format for output data"), and half the repo's guarantees are phrased
+//! as "byte-identical output files" — the collection plan, the telemetry
+//! layer, the sampling policy all promise not to move a byte on the
+//! default path. This suite pins the bytes themselves: any change to
+//! sensor arithmetic, noise draws, scheduling, or rendering shows up as
+//! a readable first-difference diff against the files under
+//! `tests/golden/`.
+//!
+//! To re-bless after an *intentional* format or model change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_conformance
+//! git diff tests/golden/   # review every changed byte before committing
+//! ```
+
+use envmon::prelude::*;
+use simkit::NoiseStream;
+use std::sync::Arc;
+
+/// Drive one fixed-seed session and render its output file.
+fn render_session(backend: Box<dyn EnvBackend>, seconds: u64) -> String {
+    let mut session = MonEq::initialize(0, vec![backend], MonEqConfig::default(), SimTime::ZERO);
+    let end = SimTime::from_secs(seconds);
+    session.run_until(end);
+    session.finalize(end).file.render()
+}
+
+/// Compare against `tests/golden/{name}.txt`, or regenerate it when
+/// `GOLDEN_BLESS=1`.
+fn check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write golden file");
+        eprintln!("[blessed {}]", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run GOLDEN_BLESS=1 cargo test --test golden_conformance",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    panic!("{}", first_difference(name, &expected, actual));
+}
+
+/// A readable report of the first differing line, with context.
+fn first_difference(name: &str, expected: &str, actual: &str) -> String {
+    let (exp, act): (Vec<&str>, Vec<&str>) = (expected.lines().collect(), actual.lines().collect());
+    let n = exp.len().max(act.len());
+    let at = (0..n)
+        .find(|&i| exp.get(i) != act.get(i))
+        .unwrap_or(n.saturating_sub(1));
+    let mut out = format!(
+        "golden mismatch for {name}: first difference at line {} (expected {} lines, got {})\n",
+        at + 1,
+        exp.len(),
+        act.len()
+    );
+    for i in at.saturating_sub(2)..(at + 3).min(n) {
+        let mark = if exp.get(i) != act.get(i) { ">" } else { " " };
+        out.push_str(&format!(
+            "{mark} line {:>5} expected: {}\n{mark} line {:>5} actual  : {}\n",
+            i + 1,
+            exp.get(i).unwrap_or(&"<missing>"),
+            i + 1,
+            act.get(i).unwrap_or(&"<missing>")
+        ));
+    }
+    out.push_str("re-bless intentional changes with GOLDEN_BLESS=1 (then review the diff)");
+    out
+}
+
+#[test]
+fn golden_bgq_emon() {
+    let mut machine = BgqMachine::new(BgqConfig::default(), 1);
+    machine.assign_job(&[0], &Mmps::figure1().profile());
+    let rendered = render_session(Box::new(BgqBackend::new(Arc::new(machine), 0)), 60);
+    check("bgq-emon", &rendered);
+}
+
+#[test]
+fn golden_rapl_msr() {
+    let socket = Arc::new(SocketModel::new(
+        SocketSpec::default(),
+        &GaussianElimination::figure3().profile(),
+    ));
+    let backend = RaplBackend::new(socket, MsrAccess::user_with_readonly(), 2).unwrap();
+    check("rapl-msr", &render_session(Box::new(backend), 30));
+}
+
+#[test]
+fn golden_nvml() {
+    let nvml = Arc::new(Nvml::init(
+        &[DeviceConfig {
+            spec: GpuSpec::k20(),
+            workload: Noop::figure4().profile(),
+            horizon: SimTime::from_secs(20),
+        }],
+        3,
+    ));
+    check(
+        "nvml",
+        &render_session(Box::new(NvmlBackend::new(nvml)), 12),
+    );
+}
+
+#[test]
+fn golden_mic_sysmgmt() {
+    let profile = Noop::figure7().profile();
+    let horizon = SimTime::from_secs(40);
+    let card = Arc::new(PhiCard::new(
+        PhiSpec::default(),
+        &profile,
+        SysMgmtSession::mgmt_demand(SimDuration::from_millis(100), SimTime::ZERO, horizon),
+        horizon,
+    ));
+    let smc = Arc::new(Smc::new(NoiseStream::new(4)));
+    check(
+        "mic-sysmgmt",
+        &render_session(Box::new(MicApiBackend::new(card, smc)), 30),
+    );
+}
+
+#[test]
+fn golden_mic_micras() {
+    let profile = Noop::figure7().profile();
+    let card = Arc::new(PhiCard::new(
+        PhiSpec::default(),
+        &profile,
+        DemandTrace::zero(),
+        SimTime::from_secs(40),
+    ));
+    let smc = Arc::new(Smc::new(NoiseStream::new(5)));
+    check(
+        "mic-micras",
+        &render_session(Box::new(MicDaemonBackend::new(card, smc, &profile)), 30),
+    );
+}

@@ -84,7 +84,7 @@ fn run_cluster(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::scaled(10))]
 
     /// (1) Enabling telemetry changes no output byte vs. seed behavior.
     #[test]
