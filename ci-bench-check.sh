@@ -74,9 +74,39 @@ check_ge "cache collection_factor" \
 
 echo "==> cluster_sweep --quick"
 ./target/release/cluster_sweep --quick --out "$tmp/cluster.json"
-check_ge "cluster parallel speedup" \
-    "$(vals "$tmp/cluster.json" speedup | maxof)" \
-    "$(vals BENCH_cluster.json speedup | minof)"
+# Speedup ratios only mean something when both the fresh and the committed
+# sweeps actually ran a parallel pool: a leg with pool_width 1 measured
+# serial-vs-serial, so its "speedup" is pure scheduler noise. (The old
+# committed baselines were recorded exactly that way, on a single-CPU
+# host, and this gate then compared noise against noise.) Legacy JSON
+# without the per-leg pool_width field is treated as width 1.
+fresh_width=$(vals "$tmp/cluster.json" pool_width | maxof)
+committed_width=$(vals BENCH_cluster.json pool_width | maxof)
+: "${fresh_width:=1}" "${committed_width:=1}"
+if [[ "${fresh_width%%.*}" -le 1 || "${committed_width%%.*}" -le 1 ]]; then
+    echo "skip cluster parallel speedup (pool width: fresh=$fresh_width," \
+        "committed=$committed_width; serial-vs-serial ratios are noise)"
+else
+    check_ge "cluster parallel speedup" \
+        "$(vals "$tmp/cluster.json" speedup | maxof)" \
+        "$(vals BENCH_cluster.json speedup | minof)"
+fi
+
+# The committed 49k-agent leg carries an absolute claim the docs repeat
+# (README, DESIGN §12.4): launch under 10 ms. That is a property of the
+# committed recording, not of this machine, so it is checked statically —
+# a future re-record that regresses past it should fail loudly here, not
+# drift silently.
+committed_launch=$(grep '"agents": 49152' BENCH_cluster.json |
+    grep -o '"launch_ms": *[0-9.]*' | sed 's/.*: *//')
+if [[ -n "$committed_launch" ]]; then
+    if awk -v l="$committed_launch" 'BEGIN { exit !(l + 0 < 10) }'; then
+        echo "ok   committed 49k launch_ms      $committed_launch < 10"
+    else
+        echo "FAIL committed 49k launch_ms $committed_launch >= 10 ms"
+        fail=1
+    fi
+fi
 
 echo "==> telemetry_sweep --quick"
 ./target/release/telemetry_sweep --quick --out "$tmp/telemetry.json"

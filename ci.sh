@@ -110,4 +110,16 @@ else
         "cargo run -q -p envmon-bench --bin repro -- report > /dev/null"
 fi
 
+# Perf smoke: the telemetry layer's headline claim — enabling it costs
+# <10% wall clock at the paper's full-Mira fan-out — as a pass/fail gate,
+# not a recording. Release-only: debug wall clock says nothing about the
+# optimized hot path (quick mode skips the release build entirely).
+if [[ $quick -eq 0 ]]; then
+    stage "perf smoke (telemetry overhead <10% @ 1536 agents)" \
+        "cargo run --release -q -p envmon-bench --bin telemetry_sweep -- \
+            --smoke --gate 10 --out target/telemetry_smoke.json"
+else
+    skipped "--quick" "perf smoke (telemetry overhead gate needs release)"
+fi
+
 echo "CI OK"

@@ -79,7 +79,7 @@ pub fn telemetry_at(seed: u64, rate: f64) -> TelemetryTable {
             TelemetryRow {
                 mechanism: name,
                 paper_cost,
-                report: result.telemetry,
+                report: result.telemetry.report(),
             }
         })
         .collect();

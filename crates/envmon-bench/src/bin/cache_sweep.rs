@@ -63,7 +63,7 @@ fn drive(seed: u64, agents: usize, virtual_secs: u64, plan: bool) -> (f64, Clust
                 (rank / 32) % cards,
             ))
         },
-        |rank| format!("agent{rank:05}"),
+        envmon_bench::agent_name,
         SimTime::ZERO,
     )
     .with_par_agents(moneq::host_cpus());

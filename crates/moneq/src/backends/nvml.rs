@@ -152,7 +152,11 @@ impl EnvBackend for NvmlBackend {
     }
 
     fn gate_stats(&self) -> Option<crate::backend::GateStats> {
-        Some(self.gate.stats())
+        // An inactive gate never touches its counters; reporting `None`
+        // instead of an all-zero ledger lets finalize skip the per-kind
+        // fold entirely on the (default) fault-free path, with byte-for-
+        // byte identical output either way.
+        self.gate.is_active().then(|| self.gate.stats())
     }
 
     fn limitations(&self) -> Vec<crate::backend::StatedLimitation> {

@@ -13,10 +13,10 @@ use crate::output::OutputFile;
 use crate::overhead::OverheadReport;
 use crate::plan::{CollectionPlan, SharedReadCache};
 use crate::session::{FinalizeResult, MonEq, MonEqConfig};
-use simkit::{CacheStats, SimDuration, SimTime, TelemetryReport, TimeSeries};
+use simkit::{CacheStats, SimDuration, SimTime, Telemetry, TelemetryReport, TimeSeries};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Number of CPUs the host actually has (1 when it cannot be determined —
@@ -38,8 +38,11 @@ pub const DEFAULT_CHUNK_SIZE: usize = 32;
 ///
 /// Sessions never interact — every rank polls its own node's hardware — so
 /// the fan-out is embarrassingly parallel. With [`with_par_agents`] above 1,
-/// `run_until` and `finalize` drive the sessions on a scoped worker pool;
-/// results are still gathered in rank order, so a parallel run produces a
+/// `run_until` and `finalize` drive the sessions on a **persistent worker
+/// pool**: threads are spawned once, on the first parallel phase, and
+/// reused across every subsequent `run_until` and the `finalize` (scoped
+/// per-phase thread launches used to dominate short phases). Results are
+/// still gathered in rank order, so a parallel run produces a
 /// [`ClusterResult`] identical to a serial run of the same seed and agents.
 ///
 /// [`with_par_agents`]: ClusterRun::with_par_agents
@@ -47,10 +50,16 @@ pub struct ClusterRun {
     sessions: Vec<MonEq>,
     par_agents: usize,
     chunk_size: usize,
+    /// Host-CPU cap for the pool width (defaults to [`host_cpus`];
+    /// overridable via [`ClusterRun::with_host_cpus`] for tests/benches).
+    cpus_cap: usize,
     plan: CollectionPlan,
     /// One shared read cache per sharing domain (empty for the per-agent
     /// plan). Arcs are shared with the domain's sessions.
     caches: Vec<Arc<SharedReadCache>>,
+    /// The persistent worker pool, spawned lazily by the first parallel
+    /// phase and kept (idle between phases) until the run is dropped.
+    pool: Option<WorkerPool>,
     sched: SchedStats,
 }
 
@@ -75,13 +84,18 @@ pub struct SchedStats {
 }
 
 impl SchedStats {
-    /// Fold one phase's stats into the run's running totals.
+    /// Fold one phase's stats into the run's running totals. Each
+    /// per-worker vector is resized against its *own* counterpart — the
+    /// two can legitimately differ in length, and resizing `busy` from
+    /// `claimed`'s length used to silently truncate the longer one.
     fn absorb(&mut self, other: &SchedStats) {
         self.workers = self.workers.max(other.workers);
         self.chunks += other.chunks;
         if self.claimed_per_worker.len() < other.claimed_per_worker.len() {
             self.claimed_per_worker
                 .resize(other.claimed_per_worker.len(), 0);
+        }
+        if self.busy_per_worker.len() < other.busy_per_worker.len() {
             self.busy_per_worker
                 .resize(other.busy_per_worker.len(), Duration::ZERO);
         }
@@ -110,10 +124,15 @@ pub struct ClusterResult {
     /// Per-rank completeness reports (rank → one entry per backend), in
     /// rank order like [`ClusterResult::files`].
     pub completeness: Vec<Vec<Completeness>>,
-    /// Per-rank telemetry snapshots, in rank order. All empty unless the
-    /// sessions were launched with [`MonEqConfig::telemetry`] set.
-    /// Deterministic: serial and parallel drives produce identical reports.
-    pub telemetry: Vec<TelemetryReport>,
+    /// Per-rank telemetry registry shards, in rank order. Each is moved
+    /// whole out of its session at finalize; string-keyed
+    /// [`TelemetryReport`]s are materialized only on demand
+    /// ([`simkit::Telemetry::report`] per rank,
+    /// [`ClusterResult::telemetry_merged`] run-wide), so the gather path
+    /// never pays for them. All empty unless the sessions were launched
+    /// with [`MonEqConfig::telemetry`] set. Deterministic: serial and
+    /// parallel drives produce identical shards.
+    pub telemetry: Vec<Telemetry>,
     /// Exact shared-read cache ledger, folded over every sharing domain.
     /// All zero unless a collection plan was active
     /// ([`ClusterRun::with_collection_plan`]). Deterministic: domain
@@ -143,6 +162,253 @@ fn reraise_rank_panics(mut panics: Vec<(u32, String)>, phase: &str) {
     panics.sort();
     if let Some((rank, msg)) = panics.first() {
         panic!("rank {rank} panicked during cluster {phase}: {msg}");
+    }
+}
+
+/// Which phase a [`PhaseJob`] drives.
+#[derive(Clone, Copy)]
+enum PhaseKind {
+    /// Advance every session to the instant.
+    Run(SimTime),
+    /// Finalize every session at the instant.
+    Finalize(SimTime),
+}
+
+impl PhaseKind {
+    fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Run(_) => "run_until",
+            PhaseKind::Finalize(_) => "finalize",
+        }
+    }
+}
+
+/// One chunk of consecutive ranks, parked in a mutex so exactly one worker
+/// drives it. `results` is filled in rank order by finalize phases.
+struct PhaseSlot {
+    sessions: Vec<MonEq>,
+    results: Vec<FinalizeResult>,
+}
+
+/// One phase's worth of work, shared between the dispatcher and the pool
+/// workers for the duration of a single [`WorkerPool::run`].
+struct PhaseJob {
+    kind: PhaseKind,
+    /// Workers with `wid >= active_workers` sit this phase out: the pool
+    /// may be wider than the phase (left over from an earlier, wider
+    /// phase), and a phase must never exceed its own effective width.
+    active_workers: usize,
+    slots: Vec<Mutex<PhaseSlot>>,
+    /// Next unclaimed slot index.
+    next: AtomicUsize,
+    /// Set on the first caught rank panic; stops every worker early.
+    abort: AtomicBool,
+    /// Caught rank panics, re-raised by the dispatcher after gathering.
+    panics: Mutex<Vec<(u32, String)>>,
+    /// Per-worker (chunks claimed, busy wall-clock), indexed by worker id;
+    /// sized to the pool's width, so idle extras report zeros.
+    stats: Vec<Mutex<(u64, Duration)>>,
+}
+
+impl PhaseJob {
+    /// Worker body: claim chunk indices off `next` and drive each claimed
+    /// slot to completion, bailing out (and flagging `abort`) on the first
+    /// caught rank panic.
+    fn work(&self, wid: usize) {
+        if wid >= self.active_workers {
+            return;
+        }
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = self.slots.get(i) else {
+                return;
+            };
+            let start = Instant::now();
+            // Uncontended: each index is claimed exactly once, so
+            // recovering a poisoned guard cannot expose torn state from a
+            // concurrent writer — only this worker's own already-caught
+            // panic could have poisoned it.
+            let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            let PhaseSlot { sessions, results } = &mut *guard;
+            match self.kind {
+                PhaseKind::Run(until) => {
+                    for s in sessions.iter_mut() {
+                        let rank = s.rank();
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| s.run_until(until))) {
+                            self.record_panic(rank, p);
+                            return;
+                        }
+                    }
+                }
+                PhaseKind::Finalize(now) => {
+                    results.reserve_exact(sessions.len());
+                    for s in sessions.drain(..) {
+                        let rank = s.rank();
+                        match catch_unwind(AssertUnwindSafe(|| s.finalize(now))) {
+                            Ok(r) => results.push(r),
+                            Err(p) => {
+                                self.record_panic(rank, p);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            drop(guard);
+            let mut st = self.stats[wid]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.0 += 1;
+            st.1 += start.elapsed();
+        }
+    }
+
+    /// Record one caught rank panic and tell every worker to stop early.
+    fn record_panic(&self, rank: u32, payload: Box<dyn std::any::Any + Send>) {
+        self.abort.store(true, Ordering::Relaxed);
+        self.panics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((rank, panic_message(payload)));
+    }
+}
+
+/// State a [`WorkerPool`] shares with its worker threads.
+struct PoolShared {
+    cell: Mutex<PoolCell>,
+    /// Signalled when a new job is posted (or on shutdown).
+    start: Condvar,
+    /// Signalled by the last worker to finish the current job.
+    done: Condvar,
+}
+
+/// The pool's condvar-guarded state.
+struct PoolCell {
+    /// Bumped once per posted job; workers track the last value they saw,
+    /// so a worker that re-checks after finishing cannot re-run a job or
+    /// miss one posted while it was still draining.
+    seq: u64,
+    /// The in-flight job, if any.
+    job: Option<Arc<PhaseJob>>,
+    /// Workers that have not yet finished the in-flight job.
+    active: usize,
+    /// Set once, by [`WorkerPool::drop`]; workers exit on seeing it.
+    shutdown: bool,
+}
+
+/// The persistent worker pool behind parallel cluster phases.
+///
+/// Threads are spawned once and parked on a condvar between phases;
+/// [`WorkerPool::run`] posts one [`PhaseJob`] and blocks until every
+/// worker has drained it. Dropping the pool joins the threads.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn worker_main(shared: &PoolShared, wid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut cell = shared.cell.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if cell.shutdown {
+                    return;
+                }
+                if cell.seq != seen {
+                    break;
+                }
+                cell = shared
+                    .start
+                    .wait(cell)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            seen = cell.seq;
+            cell.job.clone()
+        };
+        if let Some(job) = job {
+            // Worker-level safety net: `work` already catches session
+            // panics, but nothing unexpected may leave `active` stuck with
+            // the dispatcher waiting forever. The job Arc is dropped
+            // before the decrement so the dispatcher's post-run teardown
+            // never races a worker still holding a reference.
+            let _ = catch_unwind(AssertUnwindSafe(|| job.work(wid)));
+            drop(job);
+        }
+        let mut cell = shared.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        cell.active -= 1;
+        if cell.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `width` parked worker threads.
+    fn spawn(width: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            cell: Mutex::new(PoolCell {
+                seq: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..width)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_main(&shared, wid))
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    fn width(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Post one job and block until every worker has finished it.
+    fn run(&self, job: &Arc<PhaseJob>) {
+        let mut cell = self
+            .shared
+            .cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cell.job = Some(Arc::clone(job));
+        cell.seq = cell.seq.wrapping_add(1);
+        cell.active = self.handles.len();
+        self.shared.start.notify_all();
+        while cell.active > 0 {
+            cell = self
+                .shared
+                .done
+                .wait(cell)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        cell.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut cell = self
+                .shared
+                .cell
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            cell.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -185,9 +451,11 @@ impl ClusterRun {
         assert!(agents >= 1);
         let sessions = (0..agents)
             .map(|rank| {
-                MonEq::initialize(
+                // `iter::once` instead of a one-element `Vec`: at 49k ranks
+                // the intermediate allocation is measurable launch time.
+                MonEq::initialize_from(
                     rank as u32,
-                    vec![make_backend(rank)],
+                    std::iter::once(make_backend(rank)),
                     MonEqConfig {
                         agent_name: name(rank),
                         total_agents: agents,
@@ -201,8 +469,10 @@ impl ClusterRun {
             sessions,
             par_agents: 1,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            cpus_cap: host_cpus(),
             plan: CollectionPlan::per_agent(),
             caches: Vec::new(),
+            pool: None,
             sched: SchedStats::default(),
         }
     }
@@ -244,10 +514,11 @@ impl ClusterRun {
 
     /// Set the worker-pool width for `run_until`/`finalize`. `1` (the
     /// default) keeps the run fully serial on the calling thread. The
-    /// effective pool is additionally capped by [`host_cpus`] — asking for
-    /// more workers than the host has cores only adds scheduling overhead
-    /// (the 49k-agent regression this cap fixed), and on a single-CPU host
-    /// the run stays on the serial path entirely.
+    /// effective pool is additionally capped by the host-CPU cap
+    /// ([`host_cpus`] unless [`ClusterRun::with_host_cpus`] overrode it) —
+    /// asking for more workers than the host has cores only adds
+    /// scheduling overhead (the 49k-agent regression this cap fixed), and
+    /// on a single-CPU host the run stays on the serial path entirely.
     pub fn with_par_agents(mut self, workers: usize) -> Self {
         assert!(workers >= 1, "at least one worker required");
         self.par_agents = workers;
@@ -258,6 +529,18 @@ impl ClusterRun {
     pub fn with_chunk_size(mut self, ranks: usize) -> Self {
         assert!(ranks >= 1, "chunk size must be positive");
         self.chunk_size = ranks;
+        self
+    }
+
+    /// Override the host-CPU cap used when sizing the worker pool
+    /// (defaults to [`host_cpus`]). A testing and benchmarking hook: it
+    /// lets determinism suites exercise the real pool even on a
+    /// single-CPU host, where the default cap would route every phase
+    /// down the serial path. Production callers should leave it alone —
+    /// oversubscribing the host only adds scheduling overhead.
+    pub fn with_host_cpus(mut self, cpus: usize) -> Self {
+        assert!(cpus >= 1, "at least one CPU required");
+        self.cpus_cap = cpus;
         self
     }
 
@@ -277,11 +560,6 @@ impl ClusterRun {
         &self.sched
     }
 
-    /// Worker count actually used for `n_chunks` dispatch units: the
-    /// requested width, capped by the chunk count and the host's CPUs.
-    /// Returns 1 (serial path, no pool at all) when the host has a single
-    /// CPU or there is at most one chunk — spawning workers then only adds
-    /// overhead with zero possible speedup.
     /// The chunk size actually used for dispatch: the configured size,
     /// rounded up to a whole number of sharing domains when a collection
     /// plan is active. A domain split across two workers would let ranks
@@ -298,18 +576,100 @@ impl ClusterRun {
         }
     }
 
+    /// Worker count actually used for `n_chunks` dispatch units: the
+    /// requested width, capped by the chunk count and the host-CPU cap
+    /// ([`host_cpus`] unless [`ClusterRun::with_host_cpus`] overrode it).
+    /// Returns 1 (serial path, no pool at all) when the cap is a single
+    /// CPU or there is at most one chunk — spawning workers then only adds
+    /// overhead with zero possible speedup.
     fn effective_workers(&self, n_chunks: usize) -> usize {
         if n_chunks < 2 {
             return 1;
         }
-        self.par_agents.min(n_chunks).min(host_cpus())
+        self.par_agents.min(n_chunks).min(self.cpus_cap)
+    }
+
+    /// Drive one phase of the run on the persistent pool, spawning the
+    /// pool first (or replacing it with a wider one) if this phase needs
+    /// more workers than are parked. Sessions are drained into per-chunk
+    /// slots, processed by whichever worker claims each index, and
+    /// restored — with any finalize results — in chunk order, so rank
+    /// order survives and a rank panic re-raises only after every session
+    /// is back in place.
+    fn run_phase(
+        &mut self,
+        kind: PhaseKind,
+        chunk_size: usize,
+        workers: usize,
+    ) -> Vec<FinalizeResult> {
+        let mut slots = Vec::with_capacity(self.sessions.len().div_ceil(chunk_size));
+        {
+            let mut it = self.sessions.drain(..);
+            loop {
+                let chunk: Vec<MonEq> = it.by_ref().take(chunk_size).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                slots.push(Mutex::new(PhaseSlot {
+                    sessions: chunk,
+                    results: Vec::new(),
+                }));
+            }
+        }
+        let n_chunks = slots.len();
+        if self.pool.as_ref().is_none_or(|p| p.width() < workers) {
+            // Join the old (narrower) pool before spawning the wider one.
+            self.pool = None;
+            self.pool = Some(WorkerPool::spawn(workers));
+        }
+        let pool = self.pool.as_ref().expect("pool ensured above");
+        let job = Arc::new(PhaseJob {
+            kind,
+            active_workers: workers,
+            slots,
+            next: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            panics: Mutex::new(Vec::new()),
+            stats: (0..pool.width())
+                .map(|_| Mutex::new((0, Duration::ZERO)))
+                .collect(),
+        });
+        pool.run(&job);
+        // The pool has drained: every worker dropped its job Arc before
+        // reporting done, so all these locks are uncontended.
+        let (claimed, busy) = job
+            .stats
+            .iter()
+            .map(|m| *m.lock().unwrap_or_else(PoisonError::into_inner))
+            .unzip();
+        self.sched.absorb(&SchedStats {
+            workers,
+            chunks: n_chunks,
+            claimed_per_worker: claimed,
+            busy_per_worker: busy,
+        });
+        let mut results = Vec::new();
+        for slot in &job.slots {
+            let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            self.sessions.append(&mut guard.sessions);
+            results.append(&mut guard.results);
+        }
+        let panics =
+            std::mem::take(&mut *job.panics.lock().unwrap_or_else(PoisonError::into_inner));
+        reraise_rank_panics(panics, kind.name());
+        results
     }
 
     /// Advance every rank's timer to `until`.
     ///
-    /// With `par_agents > 1` the sessions advance concurrently on a scoped
-    /// worker pool; each session still observes exactly the serial event
-    /// sequence, because no state is shared between ranks.
+    /// With `par_agents > 1` the sessions advance concurrently on the
+    /// run's persistent worker pool (spawned on the first parallel phase,
+    /// reused by every later one); each session still observes exactly
+    /// the serial event sequence, because no state is shared between
+    /// ranks. A panic inside one rank is caught before it can unwind
+    /// through a chunk's mutex guard, recorded with its rank id, and
+    /// re-raised after the pool drains — so the caller sees the original
+    /// rank panic, never a sibling worker's opaque PoisonError.
     pub fn run_until(&mut self, until: SimTime) {
         let chunk_size = self.effective_chunk_size();
         let n_chunks = self.sessions.len().div_ceil(chunk_size);
@@ -328,66 +688,7 @@ impl ClusterRun {
             self.prune_caches(until);
             return;
         }
-        let chunks: Vec<Mutex<&mut [MonEq]>> = self
-            .sessions
-            .chunks_mut(chunk_size)
-            .map(Mutex::new)
-            .collect();
-        let next = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
-        // A panic inside one rank's `run_until` is caught *before* it can
-        // unwind through the chunk's mutex guard, recorded with its rank
-        // id, and re-raised after the pool drains — so the caller sees the
-        // original rank panic, never a sibling worker's opaque PoisonError.
-        let panics: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
-        let worker_stats: Vec<Mutex<(u64, Duration)>> = (0..workers)
-            .map(|_| Mutex::new((0, Duration::ZERO)))
-            .collect();
-        std::thread::scope(|scope| {
-            for stats in &worker_stats {
-                scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(chunk) = chunks.get(i) else { break };
-                    let start = Instant::now();
-                    // Uncontended: each index is claimed exactly once, so
-                    // recovering a poisoned guard cannot expose torn state
-                    // from a concurrent writer — only this worker's own
-                    // already-caught panic could have poisoned it.
-                    let mut guard = chunk.lock().unwrap_or_else(PoisonError::into_inner);
-                    for s in guard.iter_mut() {
-                        let rank = s.rank();
-                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| s.run_until(until))) {
-                            abort.store(true, Ordering::Relaxed);
-                            panics
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .push((rank, panic_message(p)));
-                            return;
-                        }
-                    }
-                    let mut st = stats.lock().unwrap_or_else(PoisonError::into_inner);
-                    st.0 += 1;
-                    st.1 += start.elapsed();
-                });
-            }
-        });
-        let (claimed, busy) = worker_stats
-            .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
-            .unzip();
-        self.sched.absorb(&SchedStats {
-            workers,
-            chunks: n_chunks,
-            claimed_per_worker: claimed,
-            busy_per_worker: busy,
-        });
-        reraise_rank_panics(
-            panics.into_inner().unwrap_or_else(PoisonError::into_inner),
-            "run_until",
-        );
+        self.run_phase(PhaseKind::Run(until), chunk_size, workers);
         self.prune_caches(until);
     }
 
@@ -439,78 +740,10 @@ impl ClusterRun {
             });
             results
         } else {
-            // One slot per chunk of consecutive ranks: workers claim chunk
-            // indices and finalize their sessions; gathering walks the
-            // chunks in order afterwards, preserving rank order.
-            let mut it = self.sessions.drain(..);
-            let mut slots: Vec<Mutex<(Vec<MonEq>, Vec<FinalizeResult>)>> = Vec::new();
-            loop {
-                let chunk: Vec<MonEq> = it.by_ref().take(chunk_size).collect();
-                if chunk.is_empty() {
-                    break;
-                }
-                slots.push(Mutex::new((chunk, Vec::new())));
-            }
-            drop(it);
-            let next = AtomicUsize::new(0);
-            let abort = AtomicBool::new(false);
-            // Same discipline as `run_until`: catch the rank's own panic
-            // before it unwinds through the slot guard and re-raise it
-            // (with the rank id) once the pool drains.
-            let panics: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
-            let worker_stats: Vec<Mutex<(u64, Duration)>> = (0..workers)
-                .map(|_| Mutex::new((0, Duration::ZERO)))
-                .collect();
-            std::thread::scope(|scope| {
-                for stats in &worker_stats {
-                    scope.spawn(|| loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = slots.get(i) else { break };
-                        let start = Instant::now();
-                        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
-                        let (sessions, results) = &mut *guard;
-                        results.reserve_exact(sessions.len());
-                        for s in sessions.drain(..) {
-                            let rank = s.rank();
-                            match catch_unwind(AssertUnwindSafe(|| s.finalize(now))) {
-                                Ok(r) => results.push(r),
-                                Err(p) => {
-                                    abort.store(true, Ordering::Relaxed);
-                                    panics
-                                        .lock()
-                                        .unwrap_or_else(PoisonError::into_inner)
-                                        .push((rank, panic_message(p)));
-                                    return;
-                                }
-                            }
-                        }
-                        let mut st = stats.lock().unwrap_or_else(PoisonError::into_inner);
-                        st.0 += 1;
-                        st.1 += start.elapsed();
-                    });
-                }
-            });
-            reraise_rank_panics(
-                panics.into_inner().unwrap_or_else(PoisonError::into_inner),
-                "finalize",
-            );
-            let (claimed, busy) = worker_stats
-                .into_iter()
-                .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
-                .unzip();
-            self.sched.absorb(&SchedStats {
-                workers,
-                chunks: n_chunks,
-                claimed_per_worker: claimed,
-                busy_per_worker: busy,
-            });
-            slots
-                .into_iter()
-                .flat_map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner).1)
-                .collect()
+            let results = self.run_phase(PhaseKind::Finalize(now), chunk_size, workers);
+            // The run is over — join the pool now, not at drop time.
+            self.pool = None;
+            results
         };
         let mut files = Vec::with_capacity(n);
         let mut overheads = Vec::with_capacity(n);
@@ -591,14 +824,16 @@ impl ClusterResult {
         merged
     }
 
-    /// The run-wide telemetry report: every rank's snapshot folded together
-    /// with [`TelemetryReport::absorb`], exactly like
+    /// The run-wide telemetry report: every rank's shard snapshotted and
+    /// folded together with [`TelemetryReport::absorb`], exactly like
     /// [`ClusterResult::completeness_by_device`] — counters and histogram
-    /// buckets are exact sums, so the merge is order-independent.
+    /// buckets are exact sums, so the merge is order-independent. This is
+    /// where per-rank reports are first materialized; the collection and
+    /// gather paths never build them.
     pub fn telemetry_merged(&self) -> TelemetryReport {
         let mut merged = TelemetryReport::default();
         for t in &self.telemetry {
-            merged.absorb(t);
+            merged.absorb(&t.report());
         }
         merged
     }
@@ -729,7 +964,11 @@ mod tests {
         drive(&mut serial);
         let serial = serial.finalize(SimTime::from_secs(3));
         // Chunk size 3 over 13 agents: last chunk is ragged on purpose.
-        let mut parallel = launch(13).with_par_agents(4).with_chunk_size(3);
+        // `with_host_cpus(4)` forces the real pool even on a 1-CPU host.
+        let mut parallel = launch(13)
+            .with_par_agents(4)
+            .with_chunk_size(3)
+            .with_host_cpus(4);
         assert_eq!(parallel.par_agents(), 4);
         drive(&mut parallel);
         let parallel = parallel.finalize(SimTime::from_secs(3));
@@ -757,7 +996,8 @@ mod tests {
                 DataPoint::power(t1, "a", "d", 5.0),
                 DataPoint::power(t2, "a", "d", 20.0),
                 DataPoint::power(t1, "a", "d", 2.0), // late, out of order
-            ],
+            ]
+            .into(),
             tags: vec![],
             completeness: vec![],
         };
@@ -766,7 +1006,7 @@ mod tests {
             overheads: vec![OverheadReport::default()],
             dropped_records: 0,
             completeness: vec![vec![]],
-            telemetry: vec![TelemetryReport::default()],
+            telemetry: vec![Telemetry::default()],
             cache: CacheStats::default(),
             sched: SchedStats::default(),
         };
@@ -809,6 +1049,88 @@ mod tests {
         if host_cpus() == 1 {
             assert_eq!(w, 1, "single-CPU hosts must take the serial path");
         }
+        // The cap override replaces the detected CPU count exactly.
+        let run = launch(4)
+            .with_par_agents(64)
+            .with_chunk_size(1)
+            .with_host_cpus(8);
+        assert_eq!(run.effective_workers(100), 8);
+        assert_eq!(run.effective_workers(5), 5, "chunk count still caps");
+        assert_eq!(run.effective_workers(1), 1);
+    }
+
+    #[test]
+    fn sched_stats_absorb_handles_unequal_phase_widths() {
+        // Regression: the busy-time resize used to be gated on the
+        // *claimed* vector's length, so absorbing a phase whose busy
+        // vector was the longer of the two silently dropped the extra
+        // workers' busy time off the end.
+        let ms = Duration::from_millis;
+        let mut total = SchedStats::default();
+        total.absorb(&SchedStats {
+            workers: 2,
+            chunks: 2,
+            claimed_per_worker: vec![2, 0],
+            busy_per_worker: vec![ms(4), ms(6)],
+        });
+        total.absorb(&SchedStats {
+            workers: 1,
+            chunks: 1,
+            claimed_per_worker: vec![1],
+            busy_per_worker: vec![ms(5), ms(7), ms(9)],
+        });
+        assert_eq!(total.workers, 2);
+        assert_eq!(total.chunks, 3);
+        assert_eq!(total.claimed_per_worker, vec![3, 0]);
+        assert_eq!(total.busy_per_worker, vec![ms(9), ms(13), ms(9)]);
+    }
+
+    #[test]
+    fn persistent_pool_is_reused_across_phases_and_stays_exact() {
+        // The pool spawns once, on the first parallel phase, and drives
+        // every later phase; repeated run_until calls plus finalize on the
+        // reused pool must match a fresh serial run byte for byte.
+        let mut serial = launch(13);
+        for step in 1..=4 {
+            serial.run_until(SimTime::from_secs(step));
+        }
+        let serial = serial.finalize(SimTime::from_secs(5));
+        let mut pooled = launch(13)
+            .with_par_agents(4)
+            .with_chunk_size(3)
+            .with_host_cpus(4);
+        for step in 1..=4 {
+            pooled.run_until(SimTime::from_secs(step));
+            assert!(pooled.pool.is_some(), "pool must persist between phases");
+            assert_eq!(pooled.pool.as_ref().map(WorkerPool::width), Some(4));
+        }
+        let pooled = pooled.finalize(SimTime::from_secs(5));
+        assert_eq!(serial.files, pooled.files);
+        assert_eq!(serial.overheads, pooled.overheads);
+        assert_eq!(serial.dropped_records, pooled.dropped_records);
+        let render =
+            |r: &ClusterResult| -> Vec<String> { r.files.iter().map(|f| f.render()).collect() };
+        assert_eq!(render(&serial), render(&pooled));
+        assert_eq!(pooled.sched.workers, 4);
+        let claimed: u64 = pooled.sched.claimed_per_worker.iter().sum();
+        assert_eq!(claimed as usize, pooled.sched.chunks, "every chunk claimed");
+    }
+
+    #[test]
+    fn pool_widens_when_a_later_phase_needs_more_workers() {
+        let mut run = launch(12)
+            .with_par_agents(2)
+            .with_chunk_size(1)
+            .with_host_cpus(8);
+        run.run_until(SimTime::from_secs(1));
+        assert_eq!(run.pool.as_ref().map(WorkerPool::width), Some(2));
+        // Widen the request mid-run (directly: the builder consumes self).
+        run.par_agents = 6;
+        run.run_until(SimTime::from_secs(2));
+        assert_eq!(run.pool.as_ref().map(WorkerPool::width), Some(6));
+        let result = run.finalize(SimTime::from_secs(3));
+        assert_eq!(result.files.len(), 12);
+        assert_eq!(result.sched.workers, 6);
     }
 
     /// A backend that panics on one rank once virtual time reaches `after`.
@@ -862,6 +1184,7 @@ mod tests {
         )
         .with_par_agents(4)
         .with_chunk_size(1)
+        .with_host_cpus(4)
     }
 
     #[test]
@@ -875,12 +1198,10 @@ mod tests {
         let msg = panic_message(err);
         assert!(msg.contains("injected failure on rank 5"), "{msg}");
         assert!(!msg.contains("PoisonError"), "{msg}");
-        if host_cpus() >= 2 {
-            assert!(
-                msg.contains("rank 5 panicked during cluster run_until"),
-                "{msg}"
-            );
-        }
+        assert!(
+            msg.contains("rank 5 panicked during cluster run_until"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -895,12 +1216,10 @@ mod tests {
         let msg = panic_message(err);
         assert!(msg.contains("injected failure on rank 3"), "{msg}");
         assert!(!msg.contains("PoisonError"), "{msg}");
-        if host_cpus() >= 2 {
-            assert!(
-                msg.contains("rank 3 panicked during cluster finalize"),
-                "{msg}"
-            );
-        }
+        assert!(
+            msg.contains("rank 3 panicked during cluster finalize"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -923,7 +1242,7 @@ mod tests {
         for t in &result.telemetry {
             assert!(!t.is_empty());
             assert!(t.counter("polls.succeeded") > 0);
-            assert!(t.histograms.contains_key("query_latency/fake"));
+            assert!(t.histogram("query_latency/fake").is_some());
         }
         let merged = result.telemetry_merged();
         let scheduled: u64 = result.completeness.iter().map(|r| r[0].scheduled).sum();
@@ -940,18 +1259,21 @@ mod tests {
         run.run_until(SimTime::from_secs(1));
         let result = run.finalize(SimTime::from_secs(1));
         assert_eq!(result.telemetry.len(), 2);
-        assert!(result.telemetry.iter().all(TelemetryReport::is_empty));
+        assert!(result.telemetry.iter().all(Telemetry::is_empty));
     }
 
     #[test]
     fn sched_stats_account_all_chunks() {
-        let mut run = launch(13).with_par_agents(4).with_chunk_size(3);
+        let mut run = launch(13)
+            .with_par_agents(4)
+            .with_chunk_size(3)
+            .with_host_cpus(4);
         run.run_until(SimTime::from_secs(1));
         let claimed: u64 = run.sched_stats().claimed_per_worker.iter().sum();
         assert_eq!(claimed, 5, "13 ranks / chunk 3 = 5 chunks, all claimed");
         let result = run.finalize(SimTime::from_secs(2));
         assert_eq!(result.sched.chunks, 10, "run_until + finalize phases");
-        assert!(result.sched.workers >= 1);
+        assert_eq!(result.sched.workers, 4);
         let total: u64 = result.sched.claimed_per_worker.iter().sum();
         assert_eq!(total, 10);
     }
@@ -1002,7 +1324,8 @@ mod tests {
         let mut parallel = launch(24)
             .with_collection_plan(CollectionPlan::shared(8))
             .with_par_agents(4)
-            .with_chunk_size(3);
+            .with_chunk_size(3)
+            .with_host_cpus(4);
         parallel.run_until(SimTime::from_secs(1));
         let parallel = parallel.finalize(SimTime::from_secs(2));
         assert_eq!(serial.files, parallel.files);

@@ -27,11 +27,16 @@
 //! assert!((c.fresh_fraction() - 0.8).abs() < 1e-12);
 //! ```
 
+use std::borrow::Cow;
+
 /// Per-device completeness counters for one session.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Completeness {
-    /// Device (backend) the counters describe.
-    pub device: String,
+    /// Device (backend) the counters describe. Borrowed for the common
+    /// case — [`crate::EnvBackend::name`] returns `&'static str`, so the
+    /// 49k sessions of a cluster launch allocate no name strings — and
+    /// owned when parsed back from an output file.
+    pub device: Cow<'static, str>,
     /// Timer fires that scheduled a poll of this device (including fires
     /// after the device was disabled).
     pub scheduled: u64,
@@ -64,7 +69,7 @@ pub struct Completeness {
 
 impl Completeness {
     /// Fresh counters for `device`.
-    pub fn new(device: impl Into<String>) -> Self {
+    pub fn new(device: impl Into<Cow<'static, str>>) -> Self {
         Completeness {
             device: device.into(),
             ..Completeness::default()

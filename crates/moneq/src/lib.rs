@@ -76,6 +76,7 @@ pub mod output;
 pub mod overhead;
 pub mod plan;
 pub mod reading;
+pub mod records;
 pub mod session;
 pub mod tags;
 
@@ -88,5 +89,6 @@ pub use output::{OutputError, OutputFile, ParseError};
 pub use overhead::{finalize_time, init_time, OverheadReport};
 pub use plan::{CollectionPlan, SharedLookup, SharedRead, SharedReadCache};
 pub use reading::DataPoint;
+pub use records::{DataPointRef, Records};
 pub use session::{FinalizeResult, MonEq, MonEqConfig};
 pub use tags::{TagEvent, TagKind};

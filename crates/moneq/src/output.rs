@@ -9,6 +9,7 @@
 
 use crate::completeness::Completeness;
 use crate::reading::DataPoint;
+use crate::records::Records;
 use crate::tags::{TagEvent, TagKind};
 use simkit::SimTime;
 use std::fmt::Write as _;
@@ -27,8 +28,9 @@ pub struct OutputFile {
     pub backends: Vec<String>,
     /// Polling interval in nanoseconds.
     pub interval_ns: u64,
-    /// The collected records.
-    pub points: Vec<DataPoint>,
+    /// The collected records, stored columnar ([`Records`]); iterate with
+    /// `&file.points` for zero-copy [`crate::DataPointRef`] views.
+    pub points: Records,
     /// Tag markers.
     pub tags: Vec<TagEvent>,
     /// Per-device completeness counters (`CMP` lines). Empty for a clean
@@ -214,8 +216,8 @@ impl OutputFile {
                 out,
                 "{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 p.timestamp.as_nanos(),
-                escape(&p.device),
-                escape(&p.domain),
+                escape(p.device),
+                escape(p.domain),
                 p.watts,
                 opt(p.volts),
                 opt(p.amps),
@@ -283,7 +285,7 @@ impl OutputFile {
         let mut agent = None;
         let mut backends = None;
         let mut interval_ns = None;
-        let mut points = Vec::new();
+        let mut points = Records::new();
         let mut tags = Vec::new();
         let mut completeness = Vec::new();
         for (i, line) in lines {
@@ -344,7 +346,7 @@ impl OutputFile {
                 };
                 completeness.push(Completeness {
                     disabled_ranks,
-                    device: unescape(fields[1]).map_err(|m| err(ln, &m))?,
+                    device: unescape(fields[1]).map_err(|m| err(ln, &m))?.into(),
                     scheduled: count(fields[2], "scheduled count")?,
                     succeeded: count(fields[3], "succeeded count")?,
                     retried: count(fields[4], "retried count")?,
@@ -415,7 +417,8 @@ mod tests {
                     stale: false,
                 },
                 DataPoint::power(SimTime::from_millis(1_120), "nodecard", "DRAM", 237.0),
-            ],
+            ]
+            .into(),
             tags: vec![
                 TagEvent {
                     label: "loop1".into(),
@@ -516,12 +519,17 @@ mod tests {
     fn floats_roundtrip_exactly() {
         let mut f = sample_file();
         // Values with no finite decimal representation.
-        f.points[0].watts = 0.1 + 0.2;
-        f.points[0].volts = Some(1.0 / 3.0);
-        f.points[0].amps = Some(f64::MIN_POSITIVE);
-        f.points[0].temp_c = Some(-1.234_567_890_123_456_7e-300);
+        let mut pts = f.points.to_vec();
+        pts[0].watts = 0.1 + 0.2;
+        pts[0].volts = Some(1.0 / 3.0);
+        pts[0].amps = Some(f64::MIN_POSITIVE);
+        pts[0].temp_c = Some(-1.234_567_890_123_456_7e-300);
+        f.points = pts.into();
         let back = OutputFile::parse(&f.render()).unwrap();
-        assert_eq!(back.points[0].watts.to_bits(), f.points[0].watts.to_bits());
+        assert_eq!(
+            back.points.first().unwrap().watts.to_bits(),
+            f.points.first().unwrap().watts.to_bits()
+        );
         assert_eq!(back, f);
     }
 
@@ -530,8 +538,10 @@ mod tests {
         let mut f = sample_file();
         f.agent = "node\t0\nwith\\evil\rname".into();
         f.backends = vec!["bgq,emon".into(), "tab\tbackend".into()];
-        f.points[0].device = "dev\tice".into();
-        f.points[0].domain = "dom\nain".into();
+        let mut pts = f.points.to_vec();
+        pts[0].device = "dev\tice".into();
+        pts[0].domain = "dom\nain".into();
+        f.points = pts.into();
         f.tags[0].label = "loop\t1".into();
         f.tags[1].label = "loop\t1".into();
         let text = f.render();
@@ -547,7 +557,9 @@ mod tests {
     #[test]
     fn stale_marker_roundtrips_and_fresh_records_render_unchanged() {
         let mut f = sample_file();
-        f.points[1].stale = true;
+        let mut pts = f.points.to_vec();
+        pts[1].stale = true;
+        f.points = pts.into();
         let text = f.render();
         let stale_line = text.lines().find(|l| l.contains("DRAM")).unwrap();
         assert!(stale_line.ends_with("\tS"), "{stale_line:?}");

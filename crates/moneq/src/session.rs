@@ -24,9 +24,9 @@ use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::{finalize_time, init_time, OverheadReport, IO_STRIPE_WIDTH};
 use crate::plan::{SharedLookup, SharedRead, SharedReadCache};
-use crate::reading::DataPoint;
+use crate::records::Records;
 use crate::tags::{TagEvent, TagKind};
-use simkit::{EventQueue, SamplingPolicy, SimDuration, SimTime, Telemetry, TelemetryReport};
+use simkit::{CounterId, HistogramId, SamplingPolicy, SimDuration, SimTime, SpanId, Telemetry};
 use std::sync::Arc;
 
 /// Session configuration.
@@ -112,17 +112,111 @@ pub struct FinalizeResult {
     /// Per-backend completeness counters (always populated; written into
     /// the output file only when some device was degraded).
     pub completeness: Vec<Completeness>,
-    /// The session's telemetry snapshot: counters, per-mechanism query
-    /// latency histograms, and span aggregates. Empty unless
-    /// [`MonEqConfig::telemetry`] was set. Derived exclusively from the
-    /// virtual timeline, so serial and parallel drives of the same seed
-    /// produce identical reports.
-    pub telemetry: TelemetryReport,
+    /// The session's telemetry registry shard, moved out whole at finalize
+    /// (a pointer move — no string-keyed report is materialized on the
+    /// finalize path). Empty unless [`MonEqConfig::telemetry`] was set.
+    /// Snapshot it with [`Telemetry::report`] when a mergeable
+    /// [`simkit::TelemetryReport`] is wanted; derived exclusively from the virtual
+    /// timeline, so serial and parallel drives of the same seed produce
+    /// identical shards.
+    pub telemetry: Telemetry,
+}
+
+/// Pre-interned IDs for the session-level telemetry vocabulary, resolved
+/// once at initialize so the poll hot path never constructs or looks up a
+/// metric name (see `simkit::telemetry`). On a disabled registry every ID
+/// is a dummy whose operations no-op.
+#[derive(Clone, Copy, Default)]
+struct SessionIds {
+    polls_fired: CounterId,
+    polls_scheduled: CounterId,
+    polls_missed: CounterId,
+    polls_succeeded: CounterId,
+    polls_retried: CounterId,
+    polls_stale_substituted: CounterId,
+    devices_disabled: CounterId,
+    records_fresh: CounterId,
+    records_stale: CounterId,
+    records_lost: CounterId,
+    records_dropped: CounterId,
+    faults_transient: CounterId,
+    faults_timeout: CounterId,
+    faults_no_data: CounterId,
+    faults_unavailable: CounterId,
+    /// Interned at setup even though it is only counted once, at finalize:
+    /// a string-keyed `count` there would intern a brand-new name per
+    /// session — map insert, string allocations, and a capacity growth of
+    /// all three counter arrays — inside the timed finalize path.
+    finalize_waves: CounterId,
+    retry_backoff: HistogramId,
+    session_span: SpanId,
+    poll_span: SpanId,
+}
+
+impl SessionIds {
+    fn intern(t: &mut Telemetry) -> Self {
+        // Disabled registries no-op on any ID, so skip the nineteen
+        // cross-crate intern calls — at 49k sessions per cluster launch
+        // they are a visible slice of wall clock for no effect.
+        if !t.is_enabled() {
+            return SessionIds::default();
+        }
+        SessionIds {
+            polls_fired: t.intern_counter("polls.fired"),
+            polls_scheduled: t.intern_counter("polls.scheduled"),
+            polls_missed: t.intern_counter("polls.missed"),
+            polls_succeeded: t.intern_counter("polls.succeeded"),
+            polls_retried: t.intern_counter("polls.retried"),
+            polls_stale_substituted: t.intern_counter("polls.stale_substituted"),
+            devices_disabled: t.intern_counter("devices.disabled"),
+            records_fresh: t.intern_counter("records.fresh"),
+            records_stale: t.intern_counter("records.stale"),
+            records_lost: t.intern_counter("records.lost"),
+            records_dropped: t.intern_counter("records.dropped"),
+            faults_transient: t.intern_counter("faults.transient"),
+            faults_timeout: t.intern_counter("faults.timeout"),
+            faults_no_data: t.intern_counter("faults.no_data"),
+            faults_unavailable: t.intern_counter("faults.unavailable"),
+            finalize_waves: t.intern_counter("finalize.waves"),
+            retry_backoff: t.intern_histogram("retry_backoff"),
+            session_span: t.intern_span("session"),
+            poll_span: t.intern_span("poll"),
+        }
+    }
+}
+
+/// Pre-interned IDs for one backend's per-mechanism metrics. The
+/// `format!`s here run once per slot at initialize (and only when
+/// telemetry is enabled) instead of once per poll.
+#[derive(Clone, Copy, Default)]
+struct SlotIds {
+    poll_span: SpanId,
+    query_latency: HistogramId,
+    cache_hit: CounterId,
+    cache_bypass: CounterId,
+    cache_miss: CounterId,
+}
+
+impl SlotIds {
+    fn intern(t: &mut Telemetry, name: &str) -> Self {
+        if !t.is_enabled() {
+            return SlotIds::default();
+        }
+        SlotIds {
+            poll_span: t.intern_span(&format!("poll/{name}")),
+            query_latency: t.intern_histogram(&format!("query_latency/{name}")),
+            cache_hit: t.intern_counter(&format!("cache.hit/{name}")),
+            cache_bypass: t.intern_counter(&format!("cache.bypass/{name}")),
+            cache_miss: t.intern_counter(&format!("cache.miss/{name}")),
+        }
+    }
 }
 
 /// One attached backend plus its degradation state.
 struct Slot {
     backend: Box<dyn EnvBackend>,
+    /// Pre-interned per-mechanism telemetry IDs.
+    ids: SlotIds,
     /// Indices into the session's record array of the most recent poll's
     /// fresh records — the substitution source when a later poll fails
     /// outright. Indices, not clones: the array is append-only, so they
@@ -141,10 +235,17 @@ pub struct MonEq {
     slots: Vec<Slot>,
     config: MonEqConfig,
     interval: SimDuration,
-    data: Vec<DataPoint>,
+    data: Records,
+    /// Reusable index scratch for the poll path's fresh-record list; swaps
+    /// with `Slot::last_good` so steady-state polls allocate nothing.
+    scratch_fresh: Vec<usize>,
     tags: Vec<TagEvent>,
     dropped: u64,
-    timer: EventQueue<()>,
+    /// SIGALRM-style timer: nominal due time of the next poll. MonEQ's
+    /// real timer is one `SIGALRM` registration per session, so the event
+    /// queue degenerates to a single armed deadline — stored inline, which
+    /// keeps a heap allocation per session out of the cluster launch path.
+    next_fire: SimTime,
     started_at: SimTime,
     init_cost: SimDuration,
     collection_cost: SimDuration,
@@ -155,6 +256,8 @@ pub struct MonEq {
     /// measures offsets from (grid policies never accumulate drift).
     sampling_anchor: SimTime,
     telemetry: Telemetry,
+    /// Pre-interned session-level telemetry IDs.
+    ids: SessionIds,
     /// The sharing domain's read cache, when a collection plan is active
     /// ([`MonEq::attach_shared_cache`]). `None` (the default) keeps the
     /// poll path bit-identical to builds that predate the planner.
@@ -175,38 +278,29 @@ impl MonEq {
         config: MonEqConfig,
         now: SimTime,
     ) -> Self {
-        assert!(!backends.is_empty(), "at least one backend required");
-        let interval = match config.interval {
-            Some(req) => {
-                for b in &backends {
-                    validate_interval(b.as_ref(), req)
-                        .unwrap_or_else(|e| panic!("invalid interval: {e}"));
-                }
-                req
-            }
-            None => backends
-                .iter()
-                .map(|b| b.min_interval())
-                .max()
-                .expect("non-empty backends"),
-        };
-        let init_cost = init_time(config.total_agents.max(1));
-        config.sampling.validate(interval);
-        let mut timer = EventQueue::new();
-        // The anchor is the historical first-fire time; the policy places
-        // the actual first poll relative to it (Aligned: exactly on it,
-        // via the same `now + init_cost + interval` arithmetic).
-        let sampling_anchor = now + init_cost + interval;
-        let first = config
-            .sampling
-            .first_fire(sampling_anchor, interval, u64::from(rank));
-        timer.schedule(first, ());
-        let slots = backends
-            .into_iter()
+        Self::initialize_from(rank, backends.into_iter(), config, now)
+    }
+
+    /// [`MonEq::initialize`] over any exact-size backend iterator. This is
+    /// what [`crate::ClusterRun`] launches through — `iter::once(backend)`
+    /// skips the intermediate one-element `Vec` per rank, which is a
+    /// measurable slice of launch time at 49k sessions.
+    pub(crate) fn initialize_from(
+        rank: u32,
+        backends: impl ExactSizeIterator<Item = Box<dyn EnvBackend>>,
+        config: MonEqConfig,
+        now: SimTime,
+    ) -> Self {
+        assert!(backends.len() > 0, "at least one backend required");
+        let mut telemetry = Telemetry::with(config.telemetry);
+        let ids = SessionIds::intern(&mut telemetry);
+        let slots: Vec<Slot> = backends
             .map(|backend| {
                 let comp = Completeness::new(backend.name());
+                let ids = SlotIds::intern(&mut telemetry, backend.name());
                 Slot {
                     backend,
+                    ids,
                     last_good: Vec::new(),
                     consecutive_failures: 0,
                     disabled: false,
@@ -214,23 +308,45 @@ impl MonEq {
                 }
             })
             .collect();
-        let mut telemetry = Telemetry::with(config.telemetry);
-        telemetry.span_enter("session", now);
+        let interval = match config.interval {
+            Some(req) => {
+                for s in &slots {
+                    validate_interval(s.backend.as_ref(), req)
+                        .unwrap_or_else(|e| panic!("invalid interval: {e}"));
+                }
+                req
+            }
+            None => slots
+                .iter()
+                .map(|s| s.backend.min_interval())
+                .max()
+                .expect("non-empty backends"),
+        };
+        let init_cost = init_time(config.total_agents.max(1));
+        config.sampling.validate(interval);
+        // The anchor is the historical first-fire time; the policy places
+        // the actual first poll relative to it (Aligned: exactly on it,
+        // via the same `now + init_cost + interval` arithmetic).
+        let sampling_anchor = now + init_cost + interval;
+        let first = config
+            .sampling
+            .first_fire(sampling_anchor, interval, u64::from(rank));
+        telemetry.span_enter_id(ids.session_span, now);
         MonEq {
             rank,
             slots,
             telemetry,
-            // Capped initial reservation: at cluster scale (tens of
-            // thousands of ranks in one process) preallocating the full
-            // max_samples per rank would exhaust memory before a single
-            // poll. The array still grows up to max_samples; only the
-            // up-front reservation is bounded (64 records ≈ 8 KB — growth
-            // beyond it is amortized, while a larger reservation times a
-            // 49k-rank run is gigabytes of committed heap).
-            data: Vec::with_capacity(config.max_samples.min(1 << 6)),
+            ids,
+            // No up-front reservation: records live in columnar arenas
+            // (`Records`), so growth is amortized per column and launching
+            // tens of thousands of ranks in one process commits no
+            // per-rank record heap at all (an eager reservation times a
+            // 49k-rank run was most of the old 95 ms cluster launch cost).
+            data: Records::new(),
+            scratch_fresh: Vec::new(),
             tags: Vec::new(),
             dropped: 0,
-            timer,
+            next_fire: first,
             started_at: now,
             init_cost,
             collection_cost: SimDuration::ZERO,
@@ -274,11 +390,14 @@ impl MonEq {
     /// time passes; each fire polls every backend and charges its cost).
     pub fn run_until(&mut self, until: SimTime) {
         assert_eq!(self.state, State::Running, "session already finalized");
-        while let Some(ev) = self.timer.pop_until(until) {
-            let t = ev.at;
+        // Same boundary as `EventQueue::pop_until`: a deadline exactly at
+        // `until` fires. `next_fire` always advances (policies fire strictly
+        // later), so the loop terminates.
+        while self.next_fire <= until {
+            let t = self.next_fire;
             if self.telemetry.is_enabled() {
-                self.telemetry.count("polls.fired", 1);
-                self.telemetry.span_enter("poll", t);
+                self.telemetry.count_id(self.ids.polls_fired, 1);
+                self.telemetry.span_enter_id(self.ids.poll_span, t);
                 let before = self.collection_cost + self.fault_recovery;
                 for i in 0..self.slots.len() {
                     self.poll_slot_instrumented(i, t);
@@ -300,7 +419,7 @@ impl MonEq {
                 self.polls,
                 u64::from(self.rank),
             );
-            self.timer.schedule(next, ());
+            self.next_fire = next;
         }
     }
 
@@ -315,29 +434,30 @@ impl MonEq {
             self.poll_slot(i, t);
             return;
         }
-        let name = self.slots[i].backend.name();
-        self.telemetry.span_enter(&format!("poll/{name}"), t);
+        let sids = self.slots[i].ids;
+        self.telemetry.span_enter_id(sids.poll_span, t);
         let before = self.collection_cost + self.fault_recovery;
         self.poll_slot(i, t);
         let spent = (self.collection_cost + self.fault_recovery) - before;
         self.telemetry.span_exit(t + spent);
-        self.telemetry
-            .record(&format!("query_latency/{name}"), spent);
+        self.telemetry.record_id(sids.query_latency, spent);
     }
 
     /// One backend's share of one timer fire: read with bounded retry,
     /// then record, substitute, or mark missed.
     fn poll_slot(&mut self, i: usize, t: SimTime) {
         let policy = self.config.retry;
+        let ids = self.ids;
         let slot = &mut self.slots[i];
+        let sids = slot.ids;
         slot.comp.scheduled += 1;
-        self.telemetry.count("polls.scheduled", 1);
+        self.telemetry.count_id(ids.polls_scheduled, 1);
         if slot.disabled {
             slot.comp.missed_polls += 1;
             slot.comp.records_lost += slot.backend.records_per_poll() as u64;
-            self.telemetry.count("polls.missed", 1);
+            self.telemetry.count_id(ids.polls_missed, 1);
             self.telemetry
-                .count("records.lost", slot.backend.records_per_poll() as u64);
+                .count_id(ids.records_lost, slot.backend.records_per_poll() as u64);
             return;
         }
         // Collection-plan consult: when a sharing domain's cache is
@@ -357,20 +477,14 @@ impl MonEq {
                     if slot.backend.replayable() && read.at == t {
                         replay = read.poll;
                     }
-                    if self.telemetry.is_enabled() {
-                        self.telemetry.count(&format!("cache.hit/{name}"), 1);
-                    }
+                    self.telemetry.count_id(sids.cache_hit, 1);
                 }
                 SharedLookup::Failed => {
-                    if self.telemetry.is_enabled() {
-                        self.telemetry.count(&format!("cache.bypass/{name}"), 1);
-                    }
+                    self.telemetry.count_id(sids.cache_bypass, 1);
                 }
                 SharedLookup::Miss => {
                     leader = true;
-                    if self.telemetry.is_enabled() {
-                        self.telemetry.count(&format!("cache.miss/{name}"), 1);
-                    }
+                    self.telemetry.count_id(sids.cache_miss, 1);
                 }
             }
         }
@@ -385,12 +499,12 @@ impl MonEq {
             match slot.backend.read(t) {
                 Ok(poll) => break Ok(poll),
                 Err(e) => {
-                    self.telemetry.count(
+                    self.telemetry.count_id(
                         match &e {
-                            ReadError::Transient(_) => "faults.transient",
-                            ReadError::Timeout { .. } => "faults.timeout",
-                            ReadError::NoData => "faults.no_data",
-                            ReadError::Unavailable(_) => "faults.unavailable",
+                            ReadError::Transient(_) => ids.faults_transient,
+                            ReadError::Timeout { .. } => ids.faults_timeout,
+                            ReadError::NoData => ids.faults_no_data,
+                            ReadError::Unavailable(_) => ids.faults_unavailable,
                         },
                         1,
                     );
@@ -404,8 +518,8 @@ impl MonEq {
                         // Exponential backoff before retry n: base << (n-1).
                         let backoff = policy.base_backoff.saturating_mul(1u64 << (attempt - 1));
                         self.fault_recovery += backoff;
-                        self.telemetry.count("polls.retried", 1);
-                        self.telemetry.record("retry_backoff", backoff);
+                        self.telemetry.count_id(ids.polls_retried, 1);
+                        self.telemetry.record_id(ids.retry_backoff, backoff);
                         continue;
                     }
                     break Err(e);
@@ -441,10 +555,14 @@ impl MonEq {
                 slot.consecutive_failures = 0;
                 slot.comp.succeeded += 1;
                 slot.comp.records_lost += u64::from(poll.missing);
-                self.telemetry.count("polls.succeeded", 1);
+                self.telemetry.count_id(ids.polls_succeeded, 1);
                 self.telemetry
-                    .count("records.lost", u64::from(poll.missing));
-                let mut fresh: Vec<usize> = Vec::new();
+                    .count_id(ids.records_lost, u64::from(poll.missing));
+                // The fresh-index list reuses a session-level scratch
+                // buffer (and, below, swaps with the slot's previous list)
+                // so the steady-state poll allocates nothing.
+                let mut fresh = std::mem::take(&mut self.scratch_fresh);
+                fresh.clear();
                 for p in poll.points {
                     // Only genuinely fresh readings may serve as
                     // substitution material later; a glitched
@@ -452,10 +570,10 @@ impl MonEq {
                     // "last good".
                     if p.stale {
                         slot.comp.records_stale += 1;
-                        self.telemetry.count("records.stale", 1);
+                        self.telemetry.count_id(ids.records_stale, 1);
                     } else {
                         slot.comp.records_fresh += 1;
-                        self.telemetry.count("records.fresh", 1);
+                        self.telemetry.count_id(ids.records_fresh, 1);
                         if self.data.len() < self.config.max_samples {
                             fresh.push(self.data.len());
                         }
@@ -464,11 +582,13 @@ impl MonEq {
                         self.data.push(p);
                     } else {
                         self.dropped += 1;
-                        self.telemetry.count("records.dropped", 1);
+                        self.telemetry.count_id(ids.records_dropped, 1);
                     }
                 }
-                if !fresh.is_empty() {
-                    slot.last_good = fresh;
+                if fresh.is_empty() {
+                    self.scratch_fresh = fresh;
+                } else {
+                    self.scratch_fresh = std::mem::replace(&mut slot.last_good, fresh);
                 }
             }
             Err(_) => {
@@ -476,30 +596,29 @@ impl MonEq {
                 if slot.last_good.is_empty() {
                     slot.comp.missed_polls += 1;
                     slot.comp.records_lost += slot.backend.records_per_poll() as u64;
-                    self.telemetry.count("polls.missed", 1);
+                    self.telemetry.count_id(ids.polls_missed, 1);
                     self.telemetry
-                        .count("records.lost", slot.backend.records_per_poll() as u64);
+                        .count_id(ids.records_lost, slot.backend.records_per_poll() as u64);
                 } else {
                     slot.comp.stale_polls += 1;
-                    self.telemetry.count("polls.stale_substituted", 1);
+                    self.telemetry.count_id(ids.polls_stale_substituted, 1);
                     for k in 0..slot.last_good.len() {
-                        let mut sub = self.data[slot.last_good[k]].clone();
-                        sub.timestamp = t;
-                        sub.stale = true;
                         slot.comp.records_stale += 1;
-                        self.telemetry.count("records.stale", 1);
+                        self.telemetry.count_id(ids.records_stale, 1);
                         if self.data.len() < self.config.max_samples {
-                            self.data.push(sub);
+                            // Columnar last-good substitution: copies the
+                            // row in place, allocation-free.
+                            self.data.push_stale_copy(slot.last_good[k], t);
                         } else {
                             self.dropped += 1;
-                            self.telemetry.count("records.dropped", 1);
+                            self.telemetry.count_id(ids.records_dropped, 1);
                         }
                     }
                 }
                 if slot.consecutive_failures >= policy.disable_after {
                     slot.disabled = true;
                     slot.comp.mark_disabled(self.rank, t.as_nanos());
-                    self.telemetry.count("devices.disabled", 1);
+                    self.telemetry.count_id(ids.devices_disabled, 1);
                 }
             }
         }
@@ -545,7 +664,7 @@ impl MonEq {
                 }
             }
             let waves = self.config.total_agents.max(1).div_ceil(IO_STRIPE_WIDTH) as u64;
-            self.telemetry.count("finalize.waves", waves);
+            self.telemetry.count_id(self.ids.finalize_waves, waves);
             self.telemetry.span_exit(now);
         }
         let app_runtime = now.saturating_since(self.started_at);
@@ -585,7 +704,7 @@ impl MonEq {
             overhead,
             dropped_records: self.dropped,
             completeness,
-            telemetry: self.telemetry.report(),
+            telemetry: std::mem::take(&mut self.telemetry),
         }
     }
 }
@@ -594,6 +713,7 @@ impl MonEq {
 mod tests {
     use super::*;
     use crate::backend::Poll;
+    use crate::reading::DataPoint;
     use powermodel::{Metric, Platform, Support};
 
     /// A constant-power test backend.
@@ -893,7 +1013,7 @@ mod tests {
         let sub = result.file.points.last().unwrap();
         assert!(sub.stale);
         assert_eq!(sub.watts, 42.0);
-        assert!(sub.timestamp > result.file.points[0].timestamp);
+        assert!(sub.timestamp > result.file.points.first().unwrap().timestamp);
         // A degraded run writes the completeness table into the file.
         assert_eq!(result.file.completeness.len(), 1);
     }
@@ -952,7 +1072,7 @@ mod tests {
         );
         s.run_until(SimTime::from_millis(250));
         let result = s.finalize(SimTime::from_millis(250));
-        let t = &result.telemetry;
+        let t = result.telemetry.report();
         assert_eq!(t.counter("polls.scheduled"), 2);
         assert_eq!(t.counter("polls.succeeded"), 2);
         assert_eq!(t.counter("polls.retried"), 2);

@@ -52,5 +52,7 @@ pub use rng::{DetRng, NoiseStream};
 pub use sampling::SamplingPolicy;
 pub use series::{Sample, TimeSeries};
 pub use stats::{welch_t_test, BoxplotSummary, Histogram, RunningStats, WelchResult};
-pub use telemetry::{LogHistogram, SpanStats, Telemetry, TelemetryReport};
+pub use telemetry::{
+    CounterId, HistogramId, LogHistogram, SpanId, SpanStats, Telemetry, TelemetryReport,
+};
 pub use time::{SimDuration, SimTime};

@@ -24,9 +24,26 @@
 //!    scheduling order. Serial and parallel drives of the same seed produce
 //!    byte-identical [`TelemetryReport`]s, which is property-tested.
 //!
-//! Reports from many ranks merge with [`TelemetryReport::absorb`] exactly
-//! like per-device completeness ledgers: counters and histogram buckets are
-//! exact sums, so aggregation is associative and order-independent.
+//! # Interned metric IDs
+//!
+//! The string-keyed API (`count("polls.scheduled", 1)`) pays a `BTreeMap`
+//! lookup — and, for per-backend metrics, a `format!` — on every call.
+//! Hot paths instead **intern** each name once at setup
+//! ([`Telemetry::intern_counter`] / [`intern_histogram`](Telemetry::intern_histogram) /
+//! [`intern_span`](Telemetry::intern_span)) and then hit dense vectors
+//! through copyable [`CounterId`] / [`HistogramId`] / [`SpanId`] handles:
+//! one bounds-checked index, no string hashing, no allocation. The string
+//! API remains for cold paths and delegates through the intern table, so
+//! both APIs observe the same metric. Interning alone does not create a
+//! report entry: a counter appears only once it has been added to (even
+//! with `n = 0`, mirroring the string API), a histogram once it has an
+//! observation, a span once one has closed.
+//!
+//! Registries are **sharded by construction**: each session/worker owns its
+//! own `Telemetry`, so recording takes no shared locks. Reports from many
+//! ranks merge with [`TelemetryReport::absorb`] exactly like per-device
+//! completeness ledgers: counters and histogram buckets are exact sums, so
+//! aggregation is associative and order-independent.
 
 use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -108,12 +125,24 @@ impl LogHistogram {
         self.total == 0
     }
 
-    /// Exact sum of all observations (saturating at [`SimDuration::MAX`]).
+    /// `true` when the exact sum exceeds what a `u64` nanosecond count (a
+    /// [`SimDuration`]) can carry, so [`LogHistogram::sum`] — and possibly
+    /// [`LogHistogram::mean`] — are clamped. The internal accumulator is a
+    /// `u128`, so the merged bucket counts and the mean stay exact far past
+    /// that point; this flag makes the clamp observable instead of silent.
+    pub fn saturated(&self) -> bool {
+        self.sum_ns > u128::from(u64::MAX)
+    }
+
+    /// Exact sum of all observations (saturating at [`SimDuration::MAX`];
+    /// see [`LogHistogram::saturated`]).
     pub fn sum(&self) -> SimDuration {
         SimDuration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
     }
 
-    /// Exact arithmetic mean ([`SimDuration::ZERO`] when empty).
+    /// Exact arithmetic mean ([`SimDuration::ZERO`] when empty; saturating
+    /// at [`SimDuration::MAX`] in the astronomical case — see
+    /// [`LogHistogram::saturated`]).
     pub fn mean(&self) -> SimDuration {
         if self.total == 0 {
             SimDuration::ZERO
@@ -188,22 +217,94 @@ pub struct SpanStats {
     pub depth: u16,
 }
 
+/// A pre-resolved handle to one named counter (see the module docs on
+/// interning). Valid only for the registry that issued it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// A pre-resolved handle to one named histogram. Valid only for the
+/// registry that issued it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// A pre-resolved handle to one named span. Valid only for the registry
+/// that issued it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanId(u32);
+
 /// A telemetry registry: disabled (`None` inside, every operation a single
 /// branch) or enabled (owning counters, histograms, and span aggregates).
 ///
-/// Sessions own one registry each; [`Telemetry::report`] snapshots it into
-/// a mergeable [`TelemetryReport`] at finalize.
-#[derive(Debug, Default)]
+/// Sessions own one registry each — registries are per-worker shards, never
+/// shared. A finished shard is *moved* out of its session (a few pointer
+/// copies, no allocation) and snapshotted into a mergeable
+/// [`TelemetryReport`] only when a consumer asks ([`Telemetry::report`]):
+/// materializing the string-keyed maps is deferred to read time, so the
+/// per-session finalize path never pays for it.
+///
+/// Equality compares full registry state — interned names (in intern
+/// order), values, and open spans — so it is strictly stronger than
+/// comparing reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Telemetry {
     inner: Option<Box<Inner>>,
 }
 
-#[derive(Debug, Default)]
+/// Dense interned storage. The `*_index` maps are consulted only while
+/// interning (setup) and by the delegating string API (cold paths); the
+/// hot ID paths index straight into the vectors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct Inner {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, LogHistogram>,
-    spans: BTreeMap<String, SpanStats>,
-    open: Vec<(String, SimTime)>,
+    counter_index: BTreeMap<String, u32>,
+    counter_names: Vec<String>,
+    counter_vals: Vec<u64>,
+    /// Interning alone must not create a report entry; only counters that
+    /// have actually been added to (even with `n = 0`, matching the string
+    /// API of old) appear in [`Telemetry::report`].
+    counter_touched: Vec<bool>,
+    hist_index: BTreeMap<String, u32>,
+    hist_names: Vec<String>,
+    hists: Vec<LogHistogram>,
+    span_index: BTreeMap<String, u32>,
+    span_names: Vec<String>,
+    span_stats: Vec<SpanStats>,
+    open: Vec<(u32, SimTime)>,
+}
+
+impl Inner {
+    fn intern_counter(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.counter_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.counter_names.len()).unwrap_or(u32::MAX);
+        self.counter_index.insert(name.to_owned(), i);
+        self.counter_names.push(name.to_owned());
+        self.counter_vals.push(0);
+        self.counter_touched.push(false);
+        i
+    }
+
+    fn intern_hist(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.hist_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.hist_names.len()).unwrap_or(u32::MAX);
+        self.hist_index.insert(name.to_owned(), i);
+        self.hist_names.push(name.to_owned());
+        self.hists.push(LogHistogram::default());
+        i
+    }
+
+    fn intern_span(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.span_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.span_names.len()).unwrap_or(u32::MAX);
+        self.span_index.insert(name.to_owned(), i);
+        self.span_names.push(name.to_owned());
+        self.span_stats.push(SpanStats::default());
+        i
+    }
 }
 
 impl Telemetry {
@@ -236,37 +337,106 @@ impl Telemetry {
         self.inner.is_some()
     }
 
-    /// Add `n` to the named counter.
+    /// Resolve (creating on first use) the ID of the named counter. On a
+    /// disabled registry returns a dummy ID whose operations no-op. Intern
+    /// once at setup; the returned ID is valid only for this registry.
+    pub fn intern_counter(&mut self, name: &str) -> CounterId {
+        match self.inner.as_deref_mut() {
+            None => CounterId(0),
+            Some(inner) => CounterId(inner.intern_counter(name)),
+        }
+    }
+
+    /// Resolve (creating on first use) the ID of the named histogram. See
+    /// [`Telemetry::intern_counter`].
+    pub fn intern_histogram(&mut self, name: &str) -> HistogramId {
+        match self.inner.as_deref_mut() {
+            None => HistogramId(0),
+            Some(inner) => HistogramId(inner.intern_hist(name)),
+        }
+    }
+
+    /// Resolve (creating on first use) the ID of the named span. See
+    /// [`Telemetry::intern_counter`].
+    pub fn intern_span(&mut self, name: &str) -> SpanId {
+        match self.inner.as_deref_mut() {
+            None => SpanId(0),
+            Some(inner) => SpanId(inner.intern_span(name)),
+        }
+    }
+
+    /// Add `n` to an interned counter: one branch and one vector index, no
+    /// string work.
+    ///
+    /// # Panics
+    /// Panics if `id` was interned by a different (enabled) registry and is
+    /// out of range for this one.
+    #[inline]
+    pub fn count_id(&mut self, id: CounterId, n: u64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let i = id.0 as usize;
+        inner.counter_vals[i] += n;
+        inner.counter_touched[i] = true;
+    }
+
+    /// Record one observation into an interned histogram.
+    ///
+    /// # Panics
+    /// Panics if `id` was interned by a different (enabled) registry and is
+    /// out of range for this one.
+    #[inline]
+    pub fn record_id(&mut self, id: HistogramId, d: SimDuration) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.hists[id.0 as usize].record(d);
+    }
+
+    /// Open an interned span at simulated instant `at`. Spans nest: a span
+    /// opened while another is open is its child (depth + 1). No
+    /// allocation: the open stack holds `(id, start)` pairs.
+    #[inline]
+    pub fn span_enter_id(&mut self, id: SpanId, at: SimTime) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.open.push((id.0, at));
+    }
+
+    /// Add `n` to the named counter (cold-path string API; delegates
+    /// through the intern table).
     #[inline]
     pub fn count(&mut self, name: &str, n: u64) {
         let Some(inner) = self.inner.as_deref_mut() else {
             return;
         };
-        match inner.counters.get_mut(name) {
-            Some(c) => *c += n,
-            None => {
-                inner.counters.insert(name.to_owned(), n);
-            }
-        }
+        let i = inner.intern_counter(name) as usize;
+        inner.counter_vals[i] += n;
+        inner.counter_touched[i] = true;
     }
 
-    /// Record one observation into the named histogram.
+    /// Record one observation into the named histogram (cold-path string
+    /// API; delegates through the intern table).
     #[inline]
     pub fn record(&mut self, name: &str, d: SimDuration) {
         let Some(inner) = self.inner.as_deref_mut() else {
             return;
         };
-        inner.histograms.entry_or_default(name).record(d);
+        let i = inner.intern_hist(name) as usize;
+        inner.hists[i].record(d);
     }
 
-    /// Open a named span at simulated instant `at`. Spans nest: a span
-    /// opened while another is open is its child (depth + 1).
+    /// Open a named span at simulated instant `at` (cold-path string API;
+    /// delegates through the intern table).
     #[inline]
     pub fn span_enter(&mut self, name: &str, at: SimTime) {
         let Some(inner) = self.inner.as_deref_mut() else {
             return;
         };
-        inner.open.push((name.to_owned(), at));
+        let i = inner.intern_span(name);
+        inner.open.push((i, at));
     }
 
     /// Close the innermost open span at simulated instant `at`, folding its
@@ -277,47 +447,87 @@ impl Telemetry {
         let Some(inner) = self.inner.as_deref_mut() else {
             return;
         };
-        let Some((name, start)) = inner.open.pop() else {
+        let Some((id, start)) = inner.open.pop() else {
             return;
         };
         let d = at.saturating_since(start);
         let depth = u16::try_from(inner.open.len()).unwrap_or(u16::MAX);
-        let s = inner.spans.entry(name).or_insert(SpanStats {
-            depth,
-            ..SpanStats::default()
-        });
+        let s = &mut inner.span_stats[id as usize];
+        if s.count == 0 {
+            s.depth = depth;
+        } else {
+            s.depth = s.depth.min(depth);
+        }
         s.count += 1;
         s.total += d;
         s.max = s.max.max(d);
-        s.depth = s.depth.min(depth);
+    }
+
+    /// `true` when nothing has been recorded: the registry is disabled, or
+    /// every interned metric is still untouched (interning alone never
+    /// counts as recording — see the module docs).
+    pub fn is_empty(&self) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return true;
+        };
+        !inner.counter_touched.iter().any(|&t| t)
+            && inner.hists.iter().all(LogHistogram::is_empty)
+            && inner.span_stats.iter().all(|s| s.count == 0)
+    }
+
+    /// The named counter's current value (0 when unknown or untouched) —
+    /// the registry-side equivalent of [`TelemetryReport::counter`].
+    pub fn counter(&self, name: &str) -> u64 {
+        let Some(inner) = self.inner.as_deref() else {
+            return 0;
+        };
+        inner
+            .counter_index
+            .get(name)
+            .map_or(0, |&i| inner.counter_vals[i as usize])
+    }
+
+    /// The named histogram, if interned and non-empty (mirrors which
+    /// histograms [`Telemetry::report`] would include).
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        let inner = self.inner.as_deref()?;
+        let &i = inner.hist_index.get(name)?;
+        let h = &inner.hists[i as usize];
+        (!h.is_empty()).then_some(h)
     }
 
     /// Snapshot the registry into a mergeable report. Open spans are not
-    /// included (close them first). Disabled registries report empty.
+    /// included (close them first); interned-but-never-recorded metrics are
+    /// not included (see the module docs). Disabled registries report
+    /// empty.
     pub fn report(&self) -> TelemetryReport {
-        match &self.inner {
-            None => TelemetryReport::default(),
-            Some(inner) => TelemetryReport {
-                counters: inner.counters.clone(),
-                histograms: inner.histograms.clone(),
-                spans: inner.spans.clone(),
-            },
+        let Some(inner) = self.inner.as_deref() else {
+            return TelemetryReport::default();
+        };
+        TelemetryReport {
+            counters: inner
+                .counter_names
+                .iter()
+                .zip(&inner.counter_vals)
+                .zip(&inner.counter_touched)
+                .filter(|(_, &touched)| touched)
+                .map(|((k, &v), _)| (k.clone(), v))
+                .collect(),
+            histograms: inner
+                .hist_names
+                .iter()
+                .zip(&inner.hists)
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+            spans: inner
+                .span_names
+                .iter()
+                .zip(&inner.span_stats)
+                .filter(|(_, s)| s.count > 0)
+                .map(|(k, &s)| (k.clone(), s))
+                .collect(),
         }
-    }
-}
-
-/// `BTreeMap::entry(..).or_default()` without allocating the key when it is
-/// already present.
-trait EntryOrDefault {
-    fn entry_or_default(&mut self, name: &str) -> &mut LogHistogram;
-}
-
-impl EntryOrDefault for BTreeMap<String, LogHistogram> {
-    fn entry_or_default(&mut self, name: &str) -> &mut LogHistogram {
-        if !self.contains_key(name) {
-            self.insert(name.to_owned(), LogHistogram::default());
-        }
-        self.get_mut(name).expect("just inserted")
     }
 }
 
@@ -368,7 +578,8 @@ impl TelemetryReport {
     }
 
     /// Render as an indented plain-text block (the `repro telemetry` and
-    /// example output).
+    /// example output). A histogram whose sum clamped at the `u64`
+    /// nanosecond ceiling is flagged `[sum saturated]` on its row.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -390,7 +601,7 @@ impl TelemetryReport {
                 "name", "n", "mean", "p50", "p99", "max"
             );
             for (k, h) in &self.histograms {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "  {:<32}{:>8}{:>12}{:>12}{:>12}{:>12}",
                     k,
@@ -400,6 +611,10 @@ impl TelemetryReport {
                     h.percentile(0.99).to_string(),
                     h.max().unwrap_or(SimDuration::ZERO).to_string(),
                 );
+                if h.saturated() {
+                    out.push_str("  [sum saturated]");
+                }
+                out.push('\n');
             }
         }
         if !self.spans.is_empty() {
@@ -437,6 +652,13 @@ mod tests {
         t.record("h", SimDuration::from_millis(1));
         t.span_enter("s", SimTime::ZERO);
         t.span_exit(SimTime::from_secs(1));
+        let c = t.intern_counter("x");
+        let h = t.intern_histogram("h");
+        let s = t.intern_span("s");
+        t.count_id(c, 3);
+        t.record_id(h, SimDuration::from_millis(1));
+        t.span_enter_id(s, SimTime::ZERO);
+        t.span_exit(SimTime::from_secs(1));
         assert!(t.report().is_empty());
     }
 
@@ -450,6 +672,56 @@ mod tests {
         assert_eq!(r.counter("polls"), 3);
         assert_eq!(r.counter("retries"), 5);
         assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn interned_ids_alias_the_string_api() {
+        // Both APIs must observe the same metric: a per-name report built
+        // through IDs is indistinguishable from one built through strings.
+        let mut by_id = Telemetry::enabled();
+        let polls = by_id.intern_counter("polls");
+        let lat = by_id.intern_histogram("lat");
+        let span = by_id.intern_span("s");
+        by_id.count_id(polls, 2);
+        by_id.count("polls", 1); // string delegate hits the same slot
+        by_id.record_id(lat, SimDuration::from_micros(7));
+        by_id.span_enter_id(span, SimTime::ZERO);
+        by_id.span_exit(SimTime::from_secs(1));
+
+        let mut by_name = Telemetry::enabled();
+        by_name.count("polls", 3);
+        by_name.record("lat", SimDuration::from_micros(7));
+        by_name.span_enter("s", SimTime::ZERO);
+        by_name.span_exit(SimTime::from_secs(1));
+
+        assert_eq!(by_id.report(), by_name.report());
+        // Re-interning resolves to the same handle.
+        assert_eq!(by_id.intern_counter("polls"), polls);
+        assert_eq!(by_id.intern_histogram("lat"), lat);
+        assert_eq!(by_id.intern_span("s"), span);
+    }
+
+    #[test]
+    fn interning_alone_creates_no_report_entries() {
+        // A session pre-interns its whole vocabulary at setup; names never
+        // actually hit (e.g. fault counters on a clean run) must not leak
+        // into the report. A counter *added to* with n = 0 does appear,
+        // matching the string API.
+        let mut t = Telemetry::enabled();
+        let silent = t.intern_counter("faults.transient");
+        let zeroed = t.intern_counter("records.lost");
+        t.intern_histogram("retry_backoff");
+        t.intern_span("poll");
+        let _ = silent;
+        t.count_id(zeroed, 0);
+        let r = t.report();
+        assert_eq!(
+            r.counters.keys().collect::<Vec<_>>(),
+            vec!["records.lost"],
+            "{r:?}"
+        );
+        assert!(r.histograms.is_empty());
+        assert!(r.spans.is_empty());
     }
 
     #[test]
@@ -468,6 +740,32 @@ mod tests {
         assert_eq!(h.sum(), SimDuration::from_nanos(1_000_017));
         // Mean is exact, not bucket-resolution.
         assert_eq!(h.mean(), SimDuration::from_nanos(1_000_017 / 6));
+    }
+
+    #[test]
+    fn saturation_is_observable_not_silent() {
+        let mut h = LogHistogram::new();
+        let big = SimDuration::from_nanos(u64::MAX);
+        h.record(big);
+        assert!(!h.saturated());
+        assert_eq!(h.sum(), big);
+        h.record(big);
+        // The u64 sum clamps, and says so.
+        assert!(h.saturated());
+        assert_eq!(h.sum(), big);
+        // The mean stays exact (u128 accumulator).
+        assert_eq!(h.mean(), big);
+        // Merging saturated shards stays saturated, and the report says so.
+        let mut merged = LogHistogram::new();
+        merged.merge(&h);
+        assert!(merged.saturated());
+        let mut report = TelemetryReport::default();
+        report.histograms.insert("big".into(), merged);
+        assert!(report.render().contains("[sum saturated]"));
+        // An unsaturated report never mentions it.
+        let mut t = Telemetry::enabled();
+        t.record("small", SimDuration::from_millis(1));
+        assert!(!t.report().render().contains("saturated"));
     }
 
     #[test]

@@ -29,7 +29,9 @@ fn main() {
     let backend = BgqBackend::new(machine.clone(), 0).with_faults(&plan, "rank0/nodecard");
     let session = MonEq::initialize(0, vec![Box::new(backend)], config.clone(), SimTime::ZERO);
     let result = session.finalize(horizon);
-    let report = &result.telemetry;
+    // Finalize hands back the registry shard itself; the string-keyed
+    // report is materialized only here, at read time.
+    let report = result.telemetry.report();
 
     println!("== one instrumented session ==");
     println!(

@@ -12,13 +12,11 @@ use moneq::{ClusterResult, ClusterRun};
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn run_cluster(
-    seed: u64,
-    agents: usize,
-    secs: u64,
-    par_agents: usize,
-    chunk_size: usize,
-) -> ClusterResult {
+/// Launch a BG/Q cluster run. `with_host_cpus(par_agents)` lifts the
+/// host-CPU cap to the requested width, so the *real* persistent pool is
+/// exercised even when the test host has a single CPU (where the default
+/// cap would silently route every drive down the serial path).
+fn launch_bgq(seed: u64, agents: usize, secs: u64, par_agents: usize) -> ClusterRun {
     let profile = {
         let mut p = WorkloadProfile::new("prop", SimDuration::from_secs(secs));
         p.set_demand(
@@ -33,7 +31,7 @@ fn run_cluster(
     let boards: Vec<usize> = (0..agents.min(32)).collect();
     machine.assign_job(&boards, &profile);
     let machine = Arc::new(machine);
-    let mut run = ClusterRun::launch(
+    ClusterRun::launch(
         agents,
         None,
         |rank| Box::new(BgqBackend::new(machine.clone(), rank % 32)),
@@ -41,7 +39,17 @@ fn run_cluster(
         SimTime::ZERO,
     )
     .with_par_agents(par_agents)
-    .with_chunk_size(chunk_size);
+    .with_host_cpus(par_agents.max(1))
+}
+
+fn run_cluster(
+    seed: u64,
+    agents: usize,
+    secs: u64,
+    par_agents: usize,
+    chunk_size: usize,
+) -> ClusterResult {
+    let mut run = launch_bgq(seed, agents, secs, par_agents).with_chunk_size(chunk_size);
     let mid = SimTime::from_secs(secs / 2 + 1);
     let end = SimTime::from_secs(secs);
     run.run_until(mid);
@@ -68,6 +76,41 @@ proptest! {
         prop_assert_eq!(serial.dropped_records, parallel.dropped_records);
         // Byte-identical rendered output, rank by rank.
         for (s, p) in serial.files.iter().zip(&parallel.files) {
+            prop_assert_eq!(s.render(), p.render());
+        }
+    }
+
+    /// The persistent pool, reused across many consecutive `run_until`
+    /// phases, is byte-identical to a serial multi-phase drive AND to a
+    /// single-phase drive straight to the end (each phase dispatch is a
+    /// pure wall-clock optimization; virtual time drives everything).
+    #[test]
+    fn reused_pool_equals_fresh_pool_per_phase(
+        seed in 0u64..1_000,
+        agents in 4usize..16,
+        workers in 2usize..6,
+        chunk_size in 1usize..5,
+        phases in 2u64..6,
+    ) {
+        let end = SimTime::from_secs(phases);
+        let drive_phased = |par: usize| {
+            let mut run = launch_bgq(seed, agents, phases, par).with_chunk_size(chunk_size);
+            for k in 1..=phases {
+                run.run_until(SimTime::from_secs(k));
+            }
+            run.finalize(end)
+        };
+        let serial = drive_phased(1);
+        let pooled = drive_phased(workers);
+        // A fresh run whose pool serves exactly one run_until phase.
+        let mut fresh = launch_bgq(seed, agents, phases, workers).with_chunk_size(chunk_size);
+        fresh.run_until(end);
+        let fresh = fresh.finalize(end);
+        prop_assert_eq!(&serial.files, &pooled.files);
+        prop_assert_eq!(&serial.overheads, &pooled.overheads);
+        prop_assert_eq!(&pooled.files, &fresh.files);
+        prop_assert_eq!(&pooled.overheads, &fresh.overheads);
+        for (s, p) in serial.files.iter().zip(&pooled.files) {
             prop_assert_eq!(s.render(), p.render());
         }
     }

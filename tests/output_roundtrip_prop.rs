@@ -55,7 +55,7 @@ fn arb_completeness() -> impl Strategy<Value = Completeness> {
             ranks.sort_unstable();
             ranks.dedup();
             Completeness {
-                device,
+                device: device.into(),
                 scheduled: c[0],
                 succeeded: c[1],
                 retried: c[2],
@@ -97,7 +97,7 @@ proptest! {
             agent,
             backends,
             interval_ns,
-            points,
+            points: points.into(),
             tags,
             completeness,
         };
@@ -126,12 +126,12 @@ proptest! {
             agent,
             backends,
             interval_ns: 560_000_000,
-            points: vec![DataPoint::power(t, &device, "d", 42.5)],
+            points: vec![DataPoint::power(t, &device, "d", 42.5)].into(),
             tags: vec![
                 TagEvent { label: label.clone(), kind: TagKind::Start, at: t },
                 TagEvent { label, kind: TagKind::End, at: t },
             ],
-            completeness: vec![Completeness::new(&device)],
+            completeness: vec![Completeness::new(device.clone())],
         };
         let back = OutputFile::parse(&f.render()).expect("own output parses");
         prop_assert_eq!(&back, &f);
