@@ -19,6 +19,11 @@
 #                         sub-560 ms bursts) plus two hard invariants:
 #                         every decomposition closes exactly and RAPL's
 #                         constant-workload error stays within one tick
+#   BENCH_query.json      serving invariants only — rollup tiers equal the
+#                         raw fold bit for bit (exact) and threaded query
+#                         clients match the serial referee (coherent); the
+#                         qps columns are absolute wall-clock and are
+#                         recorded for trend reading, never gated
 #
 # The sweep binaries additionally self-check the deterministic invariants
 # (byte-identical outputs, serial == parallel) on every run, so a pass here
@@ -141,6 +146,31 @@ if vals "$tmp/accuracy.json" exact | grep -qv '^1$'; then
 else
     echo "ok   all decompositions close exactly"
 fi
+
+echo "==> query_sweep --quick"
+./target/release/query_sweep --quick --out "$tmp/query.json"
+# Both are invariants, not ratios: they must hold at any speed on any
+# machine, so there is no tolerance and no committed-baseline comparison.
+if vals "$tmp/query.json" exact | grep -qv '^1$'; then
+    echo "FAIL a rollup tier no longer equals the raw fold bit for bit"
+    fail=1
+else
+    echo "ok   rollup tiers exact vs raw"
+fi
+if vals "$tmp/query.json" coherent | grep -qv '^1$'; then
+    echo "FAIL threaded query clients diverged from the serial referee"
+    fail=1
+else
+    echo "ok   threaded clients match serial"
+fi
+# The committed recording must also claim both invariants, so a full-sweep
+# re-record that regressed them cannot land silently.
+for key in exact coherent; do
+    if vals BENCH_query.json "$key" | grep -qv '^1$'; then
+        echo "FAIL committed BENCH_query.json has a leg with $key != 1"
+        fail=1
+    fi
+done
 
 if [[ $fail -ne 0 ]]; then
     echo "bench ratios regressed; if intentional, regenerate the BENCH_*.json"

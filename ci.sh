@@ -71,17 +71,22 @@ else
 fi
 
 # The test suite, split so each class of test accounts its own time.
-# unit: every crate's #[cfg(test)] modules, bin self-tests, and doctests.
-stage "tests: unit (libs, bins, doctests)" \
-    "cargo test --workspace --lib --bins -q --no-fail-fast &&
-     cargo test --workspace --doc -q --no-fail-fast"
+# unit: every crate's #[cfg(test)] modules and bin self-tests.
+stage "tests: unit (libs, bins)" \
+    "cargo test --workspace --lib --bins -q --no-fail-fast"
+
+# doc: every doctest in the workspace. A separate stage because doctests
+# compile one binary per example — when this stage's wall clock creeps,
+# the fix (consolidate or no_run an example) differs from a slow unit run.
+stage "tests: doc (workspace doctests)" \
+    "cargo test --workspace --doc -q --no-fail-fast"
 
 # property: every proptest suite in the workspace, paced by PROPTEST_CASES.
 stage "tests: property (PROPTEST_CASES=$pt_cases)" \
     "PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
         --test accuracy_prop --test cluster_parallel_prop \
         --test fault_prop --test output_roundtrip_prop \
-        --test telemetry_prop &&
+        --test serve_prop --test telemetry_prop &&
      PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
         -p bgq-sim -p hpc-workloads -p mic-sim -p nvml-sim \
         -p powermodel -p rapl-sim -p simkit --test proptests &&

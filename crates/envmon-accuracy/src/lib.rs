@@ -34,7 +34,7 @@
 //! sampling.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod probes;
 pub mod report;

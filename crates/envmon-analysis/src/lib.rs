@@ -17,10 +17,11 @@
 //! | [`telemetry`] | The DESIGN.md §9 observability table: per-mechanism query-latency percentiles vs. the §II per-query constants |
 //! | [`caching`] | The DESIGN.md §10 caching ablation: naive vs batched collection cost per mechanism, with byte-identity verification |
 //! | [`accuracy`] | The DESIGN.md §11 accuracy ablation: reported-vs-true energy per mechanism with the error decomposed into named components |
+//! | [`serving`] | The DESIGN.md §13 serving demonstration: the collection daemon + query front on the paper's node card, with exactness/parity/determinism verdicts |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod accuracy;
@@ -29,5 +30,6 @@ pub mod figures;
 pub mod render;
 pub mod report;
 pub mod robustness;
+pub mod serving;
 pub mod tables;
 pub mod telemetry;

@@ -33,7 +33,7 @@ fn main() {
                 println!(
                     "usage: repro [--seed N] [--out DIR] [table1 table2 table3 fig1 fig2 \
                      fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations \
-                     robustness telemetry caching accuracy]\n\
+                     robustness telemetry caching accuracy serving]\n\
                      --out DIR additionally writes each figure's series as TSV files"
                 );
                 return;
@@ -250,6 +250,10 @@ fn main() {
     if want("accuracy") {
         section("ACCURACY — reported vs true energy, error decomposed (DESIGN.md §11)");
         print!("{}", envmon_analysis::accuracy::accuracy(seed).render());
+    }
+    if want("serving") {
+        section("SERVING — monitoring as a service on the node card (DESIGN.md §13)");
+        print!("{}", envmon_analysis::serving::serving(seed).render());
     }
     if want("ablations") {
         section("ABLATION — RAPL sampling-interval sweep");

@@ -1,0 +1,246 @@
+//! The collection daemon: advances a [`ClusterRun`] in fixed virtual-time
+//! ticks, ingests each rank's newly appended records into a [`TsStore`],
+//! and publishes an immutable snapshot per tick for the query front-end.
+//!
+//! Record flow (see DESIGN.md §13 for the full diagram):
+//!
+//! ```text
+//! backend → MonEq session → Records arena ─┐  (per rank, append-only)
+//!                                          ▼
+//!                       Daemon::tick — cursor reads the tail,
+//!                       files each record under agent/device/domain
+//!                                          ▼
+//!                       TsStore — raw ring + 1 s / 60 s rollups
+//!                                          ▼
+//!                       publish: Arc<Published> swap → QueryFront
+//! ```
+//!
+//! Everything before the publish runs on the daemon's thread (or the
+//! cluster's worker pool, for the `run_until` phase); readers only ever
+//! touch published views, so ingest needs no locks and queries never
+//! block collection.
+
+use crate::query::{Published, QueryFront, SeriesMeta};
+use moneq::{ClusterResult, ClusterRun, Completeness};
+use simkit::store::{SeriesId, StoreConfig, StoreStats, TsStore};
+use simkit::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Daemon configuration: how often to tick and how much to retain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Virtual time between ticks (collection advance + ingest + publish).
+    /// Must be non-zero. Default: 1 s, matching the store's finest tier so
+    /// every publish closes at most one bin per series.
+    pub tick: SimDuration,
+    /// Capacity plan for the backing store.
+    pub store: StoreConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tick: SimDuration::from_secs(1),
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// Per-rank ingest state: how many records the daemon has consumed and
+/// where each `(device, domain)` pair files.
+#[derive(Debug, Default)]
+struct RankCursor {
+    seen: usize,
+    // A rank exposes a handful of device/domain pairs; a linear scan is
+    // cheaper than hashing two borrowed strings per record.
+    map: Vec<(String, String, SeriesId)>,
+}
+
+/// The long-running collection daemon (see module docs).
+///
+/// Owns the cluster and the store; hand clones of [`Daemon::front`] to
+/// reader threads. Virtual time only advances through [`Daemon::tick`] /
+/// [`Daemon::run_for`], so a paused daemon is a quiesced store — the
+/// state in which serial and concurrent query runs must agree bitwise.
+pub struct Daemon {
+    run: ClusterRun,
+    now: SimTime,
+    tick: SimDuration,
+    store: TsStore,
+    cursors: Vec<RankCursor>,
+    meta: Arc<Vec<SeriesMeta>>,
+    front: QueryFront,
+    seq: u64,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("now", &self.now)
+            .field("tick", &self.tick)
+            .field("seq", &self.seq)
+            .field("series", &self.store.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Wrap a launched cluster. `now` must be the same instant the cluster
+    /// was launched at; the first tick covers `(now, now + tick]`.
+    ///
+    /// Publishes an initial empty view (seq 0) so fronts handed out before
+    /// the first tick answer cleanly instead of blocking.
+    ///
+    /// # Panics
+    /// Panics if `cfg.tick` is zero or the store plan is invalid.
+    pub fn new(run: ClusterRun, now: SimTime, cfg: ServeConfig) -> Self {
+        assert!(!cfg.tick.is_zero(), "tick must be non-zero");
+        let store = TsStore::new(cfg.store);
+        let cursors = run
+            .sessions()
+            .iter()
+            .map(|_| RankCursor::default())
+            .collect();
+        let meta: Arc<Vec<SeriesMeta>> = Arc::new(Vec::new());
+        let front = QueryFront::new(Published {
+            seq: 0,
+            at: now,
+            store: store.snapshot(now),
+            meta: Arc::clone(&meta),
+            completeness: Arc::new(Vec::new()),
+        });
+        Daemon {
+            run,
+            now,
+            tick: cfg.tick,
+            store,
+            cursors,
+            meta,
+            front,
+            seq: 0,
+        }
+    }
+
+    /// The daemon's current virtual time (the last published instant).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// A handle for reader threads. Clones are cheap; every clone sees
+    /// each publish as it happens.
+    pub fn front(&self) -> QueryFront {
+        self.front.clone()
+    }
+
+    /// Read access to the live store (tests and invariant gates; readers
+    /// in other threads must go through [`Daemon::front`] instead).
+    pub fn store(&self) -> &TsStore {
+        &self.store
+    }
+
+    /// Ingest counters so far (same as the live store's).
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Advance one tick: drive every session `tick` forward in virtual
+    /// time, ingest each rank's newly appended records, and publish a new
+    /// snapshot. Returns the number of records ingested this tick.
+    pub fn tick(&mut self) -> u64 {
+        let until = self.now + self.tick;
+        self.run.run_until(until);
+        self.now = until;
+        let ingested = self.ingest();
+        self.publish();
+        ingested
+    }
+
+    /// Run [`Daemon::tick`] until `span` has elapsed (rounded up to whole
+    /// ticks). Returns the number of records ingested.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let until = self.now + span;
+        let mut ingested = 0;
+        while self.now < until {
+            ingested += self.tick();
+        }
+        ingested
+    }
+
+    /// Pull every rank's record tail into the store, in rank order then
+    /// record order — the same order a serial scan of the finalized arenas
+    /// would visit, which is what makes ingest-then-query reproduce
+    /// batch-then-scan bitwise.
+    fn ingest(&mut self) -> u64 {
+        let mut ingested = 0;
+        for (rank, session) in self.run.sessions().iter().enumerate() {
+            let cur = &mut self.cursors[rank];
+            let data = session.collected();
+            if cur.seen == data.len() {
+                continue;
+            }
+            let agent = session.agent_name();
+            for i in cur.seen..data.len() {
+                let p = data.get(i).expect("cursor within arena");
+                let id = match cur
+                    .map
+                    .iter()
+                    .find(|(dev, dom, _)| dev == p.device && dom == p.domain)
+                {
+                    Some(&(_, _, id)) => id,
+                    None => {
+                        let name = format!("{agent}/{}/{}", p.device, p.domain);
+                        let id = self.store.series(&name);
+                        cur.map.push((p.device.to_owned(), p.domain.to_owned(), id));
+                        let meta = Arc::make_mut(&mut self.meta);
+                        debug_assert_eq!(meta.len(), id.index());
+                        meta.push(SeriesMeta {
+                            rank: session.rank(),
+                            agent: agent.to_owned(),
+                            device: p.device.to_owned(),
+                            domain: p.domain.to_owned(),
+                        });
+                        id
+                    }
+                };
+                if self.store.record(id, p.timestamp, p.watts) {
+                    ingested += 1;
+                }
+            }
+            cur.seen = data.len();
+        }
+        ingested
+    }
+
+    /// Swap in a fresh immutable view: snapshot the store (`Arc` spine
+    /// clone), share the meta table, and merge the live completeness
+    /// ledgers by device.
+    fn publish(&mut self) {
+        self.seq += 1;
+        let mut merged: Vec<Completeness> = Vec::new();
+        for session in self.run.sessions() {
+            for c in session.completeness_so_far() {
+                match merged.iter_mut().find(|m| m.device == c.device) {
+                    Some(m) => m.absorb(&c),
+                    None => merged.push(c),
+                }
+            }
+        }
+        self.front.publish(Published {
+            seq: self.seq,
+            at: self.now,
+            store: self.store.snapshot(self.now),
+            meta: Arc::clone(&self.meta),
+            completeness: Arc::new(merged),
+        });
+    }
+
+    /// Stop collecting: finalize every session at the daemon's current
+    /// time and hand back the ordinary batch result (output files,
+    /// overhead ledgers, completeness, telemetry). The store and any
+    /// retained views stay valid — the published data simply stops
+    /// advancing.
+    pub fn finalize(self) -> ClusterResult {
+        let now = self.now;
+        self.run.finalize(now)
+    }
+}

@@ -19,7 +19,7 @@
 //! actual O((n−k)²) work per elimination step.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod gauss;
 pub mod mmps;

@@ -701,6 +701,16 @@ impl ClusterRun {
         }
     }
 
+    /// Read access to every rank's session, in rank order.
+    ///
+    /// The monitoring daemon walks this between [`ClusterRun::run_until`]
+    /// steps to ingest each rank's newly appended records (see
+    /// [`MonEq::collected`]) and to answer staleness queries from the live
+    /// ledgers (see [`MonEq::completeness_so_far`]).
+    pub fn sessions(&self) -> &[MonEq] {
+        &self.sessions
+    }
+
     /// Tag a section on every rank (collective tags, the common usage).
     pub fn start_tag_all(&mut self, label: &str, at: SimTime) {
         for s in &mut self.sessions {

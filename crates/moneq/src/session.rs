@@ -386,6 +386,29 @@ impl MonEq {
         self.data.len()
     }
 
+    /// The records collected so far, zero-copy.
+    ///
+    /// This is the monitoring daemon's ingest hook: records are append-only
+    /// until [`MonEq::finalize`], so an incremental consumer keeps a cursor
+    /// of how many it has seen and reads only the tail after each
+    /// [`MonEq::run_until`] step.
+    pub fn collected(&self) -> &Records {
+        &self.data
+    }
+
+    /// The agent name records are filed under (`MonEqConfig::agent_name`).
+    pub fn agent_name(&self) -> &str {
+        &self.config.agent_name
+    }
+
+    /// A point-in-time copy of every device's completeness ledger, in
+    /// backend order — the same counters [`MonEq::finalize`] returns, but
+    /// readable mid-run so a staleness endpoint can answer while the
+    /// session is still collecting.
+    pub fn completeness_so_far(&self) -> Vec<Completeness> {
+        self.slots.iter().map(|s| s.comp.clone()).collect()
+    }
+
     /// Drive the timer up to `until` (the application calls this as virtual
     /// time passes; each fire polls every backend and charges its cost).
     pub fn run_until(&mut self, until: SimTime) {

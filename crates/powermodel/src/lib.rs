@@ -26,7 +26,7 @@
 //! * [`capability`] — the Table I environmental-data capability matrix.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod capability;
 pub mod demand;

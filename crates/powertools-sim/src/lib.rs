@@ -25,7 +25,7 @@
 //! is asserted against the paper's statements in tests.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod comparison;
 pub mod papi;

@@ -24,6 +24,9 @@
 //!   maps query times onto a mechanism's update grid so repeat reads
 //!   within one generation are served without re-paying the access path,
 //!   with exact hit/miss/bypass accounting ([`CacheStats`]);
+//! * [`store`] — the in-memory time-series store ([`TsStore`]): fixed-
+//!   capacity raw rings per series plus exact rollup tiers, published to
+//!   concurrent readers as copy-on-write [`StoreSnapshot`]s;
 //! * [`telemetry`] — zero-cost-when-disabled observability ([`Telemetry`]):
 //!   named counters, simulated-time log₂ histograms, hierarchical spans,
 //!   and mergeable [`TelemetryReport`] snapshots.
@@ -42,6 +45,7 @@ pub mod rng;
 pub mod sampling;
 pub mod series;
 pub mod stats;
+pub mod store;
 pub mod telemetry;
 pub mod time;
 
@@ -52,6 +56,10 @@ pub use rng::{DetRng, NoiseStream};
 pub use sampling::SamplingPolicy;
 pub use series::{Sample, TimeSeries};
 pub use stats::{welch_t_test, BoxplotSummary, Histogram, RunningStats, WelchResult};
+pub use store::{
+    Aggregate, RollupBin, SeriesData, SeriesId, StoreConfig, StoreSnapshot, StoreStats, TierSpec,
+    TsStore,
+};
 pub use telemetry::{
     CounterId, HistogramId, LogHistogram, SpanId, SpanStats, Telemetry, TelemetryReport,
 };

@@ -29,11 +29,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use bgq_sim;
 pub use envmon_accuracy as accuracy;
 pub use envmon_analysis as analysis;
+pub use envmon_serve as serve;
 pub use hpc_workloads as workloads;
 pub use mic_sim;
 pub use moneq;
@@ -47,6 +48,7 @@ pub use simkit;
 pub mod prelude {
     pub use bgq_sim::{BgqConfig, BgqMachine, EmonApi};
     pub use envmon_accuracy::{ErrorReport, MechanismProbe};
+    pub use envmon_serve::{ClientWorkload, Daemon, Query, QueryFront, ServeConfig};
     pub use hpc_workloads::{
         Channel, FixedRuntime, GaussianElimination, Mmps, Noop, TaggedLoops, VectorAdd,
         WorkloadProfile,
