@@ -24,6 +24,11 @@
 #                         clients match the serial referee (coherent); the
 #                         qps columns are absolute wall-clock and are
 #                         recorded for trend reading, never gated
+#   BENCH_transport.json  wire invariants only — remote over the ideal
+#                         link byte-equals local (identical), latency-only
+#                         links land as exactly polls x 2*latency (exact),
+#                         and faulty-run ledgers reconcile (reconciled);
+#                         round-trip percentiles are recorded, never gated
 #
 # The sweep binaries additionally self-check the deterministic invariants
 # (byte-identical outputs, serial == parallel) on every run, so a pass here
@@ -171,6 +176,39 @@ for key in exact coherent; do
         fail=1
     fi
 done
+
+echo "==> transport_sweep --quick"
+./target/release/transport_sweep --quick --out "$tmp/transport.json"
+# All three are virtual-time invariants — no tolerance, no baseline ratio.
+if vals "$tmp/transport.json" identical | grep -qv '^1$'; then
+    echo "FAIL a zero-latency remote run is no longer byte-identical to local"
+    fail=1
+else
+    echo "ok   remote-ideal byte-identical to local"
+fi
+if vals "$tmp/transport.json" exact | grep -qv '^1$'; then
+    echo "FAIL link latency no longer lands in the ledgers exactly"
+    fail=1
+else
+    echo "ok   latency exact in overhead + timestamps"
+fi
+if vals "$tmp/transport.json" reconciled | grep -qv '^1$'; then
+    echo "FAIL a faulty-link wire/completeness ledger stopped reconciling"
+    fail=1
+else
+    echo "ok   faulty-link ledgers reconcile"
+fi
+# The committed recording must claim the same invariants, and carries the
+# round-trip percentiles for trend reading (recorded, never gated).
+for key in identical exact reconciled; do
+    if vals BENCH_transport.json "$key" | grep -qv '^1$'; then
+        echo "FAIL committed BENCH_transport.json has a row with $key != 1"
+        fail=1
+    fi
+done
+echo "     committed rtt p50/p99 (ns):" \
+    "$(vals BENCH_transport.json rtt_p50_ns | tr '\n' ' ')/" \
+    "$(vals BENCH_transport.json rtt_p99_ns | tr '\n' ' ')"
 
 if [[ $fail -ne 0 ]]; then
     echo "bench ratios regressed; if intentional, regenerate the BENCH_*.json"

@@ -127,4 +127,17 @@ else
     skipped "--quick" "perf smoke (telemetry overhead gate needs release)"
 fi
 
+# Transport smoke: the wire layer's defining invariants — remote over the
+# ideal link byte-equals local, latency lands in the ledgers exactly,
+# faulty-run ledgers reconcile — asserted by the sweep binary itself.
+if [[ $quick -eq 0 ]]; then
+    stage "transport smoke (remote byte-identity + exact latency)" \
+        "cargo run --release -q -p envmon-bench --bin transport_sweep -- \
+            --smoke --out target/transport_smoke.json"
+else
+    stage "transport smoke (remote byte-identity + exact latency)" \
+        "cargo run -q -p envmon-bench --bin transport_sweep -- \
+            --smoke --out target/transport_smoke.json"
+fi
+
 echo "CI OK"

@@ -18,6 +18,7 @@
 //! | [`caching`] | The DESIGN.md §10 caching ablation: naive vs batched collection cost per mechanism, with byte-identity verification |
 //! | [`accuracy`] | The DESIGN.md §11 accuracy ablation: reported-vs-true energy per mechanism with the error decomposed into named components |
 //! | [`serving`] | The DESIGN.md §13 serving demonstration: the collection daemon + query front on the paper's node card, with exactness/parity/determinism verdicts |
+//! | [`transport`] | The DESIGN.md §14 transport ablation: in-band vs out-of-band deployment over the framed wire protocol, with byte-identity and exact-latency verdicts |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
@@ -33,3 +34,4 @@ pub mod robustness;
 pub mod serving;
 pub mod tables;
 pub mod telemetry;
+pub mod transport;

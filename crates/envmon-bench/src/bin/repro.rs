@@ -33,7 +33,7 @@ fn main() {
                 println!(
                     "usage: repro [--seed N] [--out DIR] [table1 table2 table3 fig1 fig2 \
                      fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations \
-                     robustness telemetry caching accuracy serving]\n\
+                     robustness telemetry caching accuracy serving transport]\n\
                      --out DIR additionally writes each figure's series as TSV files"
                 );
                 return;
@@ -254,6 +254,15 @@ fn main() {
     if want("serving") {
         section("SERVING — monitoring as a service on the node card (DESIGN.md §13)");
         print!("{}", envmon_analysis::serving::serving(seed).render());
+    }
+    if want("transport") {
+        section("TRANSPORT — in-band vs out-of-band over the framed wire protocol (DESIGN.md §14)");
+        let t = envmon_analysis::transport::transport(seed);
+        print!("{}", t.render());
+        if !(t.all_identical() && t.all_exact()) {
+            eprintln!("repro: transport invariants violated");
+            std::process::exit(1);
+        }
     }
     if want("ablations") {
         section("ABLATION — RAPL sampling-interval sweep");

@@ -1,0 +1,122 @@
+//! `transport_sweep` — the in-band/out-of-band deployment sweep over the
+//! framed wire protocol (DESIGN.md §14).
+//!
+//! Runs [`envmon_analysis::transport::transport`] and emits one JSON row
+//! per mechanism: charged collection cost per deployment, the wire ledger
+//! of the faulty-link run, and round-trip percentiles. The *invariants*
+//! are what `ci-bench-check.sh` gates, tolerance-free:
+//!
+//! * `identical` — a remote run over the zero-fault, zero-latency link is
+//!   byte-identical to the local run;
+//! * `exact` — a latency-only link's cost lands in the overhead ledger as
+//!   exactly `polls × 2·latency`, and record timestamps shift by exactly
+//!   one leg;
+//! * `reconciled` — the faulty run's wire ledger (`tx = rx + timeouts`)
+//!   and completeness ledger both balance.
+//!
+//! ```text
+//! transport_sweep [--seed N] [--out FILE] [--quick | --smoke]
+//! ```
+
+use envmon_analysis::transport::transport;
+use envmon_bench::DEFAULT_SEED;
+use std::time::Instant;
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut out = std::path::PathBuf::from("BENCH_transport.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = args.next().map(Into::into).expect("--out FILE"),
+            // The ablation is one fixed five-mechanism pass either way;
+            // smoke mode only skips the second-seed determinism leg.
+            "--quick" | "--smoke" => smoke = true,
+            other => {
+                eprintln!("transport_sweep: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let table = transport(seed);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert!(
+        table.all_identical(),
+        "zero-latency remote != local somewhere"
+    );
+    assert!(table.all_exact(), "latency or fault ledger drifted");
+
+    if !smoke {
+        // Determinism referee: the whole ablation must replay bit-equal.
+        let again = transport(seed);
+        assert_eq!(
+            table.render(),
+            again.render(),
+            "transport ablation is not deterministic in its seed"
+        );
+    }
+
+    for r in &table.rows {
+        eprintln!(
+            "{:<14} {:<12} polls {:>5}  local {:>12}  latent {:>12}  \
+             tx {:>5}  retrans {:>4}  rtt p50 {:>10}  [{}{}{}]",
+            r.mechanism,
+            r.band,
+            r.polls,
+            r.local_collection.to_string(),
+            r.latent_collection.to_string(),
+            r.wire_tx,
+            r.wire_retrans,
+            r.rtt_p50.to_string(),
+            if r.ideal_identical { "I" } else { "-" },
+            if r.latency_exact { "E" } else { "-" },
+            if r.faulty_reconciles { "R" } else { "-" },
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"transport_sweep\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"wall_ms\": {wall_ms:.1},\n"));
+    json.push_str(&format!(
+        "  \"all_identical\": {},\n  \"all_exact\": {},\n",
+        u8::from(table.all_identical()),
+        u8::from(table.all_exact())
+    ));
+    json.push_str("  \"mechanisms\": [\n");
+    for (i, r) in table.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mechanism\": \"{}\", \"band\": \"{}\", \"polls\": {}, \
+             \"local_ns\": {}, \"ideal_ns\": {}, \"latent_ns\": {}, \"latency_ns\": {}, \
+             \"identical\": {}, \"exact\": {}, \"tx\": {}, \"rx\": {}, \"retrans\": {}, \
+             \"timeouts\": {}, \"rtt_p50_ns\": {}, \"rtt_p99_ns\": {}, \"reconciled\": {}}}{}\n",
+            r.mechanism,
+            r.band,
+            r.polls,
+            r.local_collection.as_nanos(),
+            r.ideal_collection.as_nanos(),
+            r.latent_collection.as_nanos(),
+            r.latency.as_nanos(),
+            u8::from(r.ideal_identical),
+            u8::from(r.latency_exact),
+            r.wire_tx,
+            r.wire_rx,
+            r.wire_retrans,
+            r.wire_timeouts,
+            r.rtt_p50.as_nanos(),
+            r.rtt_p99.as_nanos(),
+            u8::from(r.faulty_reconciles),
+            if i + 1 < table.rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("writable output path");
+    eprintln!("[wrote {}]", out.display());
+}

@@ -142,6 +142,35 @@ impl IpmbFrame {
         let bits = (self.encode().len() as u64) * 9;
         SimDuration::from_micros(bits * 10) // 10 us per bit at 100 kHz
     }
+
+    /// Serialize with a one-byte length prefix, for concatenated streams
+    /// (a BMC draining several queued SMC responses in one bus turn).
+    ///
+    /// Panics if the encoded frame exceeds 255 bytes — longer than any
+    /// frame the 32-byte IPMB transaction limit allows, so a programming
+    /// error, not a wire condition.
+    pub fn encode_prefixed(&self) -> Vec<u8> {
+        let frame = self.encode();
+        let len = u8::try_from(frame.len()).expect("IPMB frames fit a one-byte length");
+        let mut out = Vec::with_capacity(frame.len() + 1);
+        out.push(len);
+        out.extend_from_slice(&frame);
+        out
+    }
+
+    /// Decode one length-prefixed frame from the head of `stream`,
+    /// returning the frame and the bytes consumed.
+    ///
+    /// All offset arithmetic is bounds-checked: a corrupted length byte
+    /// can claim more than the stream holds (→ [`IpmbError::Truncated`])
+    /// or cut a frame short so its checksum lands on the wrong byte
+    /// (→ a checksum error), but it can never make the data-checksum
+    /// offset wrap or slice out of bounds.
+    pub fn decode_prefixed(stream: &[u8]) -> Result<(Self, usize), IpmbError> {
+        let (&len, rest) = stream.split_first().ok_or(IpmbError::Truncated)?;
+        let frame = rest.get(..len as usize).ok_or(IpmbError::Truncated)?;
+        Ok((IpmbFrame::decode(frame)?, 1 + len as usize))
+    }
 }
 
 /// The platform BMC.
@@ -287,5 +316,102 @@ mod tests {
         let small = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 1, vec![]);
         let big = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 1, vec![0; 64]);
         assert!(big.transfer_time() > small.transfer_time());
+    }
+
+    // --- boundary sweep ----------------------------------------------------
+    //
+    // The IPMB frame carries no length byte — length is whatever the bus
+    // delivered — so every offset below is computed from the slice length.
+    // These tests pin the exact boundaries: 7 bytes is the smallest frame
+    // (3-byte header + rq/seq/cmd + data checksum around empty data), and
+    // every shorter prefix must be Truncated, never a panic or mis-slice.
+
+    #[test]
+    fn minimum_frame_is_exactly_seven_bytes() {
+        let f = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 3, vec![]);
+        let wire = f.encode();
+        assert_eq!(wire.len(), 7);
+        assert_eq!(IpmbFrame::decode(&wire).unwrap(), f);
+        // The data checksum sits at the last byte, covering only
+        // rq_addr/seq_lun/cmd when the data section is empty.
+        assert_eq!(wire[6], checksum2(&wire[3..6]));
+    }
+
+    #[test]
+    fn every_short_prefix_is_truncated() {
+        let f = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 4, vec![7, 8, 9]);
+        let wire = f.encode();
+        for n in 0..7 {
+            assert_eq!(
+                IpmbFrame::decode(&wire[..n]).err(),
+                Some(IpmbError::Truncated),
+                "prefix of {n} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_the_data_checksum_boundary_fails_the_checksum() {
+        // Dropping trailing bytes of a long-enough frame shifts the data
+        // checksum onto a data byte: the frame stays structurally valid
+        // (len >= 7) but the checksum verdict must catch it at every cut.
+        let f = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 5, vec![1, 2, 3, 4]);
+        let wire = f.encode();
+        for n in 7..wire.len() {
+            assert_eq!(
+                IpmbFrame::decode(&wire[..n]).err(),
+                Some(IpmbError::BadPayloadChecksum),
+                "cut to {n} of {} bytes",
+                wire.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prefixed_stream_roundtrips_consecutive_frames() {
+        let a = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 1, vec![]);
+        let b = a.response_to(vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        let mut stream = a.encode_prefixed();
+        stream.extend_from_slice(&b.encode_prefixed());
+        let (got_a, used_a) = IpmbFrame::decode_prefixed(&stream).unwrap();
+        let (got_b, used_b) = IpmbFrame::decode_prefixed(&stream[used_a..]).unwrap();
+        assert_eq!(got_a, a);
+        assert_eq!(got_b, b);
+        assert_eq!(used_a + used_b, stream.len());
+    }
+
+    #[test]
+    fn corrupted_length_prefix_cannot_wrap_the_checksum_offset() {
+        let f = IpmbFrame::request(NETFN_OEM_REQ, CMD_GET_POWER, 6, vec![0x42]);
+        let mut stream = f.encode_prefixed();
+
+        // Length inflated past the stream: claims bytes that don't exist.
+        stream[0] = 0xFF;
+        assert_eq!(
+            IpmbFrame::decode_prefixed(&stream).err(),
+            Some(IpmbError::Truncated)
+        );
+
+        // Length cut below the 7-byte minimum: structurally truncated.
+        stream[0] = 6;
+        assert_eq!(
+            IpmbFrame::decode_prefixed(&stream).err(),
+            Some(IpmbError::Truncated)
+        );
+
+        // Length cut to a still-plausible 7: the checksum byte now lands on
+        // the data byte and the verdict is a checksum failure, not a slice
+        // past the end.
+        stream[0] = 7;
+        assert_eq!(
+            IpmbFrame::decode_prefixed(&stream).err(),
+            Some(IpmbError::BadPayloadChecksum)
+        );
+
+        // Empty stream: no length byte at all.
+        assert_eq!(
+            IpmbFrame::decode_prefixed(&[]).err(),
+            Some(IpmbError::Truncated)
+        );
     }
 }

@@ -410,6 +410,26 @@ pub trait EnvBackend: Send {
     fn gate_stats(&self) -> Option<GateStats> {
         None
     }
+
+    /// The access-path cost actually incurred by the most recent poll at
+    /// one instant. Sessions charge this (once per poll, after the read
+    /// outcome settles) instead of the static [`EnvBackend::poll_cost`].
+    ///
+    /// For local mechanisms the two are identical — the cost of crossing
+    /// the access path is a fixed property of the mechanism — so the
+    /// default just forwards. A [`crate::remote::RemoteBackend`] overrides
+    /// it with the measured wire round-trip, which over an ideal link
+    /// collapses back to `poll_cost` exactly (the byte-identity invariant).
+    fn last_poll_cost(&self) -> SimDuration {
+        self.poll_cost()
+    }
+
+    /// The transfer ledger of the link this backend is served over, when
+    /// it is deployed remotely. `None` (the default) means in-band: no
+    /// wire, no wire telemetry.
+    fn wire_stats(&self) -> Option<simkit::wire::LinkStats> {
+        None
+    }
 }
 
 /// Validate a user-requested interval against a backend.

@@ -5,6 +5,7 @@ use crate::reading::DataPoint;
 use bgq_sim::{BgqMachine, DomainReading, EmonApi, EMON_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::fault::FaultPlan;
+use simkit::wire::LinkSpec;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -39,6 +40,14 @@ impl BgqBackend {
     /// The node card this backend reads (the 32-node granularity).
     pub fn board_index(&self) -> usize {
         self.api.board_index()
+    }
+
+    /// The link personality an out-of-band deployment of this mechanism
+    /// rides on. On a real BG/Q the environmental data flows over the
+    /// service network into the environmental database — a management-
+    /// class hop, not a node-local call.
+    pub fn service_link() -> LinkSpec {
+        LinkSpec::mgmt()
     }
 }
 
@@ -135,6 +144,12 @@ impl EnvBackend for BgqBackend {
                  phase change inside a generation lands in some domains only",
             ),
             L::new("cost", "each query costs ~1.10 ms (0.19% at 560 ms)"),
+            L::new(
+                "deployment",
+                "in-band EMON queries run on the node card itself; the \
+                 environmental database copy arrives out-of-band over the \
+                 service network and lags by minutes",
+            ),
         ]
     }
 }

@@ -5,6 +5,7 @@ use crate::reading::DataPoint;
 use mic_sim::{PhiCard, ScifNetwork, Smc, SysMgmtSession, MIC_API_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::fault::FaultPlan;
+use simkit::wire::LinkSpec;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -44,6 +45,14 @@ impl MicApiBackend {
     pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
         self.gate = FaultGate::from_plan(plan, label, mic_sim::fault_profile());
         self
+    }
+
+    /// The link personality an out-of-band deployment of this mechanism
+    /// rides on. SysMgmt is in-band (host-to-card SCIF on the node
+    /// itself); remote service relays through the host over the cluster
+    /// interconnect — a LAN-class hop on top of the 14.2 ms query.
+    pub fn service_link() -> LinkSpec {
+        LinkSpec::lan()
     }
 }
 
@@ -126,6 +135,11 @@ impl EnvBackend for MicApiBackend {
                 "collection code runs on the card per query, raising the \
                  card's power over idle -- the readings include the cost of \
                  taking them",
+            ),
+            L::new(
+                "deployment",
+                "in-band over host-to-card SCIF; every query competes with \
+                 the application for the card's cores and the PCIe link",
             ),
         ]
     }

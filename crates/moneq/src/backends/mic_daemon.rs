@@ -7,6 +7,7 @@ use mic_sim::micras::{PowerFileReading, POWER_FILE, TEMP_FILE};
 use mic_sim::{MicrasDaemon, PhiCard, Smc, MIC_DAEMON_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::fault::FaultPlan;
+use simkit::wire::LinkSpec;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -40,6 +41,14 @@ impl MicDaemonBackend {
     pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
         self.gate = FaultGate::from_plan(plan, label, mic_sim::fault_profile());
         self
+    }
+
+    /// The link personality an out-of-band deployment of this mechanism
+    /// rides on. The MICRAS daemon's SMC data also surfaces on the
+    /// management fabric (IPMB to the chassis controller), so the natural
+    /// remote personality is a management-class link.
+    pub fn service_link() -> LinkSpec {
+        LinkSpec::mgmt()
     }
 
     /// Temperature read (a second pseudo-file; optional extra cost).
@@ -132,6 +141,12 @@ impl EnvBackend for MicDaemonBackend {
                 "staleness",
                 "readings are the SMC's latest 50 ms generation, not a fresh \
                  sample",
+            ),
+            L::new(
+                "deployment",
+                "the same SMC generations are reachable out-of-band over the \
+                 management fabric (IPMB), trading the on-device contention \
+                 for management-network latency",
             ),
         ]
     }

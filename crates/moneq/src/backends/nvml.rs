@@ -5,6 +5,7 @@ use crate::reading::DataPoint;
 use nvml_sim::{Nvml, NVML_QUERY_COST};
 use powermodel::{Metric, Platform, Support};
 use simkit::fault::FaultPlan;
+use simkit::wire::LinkSpec;
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -54,6 +55,14 @@ impl NvmlBackend {
     pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
         self.gate = FaultGate::from_plan(plan, label, nvml_sim::fault_profile());
         self
+    }
+
+    /// The link personality an out-of-band deployment of this mechanism
+    /// rides on. NVML is in-band (a library call crossing the node's own
+    /// PCI bus), so remote service means a node-local daemon relaying
+    /// over the cluster interconnect — the cuda-over-ip arrangement.
+    pub fn service_link() -> LinkSpec {
+        LinkSpec::lan()
     }
 }
 
@@ -180,6 +189,11 @@ impl EnvBackend for NvmlBackend {
                 "cost",
                 "every query crosses the PCI bus: ~1.3 ms per call (1.3% at \
                  a 100 ms interval)",
+            ),
+            L::new(
+                "deployment",
+                "in-band via the host driver; off-node access (nvml over ip) \
+                 adds a network round-trip per query on top of the PCI cost",
             ),
         ]
     }

@@ -5,6 +5,7 @@ use crate::reading::DataPoint;
 use powermodel::{Metric, Platform, Support};
 use rapl_sim::{MsrAccess, MsrDevice, PowerReader, RaplDomain, SocketModel, MSR_QUERY_COST};
 use simkit::fault::FaultPlan;
+use simkit::wire::LinkSpec;
 use simkit::{NoiseStream, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -39,6 +40,14 @@ impl RaplBackend {
     pub fn with_faults(mut self, plan: &FaultPlan, label: &str) -> Self {
         self.gate = FaultGate::from_plan(plan, label, rapl_sim::fault_profile());
         self
+    }
+
+    /// The link personality an out-of-band deployment of this mechanism
+    /// rides on. RAPL is an in-band mechanism — the MSRs only exist on
+    /// the node — so serving it remotely means a node-local collection
+    /// daemon answering over the cluster interconnect: a LAN-class hop.
+    pub fn service_link() -> LinkSpec {
+        LinkSpec::lan()
     }
 
     fn snapshots(&self, t: SimTime) -> [u64; 4] {
@@ -165,6 +174,12 @@ impl EnvBackend for RaplBackend {
                 "access",
                 "MSR reads need root or an explicitly configured read-only \
                  msr device; the perf path needs kernel >= 3.14",
+            ),
+            L::new(
+                "deployment",
+                "strictly in-band: the MSRs exist only on the node, so any \
+                 off-node view must relay through a daemon and inherits the \
+                 relay's latency and loss",
             ),
         ]
     }

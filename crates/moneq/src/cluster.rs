@@ -11,7 +11,7 @@ use crate::backend::EnvBackend;
 use crate::completeness::Completeness;
 use crate::output::OutputFile;
 use crate::overhead::OverheadReport;
-use crate::plan::{CollectionPlan, SharedReadCache};
+use crate::plan::{CollectionPlan, Deployment, SharedReadCache};
 use crate::session::{FinalizeResult, MonEq, MonEqConfig};
 use simkit::{CacheStats, SimDuration, SimTime, Telemetry, TelemetryReport, TimeSeries};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -495,6 +495,13 @@ impl ClusterRun {
     pub fn with_collection_plan(mut self, plan: CollectionPlan) -> Self {
         self.plan = plan;
         self.caches.clear();
+        // Deployment before sharing: a remote leader's fetch cost is the
+        // wire round-trip, paid once per domain like any access path.
+        if let Deployment::Remote(link) = plan.deployment() {
+            for session in &mut self.sessions {
+                session.deploy_remote(link);
+            }
+        }
         if plan.is_shared() {
             self.caches = (0..plan.domains(self.sessions.len()))
                 .map(|_| Arc::new(SharedReadCache::new()))

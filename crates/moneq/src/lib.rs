@@ -64,6 +64,14 @@
 //! default; when on, output files stay byte-identical (sensors are
 //! deterministic functions of grid time) — only the charged collection
 //! cost drops.
+//!
+//! The deployment axis ([`plan::Deployment`]) makes the paper's in-band
+//! vs. out-of-band distinction first-class: `Remote(link)` serves every
+//! poll over a framed [`simkit::wire`] exchange through a
+//! [`remote::RemoteBackend`], charging serialize/flight/deserialize time
+//! on the virtual clock and subjecting reads to the link's fault weather.
+//! Over a zero-cost, zero-fault link a remote run is byte-identical to
+//! the local one — the invariant the transport test suite pins.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -77,6 +85,7 @@ pub mod overhead;
 pub mod plan;
 pub mod reading;
 pub mod records;
+pub mod remote;
 pub mod session;
 pub mod tags;
 
@@ -87,8 +96,9 @@ pub use cluster::{host_cpus, ClusterResult, ClusterRun, SchedStats};
 pub use completeness::Completeness;
 pub use output::{OutputError, OutputFile, ParseError};
 pub use overhead::{finalize_time, init_time, OverheadReport};
-pub use plan::{CollectionPlan, SharedLookup, SharedRead, SharedReadCache};
+pub use plan::{CollectionPlan, Deployment, SharedLookup, SharedRead, SharedReadCache};
 pub use reading::DataPoint;
 pub use records::{DataPointRef, Records};
+pub use remote::{BackendServer, RemoteBackend, RemoteMeta};
 pub use session::{FinalizeResult, MonEq, MonEqConfig};
 pub use tags::{TagEvent, TagKind};

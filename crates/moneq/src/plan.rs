@@ -27,9 +27,24 @@
 //! so the next rank in the domain takes over.
 
 use crate::backend::Poll;
+use simkit::wire::LinkSpec;
 use simkit::{CacheLookup, CacheStats, CadenceCache, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Where the mechanism's access path terminates: the paper's in-band vs.
+/// out-of-band axis as a deployment knob.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum Deployment {
+    /// In-band: the agent crosses the access path with a direct
+    /// in-process call (the pre-wire behaviour, and the default).
+    #[default]
+    Local,
+    /// Out-of-band: every poll is a framed request/response exchange over
+    /// a simulated link with this personality. Each rank's link weather is
+    /// independent (the cluster salts the link's noise streams by rank).
+    Remote(LinkSpec),
+}
 
 /// How agent ranks map onto shared sensors.
 ///
@@ -38,9 +53,10 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// rank in a domain has to be attached to the *same* device (the same node
 /// card, socket, or card), because a stored read may be distributed to any
 /// rank of the domain.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CollectionPlan {
     domain_size: usize,
+    deployment: Deployment,
 }
 
 impl CollectionPlan {
@@ -48,7 +64,10 @@ impl CollectionPlan {
     /// default. No cache is consulted at all, so runs are bit-identical
     /// to builds that predate the planner.
     pub fn per_agent() -> Self {
-        CollectionPlan { domain_size: 1 }
+        CollectionPlan {
+            domain_size: 1,
+            deployment: Deployment::Local,
+        }
     }
 
     /// `domain_size` consecutive ranks share one sensor.
@@ -56,13 +75,30 @@ impl CollectionPlan {
     /// Panics if `domain_size` is zero.
     pub fn shared(domain_size: usize) -> Self {
         assert!(domain_size >= 1, "a sharing domain needs at least one rank");
-        CollectionPlan { domain_size }
+        CollectionPlan {
+            domain_size,
+            deployment: Deployment::Local,
+        }
     }
 
     /// The BG/Q sharing domain: 32 nodes per node card, one EMON sensor
     /// set for all of them (§II-A).
     pub fn node_card() -> Self {
         Self::shared(32)
+    }
+
+    /// Deploy every mechanism in this plan behind `deployment` — e.g.
+    /// `Deployment::Remote(LinkSpec::mgmt())` serves all polls over a
+    /// management-network link. Composes with sharing: a remote leader's
+    /// fetch cost is still paid once per domain.
+    pub fn deployed(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Where this plan's mechanisms are served from.
+    pub fn deployment(&self) -> Deployment {
+        self.deployment
     }
 
     /// Ranks per sharing domain.

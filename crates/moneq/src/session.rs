@@ -25,7 +25,9 @@ use crate::output::OutputFile;
 use crate::overhead::{finalize_time, init_time, OverheadReport, IO_STRIPE_WIDTH};
 use crate::plan::{SharedLookup, SharedRead, SharedReadCache};
 use crate::records::Records;
+use crate::remote::{null_backend, RemoteBackend};
 use crate::tags::{TagEvent, TagKind};
+use simkit::wire::LinkSpec;
 use simkit::{CounterId, HistogramId, SamplingPolicy, SimDuration, SimTime, SpanId, Telemetry};
 use std::sync::Arc;
 
@@ -371,6 +373,24 @@ impl MonEq {
         self.shared_cache = Some(cache);
     }
 
+    /// Serve every attached mechanism over a simulated link: each slot's
+    /// backend is wrapped in a [`RemoteBackend`] on `link`, with the
+    /// link's noise streams salted by this session's rank so each rank
+    /// gets independent weather from one shared [`LinkSpec`]. The cluster
+    /// calls this when the collection plan says
+    /// [`Deployment::Remote`](crate::plan::Deployment::Remote); call it
+    /// before any poll fires.
+    pub fn deploy_remote(&mut self, link: LinkSpec) {
+        for slot in &mut self.slots {
+            let inner = std::mem::replace(&mut slot.backend, null_backend());
+            slot.backend = Box::new(RemoteBackend::connect_salted(
+                inner,
+                link,
+                u64::from(self.rank),
+            ));
+        }
+    }
+
     /// The effective polling interval.
     pub fn interval(&self) -> SimDuration {
         self.interval
@@ -511,9 +531,6 @@ impl MonEq {
                 }
             }
         }
-        if charged {
-            self.collection_cost += slot.backend.poll_cost();
-        }
         let mut attempt = 0u32;
         let outcome = loop {
             if let Some(poll) = replay.take() {
@@ -549,6 +566,17 @@ impl MonEq {
                 }
             }
         };
+        // Charge the access path once per poll, after the outcome settles:
+        // for local mechanisms `last_poll_cost` is the static `poll_cost`
+        // (so charging before or after the read is equivalent); for remote
+        // ones it is the measured round-trip of the poll that just ran,
+        // which only exists now. Failed polls still charge — the access
+        // path was crossed even when the mechanism served nothing — except
+        // when the wire itself never completed an exchange, in which case
+        // the whole loss is the stall already charged to fault recovery.
+        if charged {
+            self.collection_cost += slot.backend.last_poll_cost();
+        }
         // The generation's leader publishes its outcome so co-resident
         // ranks share the fetch. Values are stored only for replayable
         // backends; otherwise a cost-only marker is published and
@@ -677,13 +705,24 @@ impl MonEq {
             // occupancy, and the closing of the session span.
             for i in 0..self.slots.len() {
                 let name = self.slots[i].backend.name();
-                let Some(gs) = self.slots[i].backend.gate_stats() else {
-                    continue;
-                };
-                for (kind, n) in gs.kinds() {
-                    if n > 0 {
-                        self.telemetry.count(&format!("gate.{kind}/{name}"), n);
+                if let Some(gs) = self.slots[i].backend.gate_stats() {
+                    for (kind, n) in gs.kinds() {
+                        if n > 0 {
+                            self.telemetry.count(&format!("gate.{kind}/{name}"), n);
+                        }
                     }
+                }
+                // Remotely-deployed mechanisms also fold their link's
+                // transfer ledger: wire.{tx,rx,…}/{mechanism} counters
+                // plus the round-trip histogram.
+                if let Some(ws) = self.slots[i].backend.wire_stats() {
+                    for (kind, n) in ws.kinds() {
+                        if n > 0 {
+                            self.telemetry.count(&format!("wire.{kind}/{name}"), n);
+                        }
+                    }
+                    self.telemetry
+                        .merge_histogram(&format!("wire.rtt/{name}"), &ws.rtt);
                 }
             }
             let waves = self.config.total_agents.max(1).div_ceil(IO_STRIPE_WIDTH) as u64;

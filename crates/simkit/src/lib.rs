@@ -29,7 +29,11 @@
 //!   concurrent readers as copy-on-write [`StoreSnapshot`]s;
 //! * [`telemetry`] — zero-cost-when-disabled observability ([`Telemetry`]):
 //!   named counters, simulated-time log₂ histograms, hierarchical spans,
-//!   and mergeable [`TelemetryReport`] snapshots.
+//!   and mergeable [`TelemetryReport`] snapshots;
+//! * [`wire`] — a framed binary protocol ([`Frame`]/[`WireError`]) plus a
+//!   deterministic simulated link ([`SimTransport`] over a [`LinkSpec`])
+//!   so mechanisms can be served remotely with exact latency/fault
+//!   accounting on the virtual clock.
 //!
 //! Determinism is a hard requirement: the same seed must reproduce every
 //! figure byte-for-byte. Nothing in this crate reads wall-clock time or
@@ -48,6 +52,7 @@ pub mod stats;
 pub mod store;
 pub mod telemetry;
 pub mod time;
+pub mod wire;
 
 pub use cache::{CacheLookup, CacheStats, CadenceCache};
 pub use event::{EventQueue, ScheduledEvent};
@@ -64,3 +69,4 @@ pub use telemetry::{
     CounterId, HistogramId, LogHistogram, SpanId, SpanStats, Telemetry, TelemetryReport,
 };
 pub use time::{SimDuration, SimTime};
+pub use wire::{Frame, LinkSpec, LinkStats, SimTransport, Transport, WireError};

@@ -784,6 +784,60 @@ mod tests {
     }
 
     #[test]
+    fn bin_boundary_samples_are_counted_exactly_once() {
+        // Regression: a sample whose timestamp sits exactly on a tier-bin
+        // grid edge arrives in the same `record` call that closes the
+        // previous bin, pushes it into a full tier ring (evicting), and
+        // evicts from the full raw ring. Every counter must move exactly
+        // once — the sample in exactly one bin, never both sides of the
+        // edge, and never dropped.
+        let mut store = TsStore::new(tiny());
+        let id = store.series("a/dev/dom");
+        let w = SimDuration::from_secs(1);
+        let n = 10u64; // 10 bins against tier capacity 4 → tier eviction
+        for k in 0..n {
+            let start = SimTime::from_secs(k);
+            // One sample exactly on the bin start, one at the last
+            // nanosecond of the same bin: first and last instants of bin k.
+            store.record(id, start, value(2 * k));
+            store.record(id, start + w - SimDuration::from_nanos(1), value(2 * k + 1));
+        }
+        let d = store.get(id);
+        // Every retained 1 s bin holds exactly its two edge samples.
+        for bin in d.tier_bins(0) {
+            assert_eq!(bin.count, 2, "bin at {}", bin.start);
+            assert_eq!(bin.start, bin.start.grid_floor(SimTime::ZERO, w));
+        }
+        // Exactly-once across the tier ring edge: retained bin samples
+        // plus two per evicted bin account for everything recorded.
+        let retained: u64 = d.tier_bins(0).map(|b| b.count).sum();
+        assert_eq!(retained + 2 * d.tier_evicted(0), 2 * n);
+        // The store-wide ledger balances the same tick: 9 bins closed
+        // (the 10th is still open), 5 of them evicted past capacity 4.
+        let stats = store.stats();
+        assert_eq!(stats.recorded, 2 * n);
+        assert_eq!(stats.rejected_late, 0);
+        assert_eq!(stats.bins_closed, n - 1);
+        assert_eq!(stats.bins_evicted, n - 1 - 4);
+        assert_eq!(stats.raw_evicted, 2 * n - 8);
+        assert_eq!(d.raw_len(), 8);
+        // The 60 s tier holds the same 20 samples in its one open bin.
+        assert_eq!(d.tier_bins(1).map(|b| b.count).sum::<u64>(), 2 * n);
+        // Bin-aligned query windows cut exactly on the edge: [k, k+1)
+        // takes bin k whole — including the open bin — and nothing else.
+        assert_eq!(
+            d.aggregate(0, SimTime::from_secs(8), SimTime::from_secs(9))
+                .count,
+            2
+        );
+        assert_eq!(
+            d.aggregate(0, SimTime::from_secs(9), SimTime::from_secs(10))
+                .count,
+            2
+        );
+    }
+
+    #[test]
     fn empty_aggregate_has_no_mean() {
         let agg = Aggregate::default();
         assert!(agg.is_empty());

@@ -428,6 +428,21 @@ impl Telemetry {
         inner.hists[i].record(d);
     }
 
+    /// Fold a whole pre-built histogram into the named histogram (used to
+    /// import per-link round-trip ledgers at finalize). Empty histograms
+    /// are skipped so they do not intern a name that was never observed.
+    #[inline]
+    pub fn merge_histogram(&mut self, name: &str, h: &LogHistogram) {
+        if h.is_empty() {
+            return;
+        }
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let i = inner.intern_hist(name) as usize;
+        inner.hists[i].merge(h);
+    }
+
     /// Open a named span at simulated instant `at` (cold-path string API;
     /// delegates through the intern table).
     #[inline]

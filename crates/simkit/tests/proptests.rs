@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use simkit::stats::{quantile_sorted, regularized_incomplete_beta, BoxplotSummary, RunningStats};
-use simkit::{DetRng, EventQueue, NoiseStream, SimDuration, SimTime, TimeSeries};
+use simkit::{
+    DetRng, EventQueue, FaultOutcome, FaultPlan, FaultSpec, NoiseStream, SimDuration, SimTime,
+    TimeSeries,
+};
 
 proptest! {
     #[test]
@@ -119,6 +122,51 @@ proptest! {
             }
             last = Some((ev.at, ev.payload));
         }
+    }
+
+    /// Fault draws are indexed by `(device, t, attempt)`, never sequential:
+    /// a timeout on one device — and the whole retry storm it triggers,
+    /// extra attempt draws and record-drop draws included — must not shift
+    /// a single outcome on any other device. A stateful shared RNG would
+    /// fail this on the first interleaving.
+    #[test]
+    fn fault_draws_are_isolated_per_device(
+        seed in 0u64..1_000,
+        probes in prop::collection::vec((0u64..100_000u64, 0u32..4), 1..40),
+        interference in prop::collection::vec((0u64..100_000u64, 0u32..6), 0..60),
+    ) {
+        let spec = FaultSpec {
+            timeout: 0.3,
+            transient: 0.2,
+            drop_record: 0.2,
+            ..FaultSpec::zero()
+        };
+        let plan = FaultPlan::Uniform { seed, spec };
+        // Baseline: device B's fate at every probe with device A silent.
+        let quiet = plan.process_for("devB", FaultSpec::zero()).unwrap();
+        let baseline: Vec<(FaultOutcome, bool)> = probes
+            .iter()
+            .map(|&(ms, att)| {
+                let t = SimTime::from_millis(ms);
+                (quiet.outcome(t, att), quiet.drop_record(t, att as usize))
+            })
+            .collect();
+        // Interfered run: device A is hammered with arbitrary draws —
+        // retries at high attempt indices, drop decisions — interleaved
+        // before every single B probe.
+        let a = plan.process_for("devA", FaultSpec::zero()).unwrap();
+        let b = plan.process_for("devB", FaultSpec::zero()).unwrap();
+        let mut observed = Vec::with_capacity(probes.len());
+        for (i, &(ms, att)) in probes.iter().enumerate() {
+            for &(ams, aatt) in &interference {
+                let at = SimTime::from_millis(ams + i as u64);
+                let _ = a.outcome(at, aatt);
+                let _ = a.drop_record(at, aatt as usize);
+            }
+            let t = SimTime::from_millis(ms);
+            observed.push((b.outcome(t, att), b.drop_record(t, att as usize)));
+        }
+        prop_assert_eq!(baseline, observed);
     }
 
     #[test]

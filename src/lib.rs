@@ -58,10 +58,12 @@ pub mod prelude {
         BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend,
     };
     pub use moneq::{
-        ClusterRun, Completeness, EnvBackend, MonEq, MonEqConfig, ReadError, RetryPolicy,
+        ClusterRun, CollectionPlan, Completeness, Deployment, EnvBackend, MonEq, MonEqConfig,
+        ReadError, RemoteBackend, RetryPolicy,
     };
     pub use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
     pub use powermodel::{DemandTrace, Metric, Platform, Support, TrueEnergyLedger};
     pub use rapl_sim::{MsrAccess, RaplDomain, SocketModel, SocketSpec};
+    pub use simkit::wire::LinkSpec;
     pub use simkit::{FaultPlan, FaultSpec, SamplingPolicy, SimDuration, SimTime, TimeSeries};
 }

@@ -29,6 +29,19 @@ fn render_session(backend: Box<dyn EnvBackend>, seconds: u64) -> String {
     session.finalize(end).file.render()
 }
 
+/// The same session with the backend deployed behind the zero-fault,
+/// zero-latency wire (DESIGN.md §14). The defining invariant of the
+/// remote layer is that this changes nothing — which is why the remote
+/// golden test below checks against the *same* golden file as its local
+/// twin instead of blessing a `-remote` variant.
+fn render_remote_session(backend: Box<dyn EnvBackend>, seconds: u64) -> String {
+    let mut session = MonEq::initialize(0, vec![backend], MonEqConfig::default(), SimTime::ZERO);
+    session.deploy_remote(LinkSpec::ideal());
+    let end = SimTime::from_secs(seconds);
+    session.run_until(end);
+    session.finalize(end).file.render()
+}
+
 /// Compare against `tests/golden/{name}.txt`, or regenerate it when
 /// `GOLDEN_BLESS=1`.
 fn check(name: &str, actual: &str) {
@@ -112,6 +125,19 @@ fn golden_nvml() {
         "nvml",
         &render_session(Box::new(NvmlBackend::new(nvml)), 12),
     );
+}
+
+#[test]
+fn golden_rapl_msr_remote_over_ideal_link() {
+    // Byte-identical to `golden_rapl_msr`: serialize → wire → deserialize
+    // with zero faults and zero latency must not move a single byte of the
+    // output file, including the statefully-computed energy deltas.
+    let socket = Arc::new(SocketModel::new(
+        SocketSpec::default(),
+        &GaussianElimination::figure3().profile(),
+    ));
+    let backend = RaplBackend::new(socket, MsrAccess::user_with_readonly(), 2).unwrap();
+    check("rapl-msr", &render_remote_session(Box::new(backend), 30));
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Property tests for the framed wire protocol and remote deployment
+//! (DESIGN.md §14).
+//!
+//! Three layers, three properties:
+//!
+//! * **Framing** — `Frame` encode/decode round-trips arbitrary payloads,
+//!   and stream decode consumes exactly one frame.
+//! * **Codecs** — a fault-free wire round trip is lossless for every
+//!   reading shape the mechanisms produce: all optional rails, stale
+//!   flags, unicode device names, and every `f64` bit pattern short of
+//!   NaN (f64s travel as bit patterns, so even `-0.0` and subnormals
+//!   survive byte-exact).
+//! * **Deployment** — a parallel `ClusterRun` of *remote* sessions is
+//!   byte-identical to a serial one: the wire layer must not introduce
+//!   any worker-pool-order dependence the local path doesn't have.
+
+use envmon::prelude::*;
+use moneq::remote::{decode_poll, decode_read_error, encode_poll, encode_read_error};
+use moneq::{ClusterResult, ClusterRun, DataPoint, Poll};
+use proptest::prelude::*;
+use simkit::wire::{Frame, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Any `f64` bit pattern except NaN (NaN breaks `==` comparison, not the
+/// codec), plus the edge values worth hitting every run.
+fn wire_f64() -> impl Strategy<Value = f64> {
+    (any::<u64>(), 0u8..8)
+        .prop_map(|(bits, pick)| match pick {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::MIN_POSITIVE,
+            5 => f64::MAX,
+            _ => f64::from_bits(bits),
+        })
+        .prop_filter("NaN has no ==", |v| !v.is_nan())
+}
+
+fn point() -> impl Strategy<Value = DataPoint> {
+    (
+        any::<u64>(),
+        ".{0,16}",
+        ".{0,16}",
+        wire_f64(),
+        prop::option::of(wire_f64()),
+        prop::option::of(wire_f64()),
+        prop::option::of(wire_f64()),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(ts, device, domain, watts, volts, amps, temp_c, stale)| DataPoint {
+                timestamp: SimTime::from_nanos(ts),
+                device,
+                domain,
+                watts,
+                volts,
+                amps,
+                temp_c,
+                stale,
+            },
+        )
+}
+
+fn read_error() -> impl Strategy<Value = ReadError> {
+    (0u8..4, ".{0,24}", any::<u64>()).prop_map(|(pick, msg, n)| match pick {
+        0 => ReadError::Transient(msg),
+        1 => ReadError::Timeout {
+            stalled: SimDuration::from_nanos(n),
+        },
+        2 => ReadError::NoData,
+        _ => ReadError::Unavailable(msg),
+    })
+}
+
+/// A BG/Q cluster with every session's backend deployed behind the given
+/// link. Mirrors `cluster_parallel_prop.rs`; `with_host_cpus` lifts the
+/// CPU cap so the real worker pool runs even on a single-CPU host.
+fn run_remote_cluster(
+    seed: u64,
+    agents: usize,
+    secs: u64,
+    par_agents: usize,
+    link: LinkSpec,
+) -> ClusterResult {
+    let profile = {
+        let mut p = WorkloadProfile::new("prop", SimDuration::from_secs(secs));
+        p.set_demand(
+            Channel::Cpu,
+            powermodel::PhaseBuilder::new()
+                .phase(SimDuration::from_secs(secs), 0.6)
+                .build(),
+        );
+        p
+    };
+    let mut machine = BgqMachine::new(BgqConfig::default(), seed);
+    let boards: Vec<usize> = (0..agents.min(32)).collect();
+    machine.assign_job(&boards, &profile);
+    let machine = Arc::new(machine);
+    let mut run = ClusterRun::launch(
+        agents,
+        None,
+        |rank| Box::new(BgqBackend::new(machine.clone(), rank % 32)),
+        |rank| format!("agent{rank:04}"),
+        SimTime::ZERO,
+    )
+    .with_collection_plan(CollectionPlan::per_agent().deployed(Deployment::Remote(link)))
+    .with_par_agents(par_agents)
+    .with_host_cpus(par_agents.max(1));
+    let end = SimTime::from_secs(secs);
+    run.run_until(end);
+    run.finalize(end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::scaled(10))]
+
+    #[test]
+    fn frame_roundtrips_arbitrary_payloads(
+        kind in any::<u8>(),
+        seq in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let frame = Frame::new(kind, seq, payload);
+        let wire = frame.encode();
+        prop_assert_eq!(Frame::decode(&wire).unwrap(), frame.clone());
+        // Stream decode consumes exactly one frame, whatever follows.
+        let mut stream = wire.clone();
+        stream.extend_from_slice(&[0xA5; 13]);
+        let (again, used) = Frame::decode_prefix(&stream).unwrap();
+        prop_assert_eq!(again, frame);
+        prop_assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn poll_codec_is_lossless_for_every_reading_shape(
+        points in prop::collection::vec(point(), 0..24),
+        missing in any::<u32>(),
+    ) {
+        let poll = Poll { points, missing };
+        let mut w = WireWriter::new();
+        encode_poll(&mut w, &poll);
+        let payload = w.finish();
+        let mut r = WireReader::new(&payload);
+        let back = decode_poll(&mut r).unwrap();
+        r.expect_end().unwrap();
+        prop_assert_eq!(back, poll);
+    }
+
+    #[test]
+    fn read_error_codec_is_lossless(e in read_error()) {
+        let mut w = WireWriter::new();
+        encode_read_error(&mut w, &e);
+        let payload = w.finish();
+        let mut r = WireReader::new(&payload);
+        let back = decode_read_error(&mut r).unwrap();
+        r.expect_end().unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    /// Remote sessions stay order-independent: the worker pool must be a
+    /// pure wall-clock optimization with the wire in the path, exactly as
+    /// it is for local backends. The link carries real latency (but no
+    /// faults) so the wire actually shifts timestamps — and shifts them
+    /// identically at every pool width.
+    #[test]
+    fn remote_parallel_equals_remote_serial(
+        seed in 0u64..1_000,
+        agents in 4usize..12,
+        workers in 2usize..6,
+    ) {
+        let link = LinkSpec::lan();
+        let serial = run_remote_cluster(seed, agents, 3, 1, link);
+        let parallel = run_remote_cluster(seed, agents, 3, workers, link);
+        prop_assert_eq!(&serial.files, &parallel.files);
+        prop_assert_eq!(&serial.overheads, &parallel.overheads);
+        prop_assert_eq!(serial.dropped_records, parallel.dropped_records);
+        for (s, p) in serial.files.iter().zip(&parallel.files) {
+            prop_assert_eq!(s.render(), p.render());
+        }
+    }
+}
