@@ -14,11 +14,12 @@
 #   BENCH_cluster.json    speedup — parallel vs serial drive of the same
 #                         deterministic workload
 #   BENCH_telemetry.json  on/off wall ratio — cost of enabling telemetry
-#   BENCH_accuracy.json   cadence-error growth factors (NVML/EMON error
-#                         rises with transient frequency; EMON worst on
-#                         sub-560 ms bursts) plus two hard invariants:
-#                         every decomposition closes exactly and RAPL's
-#                         constant-workload error stays within one tick
+#   BENCH_accuracy.json   cadence-error growth factors (NVML/EMON/OCC
+#                         error rises with transient frequency; EMON worst
+#                         on sub-560 ms bursts) plus three hard
+#                         invariants: every decomposition closes exactly,
+#                         RAPL's constant-workload error stays within one
+#                         tick, and the OCC noise leg is a structural zero
 #   BENCH_query.json      serving invariants only — rollup tiers equal the
 #                         raw fold bit for bit (exact) and threaded query
 #                         clients match the serial referee (coherent); the
@@ -135,6 +136,9 @@ check_ge "emon cadence growth" \
 check_ge "nvml cadence growth" \
     "$(vals "$tmp/accuracy.json" nvml_cadence_growth)" \
     "$(vals BENCH_accuracy.json nvml_cadence_growth)"
+check_ge "occ cadence growth" \
+    "$(vals "$tmp/accuracy.json" occ_cadence_growth)" \
+    "$(vals BENCH_accuracy.json occ_cadence_growth)"
 check_ge "emon burst factor" \
     "$(vals "$tmp/accuracy.json" emon_burst_factor)" \
     "$(vals BENCH_accuracy.json emon_burst_factor)"
@@ -150,6 +154,19 @@ if vals "$tmp/accuracy.json" exact | grep -qv '^1$'; then
     fail=1
 else
     echo "ok   all decompositions close exactly"
+fi
+# The OCC's digital chain has no analog noise leg: its noise_j is a
+# structural zero on every schedule, fresh and committed alike.
+occ_zero_ok=1
+for f in "$tmp/accuracy.json" BENCH_accuracy.json; do
+    if vals "$f" occ_noise_zero | grep -qv '^1$'; then
+        echo "FAIL $f: the OCC noise leg is no longer a structural zero"
+        fail=1
+        occ_zero_ok=0
+    fi
+done
+if [[ $occ_zero_ok -eq 1 ]]; then
+    echo "ok   occ noise leg structurally zero (fresh + committed)"
 fi
 
 echo "==> query_sweep --quick"

@@ -10,7 +10,9 @@
 # attributable to a stage, not just to "the build got slower"; the test
 # suite runs as named stages (unit / property / golden / scale) so a slow
 # property sweep cannot hide behind "tests got slower".
-set -euo pipefail
+# -E (errtrace) so the ERR trap below fires for failures inside the
+# stage() function, not just at top level.
+set -Eeuo pipefail
 cd "$(dirname "$0")"
 
 quick=0
@@ -27,18 +29,49 @@ else
 fi
 
 # Run one named, timed stage. The command is a single string (eval'd) so
-# stages can carry env vars and redirections.
+# stages can carry env vars and redirections. Each stage's wall clock is
+# recorded for the end-of-run summary table, and the stage name is held in
+# current_stage so a failure is attributed by name, not by scrollback.
+stage_names=()
+stage_secs=()
+current_stage=""
 stage() {
     local name="$1" cmd="$2"
+    current_stage="$name"
     echo "==> $name"
     local t0=$SECONDS
     eval "$cmd"
-    echo "    ($name: $((SECONDS - t0))s)"
+    stage_names+=("$name")
+    stage_secs+=("$((SECONDS - t0))")
+    current_stage=""
 }
 
 skipped() {
     echo "==> SKIPPED ($1): $2"
+    stage_names+=("$2 [skipped]")
+    stage_secs+=("-")
 }
+
+# Name the failing stage on any error so a red run reads "FAILED in stage:
+# <name>" instead of making the reader walk the transcript backwards.
+on_err() {
+    if [[ -n "$current_stage" ]]; then
+        echo "CI FAILED in stage: $current_stage" >&2
+    else
+        echo "CI FAILED (outside any stage)" >&2
+    fi
+}
+trap on_err ERR
+
+# Golden-drift guard: a CI run must verify the committed goldens
+# byte-for-byte, never re-bless them. A GOLDEN_BLESS that leaks into CI
+# would turn the conformance gate into a no-op that silently rewrites the
+# reference outputs, so it is a hard error here.
+if [[ -n "${CI:-}" && -n "${GOLDEN_BLESS:-}" ]]; then
+    echo "error: GOLDEN_BLESS is set in a CI run; goldens must be" >&2
+    echo "re-blessed locally and committed, never inside the gate." >&2
+    exit 1
+fi
 
 stage "cargo fmt --check" \
     "cargo fmt --check"
@@ -51,6 +84,38 @@ stage "cargo clippy --workspace --all-targets -- -D warnings" \
 # (PoisonError::into_inner), and rank panics resurface with their rank id.
 stage "cargo clippy (simkit, moneq libs) -- -D clippy::unwrap_used" \
     "cargo clippy -p simkit -p moneq --lib -- -D warnings -D clippy::unwrap_used"
+
+# Workspace coverage: every first-party crate under crates/ must be a
+# workspace member, carry #![deny(missing_docs)], and appear in the README
+# crate map. A crate that slips any of the three is half-integrated: it
+# builds on someone's machine but ducks the doc lint and the reader's map.
+# The vendored offline shims are exempt (they mirror external APIs).
+workspace_coverage() {
+    local vendored='crossbeam|parking_lot|proptest|criterion'
+    local members crate ok=0
+    members="$(cargo metadata --no-deps --format-version 1 --offline \
+        | jq -r '.packages[].name')"
+    for dir in crates/*/; do
+        crate="$(basename "$dir")"
+        [[ "$crate" =~ ^($vendored)$ ]] && continue
+        if ! grep -qx "$crate" <<<"$members"; then
+            echo "    $crate: not a workspace member" >&2
+            ok=1
+        fi
+        if ! grep -q 'deny(missing_docs)' "$dir/src/lib.rs"; then
+            echo "    $crate: src/lib.rs lacks #![deny(missing_docs)]" >&2
+            ok=1
+        fi
+        if ! grep -q "crates/$crate" README.md; then
+            echo "    $crate: missing from the README crate map" >&2
+            ok=1
+        fi
+    done
+    return $ok
+}
+
+stage "workspace coverage (membership, missing_docs, README map)" \
+    "workspace_coverage"
 
 if [[ $quick -eq 0 ]]; then
     stage "cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)" \
@@ -85,10 +150,10 @@ stage "tests: doc (workspace doctests)" \
 stage "tests: property (PROPTEST_CASES=$pt_cases)" \
     "PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
         --test accuracy_prop --test cluster_parallel_prop \
-        --test fault_prop --test output_roundtrip_prop \
-        --test serve_prop --test telemetry_prop &&
+        --test fault_prop --test occ_prop --test output_roundtrip_prop \
+        --test serve_prop --test telemetry_prop --test transport_prop &&
      PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
-        -p bgq-sim -p hpc-workloads -p mic-sim -p nvml-sim \
+        -p bgq-sim -p hpc-workloads -p mic-sim -p nvml-sim -p occ-sim \
         -p powermodel -p rapl-sim -p simkit --test proptests &&
      PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
         -p moneq --test cache_prop --test tags_prop"
@@ -139,5 +204,20 @@ else
         "cargo run -q -p envmon-bench --bin transport_sweep -- \
             --smoke --out target/transport_smoke.json"
 fi
+
+# Per-stage timing summary: the same numbers each stage already printed,
+# gathered into one table so a CI-time regression is attributable at a
+# glance (and so skipped stages are visible as skipped, not just absent).
+echo
+echo "stage timing summary"
+printf '%7s  %s\n' "secs" "stage"
+total=0
+for i in "${!stage_names[@]}"; do
+    printf '%7s  %s\n' "${stage_secs[$i]}" "${stage_names[$i]}"
+    if [[ "${stage_secs[$i]}" != "-" ]]; then
+        total=$((total + stage_secs[i]))
+    fi
+done
+printf '%7s  %s\n' "$total" "total"
 
 echo "CI OK"

@@ -14,7 +14,8 @@
 //!   instantaneous signal on a grid (where the polls land relative to
 //!   the workload's transients);
 //! * **cadence** — serving a stale generation (560 ms EMON generations,
-//!   ~1 ms RAPL ticks, 60 ms NVML refreshes, 50 ms SMC windows);
+//!   ~1 ms RAPL ticks, 60 ms NVML refreshes, 50 ms SMC windows, 25 ms
+//!   OCC sensor buffers);
 //! * **averaging** — windowed-mean semantics standing in for an
 //!   instantaneous value (and NVML's power-limit clamp);
 //! * **noise** — the sensor-chain perturbation;
@@ -39,6 +40,6 @@
 pub mod probes;
 pub mod report;
 
-pub use probes::{standard_probes, EmonProbe, NvmlProbe, RaplProbe, SmcProbe};
+pub use probes::{standard_probes, EmonProbe, NvmlProbe, OccProbe, RaplProbe, SmcProbe};
 pub use report::{ErrorDecomposition, ErrorReport, MechanismProbe, PollStages};
 pub use simkit::SamplingPolicy;

@@ -61,9 +61,9 @@ impl AccuracyRow {
 /// cross-mechanism comparison, and the RAPL constant-workload bound.
 #[derive(Clone, Debug)]
 pub struct AccuracyTable {
-    /// Three profiles × four mechanisms, profile-major in sweep order.
+    /// Three profiles × five mechanisms, profile-major in sweep order.
     pub sweep: Vec<AccuracyRow>,
-    /// The four mechanisms under the sub-560 ms burst wave.
+    /// The five mechanisms under the sub-560 ms burst wave.
     pub burst: Vec<AccuracyRow>,
     /// RAPL under a constant workload.
     pub rapl_constant: ErrorReport,
@@ -308,7 +308,7 @@ mod tests {
         let a = accuracy(7);
         let b = accuracy(7);
         assert_eq!(a.render(), b.render());
-        for name in ["bgq-emon", "rapl-msr", "nvml", "mic-smc"] {
+        for name in ["bgq-emon", "rapl-msr", "nvml", "mic-smc", "p9-occ"] {
             assert!(a.render().contains(name), "missing {name}");
         }
         assert!(a.render().contains("WITHIN"));

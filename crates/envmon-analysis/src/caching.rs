@@ -2,7 +2,8 @@
 //!
 //! Every mechanism publishes data on a fixed cadence (560 ms EMON
 //! generations, ~60 ms NVML register refreshes, 1 ms RAPL ticks, 50 ms SMC
-//! windows), yet a naive deployment charges every co-resident agent the
+//! windows, 25 ms OCC sensor buffers), yet a naive deployment charges
+//! every co-resident agent the
 //! full access-path cost for data that can only be the same generation.
 //! This table measures what the [`moneq::CollectionPlan`] recovers: each
 //! mechanism is run twice over the same virtual window — once with every
@@ -17,10 +18,9 @@
 //! (sensors are deterministic functions of grid time, so distribution
 //! changes cost, never data).
 
-use moneq::backends::{BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend};
+use crate::registry::{mechanisms, Mechanism};
 use moneq::{ClusterResult, ClusterRun, CollectionPlan, EnvBackend};
 use simkit::{CacheStats, SimDuration, SimTime};
-use std::sync::Arc;
 
 /// One mechanism's naive-vs-cached showing.
 #[derive(Clone, Debug)]
@@ -74,19 +74,21 @@ where
 }
 
 /// Run one mechanism both ways and fold the comparison into a row.
-fn compare<B>(mechanism: &str, domain: usize, mut make: B) -> CachingRow
-where
-    B: FnMut() -> Box<dyn FnMut(usize) -> Box<dyn EnvBackend>>,
-{
-    let naive = run_cluster(domain, None, &mut *make());
-    let cached = run_cluster(domain, Some(CollectionPlan::shared(domain)), &mut *make());
+fn compare(m: &Mechanism) -> CachingRow {
+    let domain = m.domain;
+    let naive = run_cluster(domain, None, &mut *m.factory());
+    let cached = run_cluster(
+        domain,
+        Some(CollectionPlan::shared(domain)),
+        &mut *m.factory(),
+    );
     let total = |r: &ClusterResult| {
         r.overheads
             .iter()
             .fold(SimDuration::ZERO, |acc, o| acc + o.collection)
     };
     CachingRow {
-        mechanism: mechanism.to_owned(),
+        mechanism: m.name.to_owned(),
         domain,
         polls: naive.overheads[0].polls,
         naive_collection: total(&naive),
@@ -100,73 +102,9 @@ where
 /// (faults interact with the cache too, but that path is exercised by the
 /// property tests — this table isolates the cost question).
 pub fn caching(seed: u64) -> CachingTable {
-    let mut rows = Vec::new();
-
-    // BG/Q: one node card, 32 nodes, one EMON sensor set (§II-A).
-    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
-    machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
-    let machine = Arc::new(machine);
-    rows.push(compare("bgq-emon", 32, || {
-        let machine = Arc::clone(&machine);
-        Box::new(move |_| Box::new(BgqBackend::new(Arc::clone(&machine), 0)) as Box<dyn EnvBackend>)
-    }));
-
-    // Stampede node: 16 ranks behind one socket's RAPL counters.
-    let socket = Arc::new(rapl_sim::SocketModel::new(
-        rapl_sim::SocketSpec::default(),
-        &hpc_workloads::GaussianElimination::figure3().profile(),
-    ));
-    rows.push(compare("rapl-msr", 16, || {
-        let socket = Arc::clone(&socket);
-        Box::new(move |_| {
-            Box::new(
-                RaplBackend::new(Arc::clone(&socket), rapl_sim::MsrAccess::root(), seed)
-                    .expect("root access"),
-            ) as Box<dyn EnvBackend>
-        })
-    }));
-
-    // 16 ranks on a node sharing one K20's NVML handle.
-    let nvml = Arc::new(nvml_sim::Nvml::init(
-        &[nvml_sim::DeviceConfig {
-            spec: nvml_sim::GpuSpec::k20(),
-            workload: hpc_workloads::Noop::figure4().profile(),
-            horizon: HORIZON + SimDuration::from_secs(30),
-        }],
-        seed,
-    ));
-    rows.push(compare("nvml", 16, || {
-        let nvml = Arc::clone(&nvml);
-        Box::new(move |_| Box::new(NvmlBackend::new(Arc::clone(&nvml))) as Box<dyn EnvBackend>)
-    }));
-
-    // 16 ranks sharing one Phi card, via both access paths.
-    let profile = hpc_workloads::Noop::figure7().profile();
-    let card = Arc::new(mic_sim::PhiCard::new(
-        mic_sim::PhiSpec::default(),
-        &profile,
-        powermodel::DemandTrace::zero(),
-        HORIZON + SimDuration::from_secs(30),
-    ));
-    let smc = Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed)));
-    rows.push(compare("mic-sysmgmt", 16, || {
-        let (card, smc) = (Arc::clone(&card), Arc::clone(&smc));
-        Box::new(move |_| {
-            Box::new(MicApiBackend::new(Arc::clone(&card), Arc::clone(&smc))) as Box<dyn EnvBackend>
-        })
-    }));
-    rows.push(compare("mic-micras", 16, || {
-        let (card, smc, profile) = (Arc::clone(&card), Arc::clone(&smc), profile.clone());
-        Box::new(move |_| {
-            Box::new(MicDaemonBackend::new(
-                Arc::clone(&card),
-                Arc::clone(&smc),
-                &profile,
-            )) as Box<dyn EnvBackend>
-        })
-    }));
-
-    CachingTable { rows }
+    CachingTable {
+        rows: mechanisms(seed, HORIZON).iter().map(compare).collect(),
+    }
 }
 
 impl CachingTable {
@@ -230,7 +168,7 @@ mod tests {
     #[test]
     fn outputs_identical_and_ledgers_reconcile_for_every_mechanism() {
         let t = caching(2015);
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), crate::registry::NAMES.len());
         for r in &t.rows {
             assert!(r.outputs_identical, "{} outputs diverged", r.mechanism);
             assert!(r.speedup() >= 10.0, "{} only {}x", r.mechanism, r.speedup());
@@ -252,7 +190,7 @@ mod tests {
         let a = caching(7);
         let b = caching(7);
         assert_eq!(a.render(), b.render());
-        for name in ["bgq-emon", "rapl-msr", "nvml", "mic-sysmgmt", "mic-micras"] {
+        for name in crate::registry::NAMES {
             assert!(a.render().contains(name), "missing {name}");
         }
     }

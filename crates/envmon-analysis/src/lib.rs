@@ -19,6 +19,7 @@
 //! | [`accuracy`] | The DESIGN.md §11 accuracy ablation: reported-vs-true energy per mechanism with the error decomposed into named components |
 //! | [`serving`] | The DESIGN.md §13 serving demonstration: the collection daemon + query front on the paper's node card, with exactness/parity/determinism verdicts |
 //! | [`transport`] | The DESIGN.md §14 transport ablation: in-band vs out-of-band deployment over the framed wire protocol, with byte-identity and exact-latency verdicts |
+//! | [`registry`] | The mechanism registry every cross-cutting experiment enumerates (add a mechanism once, every table picks it up) |
 //! | [`render`] | Plain-text table/series rendering shared by all of the above |
 
 #![forbid(unsafe_code)]
@@ -28,6 +29,7 @@ pub mod ablations;
 pub mod accuracy;
 pub mod caching;
 pub mod figures;
+pub mod registry;
 pub mod render;
 pub mod report;
 pub mod robustness;

@@ -1,0 +1,332 @@
+//! The one place that knows every vendor mechanism.
+//!
+//! The cross-cutting experiments (robustness, telemetry, caching,
+//! transport, the repro CLI's limitations listing) each need "one backend
+//! per mechanism, on its paper workload". Before this module existed every
+//! one of them hand-built that list, so adding a mechanism meant touching
+//! five match sites. Now they all iterate [`mechanisms`]; a sixth
+//! mechanism is one new entry here (plus its accuracy probe) and every
+//! table, sweep, and CI gate picks it up.
+//!
+//! Each [`Mechanism`] carries the mechanism's comparison metadata (paper
+//! band, sharing-domain size, fault-stream label, service-link
+//! personality) and two constructors: a clean per-rank factory and a
+//! faulted single-backend builder under the mechanism's own pathology
+//! profile. Devices are built once per [`mechanisms`] call and shared
+//! across ranks through `Arc`s — exactly the sharing the caching ablation
+//! measures.
+
+use moneq::backends::{
+    BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, OccBackend, RaplBackend,
+};
+use moneq::EnvBackend;
+use simkit::wire::LinkSpec;
+use simkit::{FaultPlan, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Paper-order mechanism names: the §II four (with the Phi's two access
+/// paths split out) followed by the post-paper POWER9 addition.
+pub const NAMES: [&str; 6] = [
+    "bgq-emon",
+    "rapl-msr",
+    "nvml",
+    "mic-sysmgmt",
+    "mic-micras",
+    "p9-occ",
+];
+
+type Build = Arc<dyn Fn(usize) -> Box<dyn EnvBackend> + Send + Sync>;
+type Faulted = Arc<dyn Fn(&FaultPlan) -> Box<dyn EnvBackend> + Send + Sync>;
+
+/// One vendor mechanism, ready to instantiate for any experiment.
+#[derive(Clone)]
+pub struct Mechanism {
+    /// The backend's `name()`.
+    pub name: &'static str,
+    /// The paper's axis: where this mechanism's data naturally lives.
+    pub band: &'static str,
+    /// The fault-stream label its faulted builder salts draws with.
+    pub fault_label: &'static str,
+    /// Agents sharing one sensor in the caching ablation (32 for the BG/Q
+    /// node card, 16 ranks per node elsewhere).
+    pub domain: usize,
+    /// The link personality an out-of-band deployment rides on.
+    pub service_link: LinkSpec,
+    build: Build,
+    faulted: Faulted,
+}
+
+impl std::fmt::Debug for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mechanism")
+            .field("name", &self.name)
+            .field("band", &self.band)
+            .field("fault_label", &self.fault_label)
+            .field("domain", &self.domain)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mechanism {
+    /// A clean backend for `rank` (ranks share the underlying device).
+    pub fn build(&self, rank: usize) -> Box<dyn EnvBackend> {
+        (self.build)(rank)
+    }
+
+    /// A backend subjected to `plan` under this mechanism's own pathology
+    /// profile, drawing from its [`fault_label`](Self::fault_label) stream.
+    pub fn faulted(&self, plan: &FaultPlan) -> Box<dyn EnvBackend> {
+        (self.faulted)(plan)
+    }
+
+    /// A boxed per-rank factory (the shape [`moneq::ClusterRun`] wants).
+    /// Factories from the same [`Mechanism`] share one device, so two
+    /// cluster runs over the same virtual window see identical sensors.
+    pub fn factory(&self) -> Box<dyn FnMut(usize) -> Box<dyn EnvBackend>> {
+        let build = Arc::clone(&self.build);
+        Box::new(move |rank| build(rank))
+    }
+}
+
+/// Build the full mechanism registry: every backend on its paper
+/// workload, with devices precomputed out to `horizon` plus a 30 s
+/// guard band. Deterministic in `seed`.
+pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
+    let device_horizon = horizon + SimDuration::from_secs(30);
+
+    // BG/Q node card running MMPS (§II-A, Figure 1).
+    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
+    machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
+    let machine = Arc::new(machine);
+    let bgq = Mechanism {
+        name: "bgq-emon",
+        band: "out-of-band",
+        fault_label: "nodecard0",
+        domain: 32,
+        service_link: BgqBackend::service_link(),
+        build: {
+            let machine = Arc::clone(&machine);
+            Arc::new(move |_| {
+                Box::new(BgqBackend::new(Arc::clone(&machine), 0)) as Box<dyn EnvBackend>
+            })
+        },
+        faulted: {
+            let machine = Arc::clone(&machine);
+            Arc::new(move |plan| {
+                Box::new(BgqBackend::new(Arc::clone(&machine), 0).with_faults(plan, "nodecard0"))
+            })
+        },
+    };
+
+    // Stampede socket running Gaussian elimination (§II-B, Figure 3).
+    let socket = Arc::new(rapl_sim::SocketModel::new(
+        rapl_sim::SocketSpec::default(),
+        &hpc_workloads::GaussianElimination::figure3().profile(),
+    ));
+    let rapl = Mechanism {
+        name: "rapl-msr",
+        band: "in-band",
+        fault_label: "socket0",
+        domain: 16,
+        service_link: RaplBackend::service_link(),
+        build: {
+            let socket = Arc::clone(&socket);
+            Arc::new(move |_| {
+                Box::new(
+                    RaplBackend::new(Arc::clone(&socket), rapl_sim::MsrAccess::root(), seed)
+                        .expect("root access"),
+                ) as Box<dyn EnvBackend>
+            })
+        },
+        faulted: {
+            let socket = Arc::clone(&socket);
+            Arc::new(move |plan| {
+                Box::new(
+                    RaplBackend::new(Arc::clone(&socket), rapl_sim::MsrAccess::root(), seed)
+                        .expect("root access")
+                        .with_faults(plan, "socket0"),
+                )
+            })
+        },
+    };
+
+    // K20 GPU idling through Noop (§II-C, Figure 4).
+    let nvml_lib = Arc::new(nvml_sim::Nvml::init(
+        &[nvml_sim::DeviceConfig {
+            spec: nvml_sim::GpuSpec::k20(),
+            workload: hpc_workloads::Noop::figure4().profile(),
+            horizon: device_horizon,
+        }],
+        seed,
+    ));
+    let nvml = Mechanism {
+        name: "nvml",
+        band: "in-band",
+        fault_label: "gpu0",
+        domain: 16,
+        service_link: NvmlBackend::service_link(),
+        build: {
+            let nvml_lib = Arc::clone(&nvml_lib);
+            Arc::new(move |_| {
+                Box::new(NvmlBackend::new(Arc::clone(&nvml_lib))) as Box<dyn EnvBackend>
+            })
+        },
+        faulted: {
+            let nvml_lib = Arc::clone(&nvml_lib);
+            Arc::new(move |plan| {
+                Box::new(NvmlBackend::new(Arc::clone(&nvml_lib)).with_faults(plan, "gpu0"))
+            })
+        },
+    };
+
+    // Xeon Phi card idling through Noop (§II-D, Figure 7), both access
+    // paths. Each path reads through its own SMC noise stream (`seed` for
+    // the in-band API, `seed ^ 1` for the daemon) so the two mechanisms'
+    // sensor chains perturb independently.
+    let profile = hpc_workloads::Noop::figure7().profile();
+    let card = Arc::new(mic_sim::PhiCard::new(
+        mic_sim::PhiSpec::default(),
+        &profile,
+        powermodel::DemandTrace::zero(),
+        device_horizon,
+    ));
+    let api_smc = Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed)));
+    let daemon_smc = Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed ^ 1)));
+    let mic_api = Mechanism {
+        name: "mic-sysmgmt",
+        band: "in-band",
+        fault_label: "mic0/api",
+        domain: 16,
+        service_link: MicApiBackend::service_link(),
+        build: {
+            let (card, smc) = (Arc::clone(&card), Arc::clone(&api_smc));
+            Arc::new(move |_| {
+                Box::new(MicApiBackend::new(Arc::clone(&card), Arc::clone(&smc)))
+                    as Box<dyn EnvBackend>
+            })
+        },
+        faulted: {
+            let (card, smc) = (Arc::clone(&card), Arc::clone(&api_smc));
+            Arc::new(move |plan| {
+                Box::new(
+                    MicApiBackend::new(Arc::clone(&card), Arc::clone(&smc))
+                        .with_faults(plan, "mic0/api"),
+                )
+            })
+        },
+    };
+    let mic_daemon = Mechanism {
+        name: "mic-micras",
+        band: "out-of-band",
+        fault_label: "mic0/daemon",
+        domain: 16,
+        service_link: MicDaemonBackend::service_link(),
+        build: {
+            let (card, smc, profile) =
+                (Arc::clone(&card), Arc::clone(&daemon_smc), profile.clone());
+            Arc::new(move |_| {
+                Box::new(MicDaemonBackend::new(
+                    Arc::clone(&card),
+                    Arc::clone(&smc),
+                    &profile,
+                )) as Box<dyn EnvBackend>
+            })
+        },
+        faulted: {
+            let (card, smc, profile) = (Arc::clone(&card), Arc::clone(&daemon_smc), profile);
+            Arc::new(move |plan| {
+                Box::new(
+                    MicDaemonBackend::new(Arc::clone(&card), Arc::clone(&smc), &profile)
+                        .with_faults(plan, "mic0/daemon"),
+                )
+            })
+        },
+    };
+
+    // POWER9 module running Gaussian elimination, read through the OCC's
+    // 25 ms sensor buffers (the post-paper fifth mechanism).
+    let chip = Arc::new(occ_sim::Power9Chip::new(
+        occ_sim::P9Spec::default(),
+        &hpc_workloads::GaussianElimination::figure3().profile(),
+        device_horizon,
+    ));
+    let occ_dev = Arc::new(occ_sim::Occ::new());
+    let occ = Mechanism {
+        name: "p9-occ",
+        band: "in-band",
+        fault_label: "p9chip0",
+        domain: 16,
+        service_link: OccBackend::service_link(),
+        build: {
+            let (chip, occ_dev) = (Arc::clone(&chip), Arc::clone(&occ_dev));
+            Arc::new(move |_| {
+                Box::new(OccBackend::new(Arc::clone(&chip), Arc::clone(&occ_dev)))
+                    as Box<dyn EnvBackend>
+            })
+        },
+        faulted: {
+            let (chip, occ_dev) = (Arc::clone(&chip), Arc::clone(&occ_dev));
+            Arc::new(move |plan| {
+                Box::new(
+                    OccBackend::new(Arc::clone(&chip), Arc::clone(&occ_dev))
+                        .with_faults(plan, "p9chip0"),
+                )
+            })
+        },
+    };
+
+    vec![bgq, rapl, nvml, mic_api, mic_daemon, occ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HORIZON: SimTime = SimTime::from_secs(60);
+
+    #[test]
+    fn registry_is_complete_and_in_paper_order() {
+        let ms = mechanisms(2015, HORIZON);
+        let names: Vec<&str> = ms.iter().map(|m| m.name).collect();
+        assert_eq!(names, NAMES);
+    }
+
+    #[test]
+    fn metadata_agrees_with_the_backends() {
+        for m in mechanisms(2015, HORIZON) {
+            let b = m.build(0);
+            assert_eq!(b.name(), m.name, "registry name drifted");
+            let f = m.faulted(&FaultPlan::uniform(7, 0.05));
+            assert_eq!(f.name(), m.name);
+            assert!(!f.replayable(), "{} faulted build has no gate", m.name);
+            // Clean builds replay — except RAPL, whose served power is a
+            // delta against its own previous snapshot.
+            assert_eq!(b.replayable(), m.name != "rapl-msr", "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn factories_share_one_device_across_ranks() {
+        for m in mechanisms(9, HORIZON) {
+            let mut factory = m.factory();
+            let mut a = factory(0);
+            let mut b = factory(1);
+            // Two polls: RAPL's first read only establishes its baseline.
+            let (t0, t1) = (SimTime::from_secs(30), SimTime::from_secs(31));
+            let _ = (a.poll(t0), b.poll(t0));
+            let pa = a.poll(t1);
+            let pb = b.poll(t1);
+            assert!(!pa.is_empty(), "{}", m.name);
+            assert_eq!(pa[0].watts, pb[0].watts, "{} ranks diverged", m.name);
+        }
+    }
+
+    #[test]
+    fn bands_split_the_paper_axis() {
+        let ms = mechanisms(2015, HORIZON);
+        let out = ms.iter().filter(|m| m.band == "out-of-band").count();
+        let inb = ms.iter().filter(|m| m.band == "in-band").count();
+        assert_eq!((out, inb), (2, 4));
+        assert!(ms.iter().all(|m| m.domain >= 16));
+    }
+}

@@ -1,7 +1,8 @@
 //! Mechanism robustness under identical fault rates.
 //!
-//! The paper compares the four vendor mechanisms on cost and capability;
-//! this table extends the comparison to *robustness*: every mechanism is
+//! The paper compares the vendor mechanisms on cost and capability; this
+//! table extends the comparison to *robustness*: every mechanism in the
+//! [`crate::registry`] is
 //! subjected to the same adversary ([`FaultPlan::uniform`] — identical
 //! per-attempt fault rates for every class) and profiled by an otherwise
 //! default MonEQ session. The per-device [`Completeness`] ledger then shows
@@ -20,10 +21,9 @@
 //! degradation; the `disabled` column still flags mechanisms that fail 64
 //! polls in a row even so.
 
-use moneq::backends::{BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend};
-use moneq::{Completeness, EnvBackend, MonEq, MonEqConfig, OverheadReport};
+use crate::registry::mechanisms;
+use moneq::{Completeness, MonEq, MonEqConfig, OverheadReport};
 use simkit::{FaultPlan, SimTime};
-use std::sync::Arc;
 
 /// One mechanism's showing under the common fault plan.
 #[derive(Clone, Debug)]
@@ -61,9 +61,10 @@ pub fn robustness(seed: u64) -> RobustnessTable {
 /// rate)`. Deterministic in `(seed, rate)`.
 pub fn robustness_at(seed: u64, rate: f64) -> RobustnessTable {
     let plan = FaultPlan::uniform(seed, rate);
-    let rows = backends(seed, &plan)
+    let rows = mechanisms(seed, HORIZON)
         .into_iter()
-        .map(|b| {
+        .map(|m| {
+            let b = m.faulted(&plan);
             let name = b.name().to_owned();
             let config = MonEqConfig {
                 retry: moneq::RetryPolicy {
@@ -83,54 +84,6 @@ pub fn robustness_at(seed: u64, rate: f64) -> RobustnessTable {
         })
         .collect();
     RobustnessTable { rate, rows }
-}
-
-/// Build one faulted backend per mechanism, each on its paper workload.
-/// Shared with the telemetry table, which profiles the same five setups.
-pub(crate) fn backends(seed: u64, plan: &FaultPlan) -> Vec<Box<dyn EnvBackend>> {
-    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
-    machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
-    let bgq = BgqBackend::new(Arc::new(machine), 0).with_faults(plan, "nodecard0");
-
-    let socket = Arc::new(rapl_sim::SocketModel::new(
-        rapl_sim::SocketSpec::default(),
-        &hpc_workloads::GaussianElimination::figure3().profile(),
-    ));
-    let rapl = RaplBackend::new(socket, rapl_sim::MsrAccess::root(), seed)
-        .expect("root access")
-        .with_faults(plan, "socket0");
-
-    let nvml = Arc::new(nvml_sim::Nvml::init(
-        &[nvml_sim::DeviceConfig {
-            spec: nvml_sim::GpuSpec::k20(),
-            workload: hpc_workloads::Noop::figure4().profile(),
-            horizon: HORIZON + simkit::SimDuration::from_secs(30),
-        }],
-        seed,
-    ));
-    let nvml = NvmlBackend::new(nvml).with_faults(plan, "gpu0");
-
-    let profile = hpc_workloads::Noop::figure7().profile();
-    let card = || {
-        Arc::new(mic_sim::PhiCard::new(
-            mic_sim::PhiSpec::default(),
-            &profile,
-            powermodel::DemandTrace::zero(),
-            HORIZON + simkit::SimDuration::from_secs(30),
-        ))
-    };
-    let smc = |s: u64| Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(s)));
-    let mic_api = MicApiBackend::new(card(), smc(seed)).with_faults(plan, "mic0/api");
-    let mic_daemon =
-        MicDaemonBackend::new(card(), smc(seed ^ 1), &profile).with_faults(plan, "mic0/daemon");
-
-    vec![
-        Box::new(bgq),
-        Box::new(rapl),
-        Box::new(nvml),
-        Box::new(mic_api),
-        Box::new(mic_daemon),
-    ]
 }
 
 impl RobustnessTable {
@@ -183,25 +136,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn five_mechanisms_all_reconcile() {
+    fn every_mechanism_reconciles() {
         let t = robustness(2015);
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), crate::registry::NAMES.len());
         for r in &t.rows {
             assert!(r.completeness.reconciles(), "{} counters", r.mechanism);
             assert!(r.completeness.scheduled > 0, "{} never polled", r.mechanism);
         }
         let names: Vec<&str> = t.rows.iter().map(|r| r.mechanism.as_str()).collect();
-        assert_eq!(
-            names,
-            ["bgq-emon", "rapl-msr", "nvml", "mic-sysmgmt", "mic-micras"]
-        );
+        assert_eq!(names, crate::registry::NAMES);
     }
 
     #[test]
     fn faults_actually_bite_and_are_deterministic() {
         let a = robustness(2015);
         let degraded = a.rows.iter().filter(|r| !r.completeness.is_clean()).count();
-        assert!(degraded >= 3, "only {degraded}/5 mechanisms degraded at 5%");
+        assert!(degraded >= 3, "only {degraded}/6 mechanisms degraded at 5%");
         let b = robustness(2015);
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.completeness, y.completeness);
@@ -235,7 +185,7 @@ mod tests {
     fn render_carries_every_mechanism() {
         let t = robustness(2015);
         let text = t.render();
-        for name in ["bgq-emon", "rapl-msr", "nvml", "mic-sysmgmt", "mic-micras"] {
+        for name in crate::registry::NAMES {
             assert!(text.contains(name), "missing {name}");
         }
         assert!(text.contains("recovery"));

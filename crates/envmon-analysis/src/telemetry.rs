@@ -14,7 +14,7 @@
 //! the table is deterministic in `(seed, rate)` and identical however the
 //! sessions are scheduled.
 
-use crate::robustness::backends;
+use crate::registry::mechanisms;
 use moneq::{MonEq, MonEqConfig, RetryPolicy};
 use simkit::{FaultPlan, SimDuration, SimTime, TelemetryReport};
 
@@ -61,9 +61,10 @@ pub fn telemetry(seed: u64) -> TelemetryTable {
 /// `FaultPlan::uniform(seed, rate)`. Deterministic in `(seed, rate)`.
 pub fn telemetry_at(seed: u64, rate: f64) -> TelemetryTable {
     let plan = FaultPlan::uniform(seed, rate);
-    let rows: Vec<TelemetryRow> = backends(seed, &plan)
+    let rows: Vec<TelemetryRow> = mechanisms(seed, HORIZON)
         .into_iter()
-        .map(|b| {
+        .map(|m| {
+            let b = m.faulted(&plan);
             let name = b.name().to_owned();
             let paper_cost = b.poll_cost();
             let config = MonEqConfig {
@@ -144,7 +145,7 @@ mod tests {
         // reproduces 1.10 ms for EMON (and each sibling constant) without
         // bucket rounding.
         let t = telemetry_at(7, 0.0);
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), crate::registry::NAMES.len());
         for r in &t.rows {
             let h = &r.report.histograms[&r.latency_key()];
             assert!(h.count() > 0, "{} never polled", r.mechanism);
@@ -191,7 +192,7 @@ mod tests {
     fn render_names_all_mechanisms_and_counters() {
         let t = telemetry(2015);
         let text = t.render();
-        for name in ["bgq-emon", "rapl-msr", "nvml", "mic-sysmgmt", "mic-micras"] {
+        for name in crate::registry::NAMES {
             assert!(text.contains(name), "missing {name}");
         }
         assert!(text.contains("paper"));

@@ -21,13 +21,12 @@
 //!   (`scheduled = succeeded + stale + missed`) must both reconcile —
 //!   transport faults degrade collection, never the accounting.
 
-use moneq::backends::{BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend};
+use crate::registry::{mechanisms, Mechanism};
 use moneq::{
     ClusterResult, ClusterRun, CollectionPlan, Deployment, EnvBackend, MonEq, MonEqConfig,
 };
 use simkit::wire::LinkSpec;
 use simkit::{SimDuration, SimTime};
-use std::sync::Arc;
 
 /// One mechanism's four-way deployment comparison.
 #[derive(Clone, Debug)]
@@ -104,24 +103,16 @@ fn total_collection(r: &ClusterResult) -> SimDuration {
 }
 
 /// Run one mechanism all four ways and fold the comparison into a row.
-fn compare<B>(
-    mechanism: &str,
-    band: &'static str,
-    link: LinkSpec,
-    seed: u64,
-    mut make: B,
-) -> TransportRow
-where
-    B: FnMut() -> Factory,
-{
-    let local = run_cluster(Deployment::Local, &mut make());
-    let ideal = run_cluster(Deployment::Remote(LinkSpec::ideal()), &mut make());
+fn compare(m: &Mechanism, seed: u64) -> TransportRow {
+    let link = m.service_link;
+    let local = run_cluster(Deployment::Local, &mut m.factory());
+    let ideal = run_cluster(Deployment::Remote(LinkSpec::ideal()), &mut m.factory());
     let latency = link.latency;
     let latent_link = LinkSpec {
         latency,
         ..LinkSpec::ideal()
     };
-    let latent = run_cluster(Deployment::Remote(latent_link), &mut make());
+    let latent = run_cluster(Deployment::Remote(latent_link), &mut m.factory());
 
     let ideal_identical = local.files == ideal.files && local.overheads == ideal.overheads;
 
@@ -153,7 +144,7 @@ where
     let faulty_link = link.with_faults(drop, corrupt, reorder).with_seed(seed);
     let mut session = MonEq::initialize(
         0,
-        vec![make()(0)],
+        vec![m.build(0)],
         MonEqConfig {
             telemetry: true,
             ..MonEqConfig::default()
@@ -179,8 +170,8 @@ where
         && tx > 0;
 
     TransportRow {
-        mechanism: mechanism.to_owned(),
-        band,
+        mechanism: m.name.to_owned(),
+        band: m.band,
         link,
         polls: local.overheads[0].polls,
         local_collection: total_collection(&local),
@@ -201,110 +192,12 @@ where
 
 /// Run the transport ablation. Deterministic in `seed`.
 pub fn transport(seed: u64) -> TransportTable {
-    let mut rows = Vec::new();
-
-    // BG/Q node card: EMON data also lives out-of-band in the
-    // environmental database, a service-network hop away.
-    let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
-    machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
-    let machine = Arc::new(machine);
-    rows.push(compare(
-        "bgq-emon",
-        "out-of-band",
-        BgqBackend::service_link(),
-        seed,
-        || {
-            let machine = Arc::clone(&machine);
-            Box::new(move |_| {
-                Box::new(BgqBackend::new(Arc::clone(&machine), 0)) as Box<dyn EnvBackend>
-            })
-        },
-    ));
-
-    // RAPL: strictly in-band MSRs; remote service is a node-local daemon
-    // answering over the cluster interconnect.
-    let socket = Arc::new(rapl_sim::SocketModel::new(
-        rapl_sim::SocketSpec::default(),
-        &hpc_workloads::GaussianElimination::figure3().profile(),
-    ));
-    rows.push(compare(
-        "rapl-msr",
-        "in-band",
-        RaplBackend::service_link(),
-        seed,
-        || {
-            let socket = Arc::clone(&socket);
-            Box::new(move |_| {
-                Box::new(
-                    RaplBackend::new(Arc::clone(&socket), rapl_sim::MsrAccess::root(), seed)
-                        .expect("root access"),
-                ) as Box<dyn EnvBackend>
-            })
-        },
-    ));
-
-    // NVML: in-band library calls; the remote personality is the
-    // nvml-over-ip relay.
-    let nvml = Arc::new(nvml_sim::Nvml::init(
-        &[nvml_sim::DeviceConfig {
-            spec: nvml_sim::GpuSpec::k20(),
-            workload: hpc_workloads::Noop::figure4().profile(),
-            horizon: HORIZON + SimDuration::from_secs(30),
-        }],
-        seed,
-    ));
-    rows.push(compare(
-        "nvml",
-        "in-band",
-        NvmlBackend::service_link(),
-        seed,
-        || {
-            let nvml = Arc::clone(&nvml);
-            Box::new(move |_| Box::new(NvmlBackend::new(Arc::clone(&nvml))) as Box<dyn EnvBackend>)
-        },
-    ));
-
-    // Xeon Phi, both access paths: SysMgmt in-band over SCIF, the MICRAS
-    // daemon's SMC data out-of-band over the management fabric.
-    let profile = hpc_workloads::Noop::figure7().profile();
-    let card = Arc::new(mic_sim::PhiCard::new(
-        mic_sim::PhiSpec::default(),
-        &profile,
-        powermodel::DemandTrace::zero(),
-        HORIZON + SimDuration::from_secs(30),
-    ));
-    let smc = Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed)));
-    rows.push(compare(
-        "mic-sysmgmt",
-        "in-band",
-        MicApiBackend::service_link(),
-        seed,
-        || {
-            let (card, smc) = (Arc::clone(&card), Arc::clone(&smc));
-            Box::new(move |_| {
-                Box::new(MicApiBackend::new(Arc::clone(&card), Arc::clone(&smc)))
-                    as Box<dyn EnvBackend>
-            })
-        },
-    ));
-    rows.push(compare(
-        "mic-micras",
-        "out-of-band",
-        MicDaemonBackend::service_link(),
-        seed,
-        || {
-            let (card, smc, profile) = (Arc::clone(&card), Arc::clone(&smc), profile.clone());
-            Box::new(move |_| {
-                Box::new(MicDaemonBackend::new(
-                    Arc::clone(&card),
-                    Arc::clone(&smc),
-                    &profile,
-                )) as Box<dyn EnvBackend>
-            })
-        },
-    ));
-
-    TransportTable { rows }
+    TransportTable {
+        rows: mechanisms(seed, HORIZON)
+            .iter()
+            .map(|m| compare(m, seed))
+            .collect(),
+    }
 }
 
 impl TransportTable {
@@ -376,7 +269,7 @@ mod tests {
     #[test]
     fn ideal_link_is_byte_identical_for_every_mechanism() {
         let t = transport(2015);
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), crate::registry::NAMES.len());
         for r in &t.rows {
             assert!(r.ideal_identical, "{} ideal run diverged", r.mechanism);
             assert_eq!(
@@ -424,7 +317,7 @@ mod tests {
         let a = transport(7);
         let b = transport(7);
         assert_eq!(a.render(), b.render());
-        for name in ["bgq-emon", "rapl-msr", "nvml", "mic-sysmgmt", "mic-micras"] {
+        for name in crate::registry::NAMES {
             assert!(a.render().contains(name), "missing {name}");
         }
         assert!(a.render().contains("byte-identical"));

@@ -11,7 +11,11 @@
 //!    profiles (the growth ratios are the guarded numbers);
 //! 3. RAPL's constant-workload error stays **within one update tick**
 //!    (`"rapl_within_tick": 1`), and EMON is the worst mechanism under
-//!    the sub-560 ms burst wave (`"emon_burst_factor"` > 1).
+//!    the sub-560 ms burst wave (`"emon_burst_factor"` > 1);
+//! 4. the OCC's buffer-staleness error also grows with transient
+//!    frequency (`"occ_cadence_growth"` > 1), and its digital sensor
+//!    chain keeps the noise leg a structural zero on every row
+//!    (`"occ_noise_zero": 1`).
 //!
 //! ```text
 //! accuracy_sweep [--seed N] [--out FILE] [--quick]
@@ -75,6 +79,18 @@ fn main() {
     assert!(emon_growth > 1.0, "EMON cadence flat: {emon_growth}");
     assert!(nvml_growth > 1.0, "NVML cadence flat: {nvml_growth}");
 
+    // Claim 4: the OCC's 25 ms buffer staleness grows the same way, and
+    // its digital chain never grows a noise leg.
+    let occ_growth = cadence_growth(&table, "p9-occ");
+    assert!(occ_growth > 1.0, "OCC cadence flat: {occ_growth}");
+    let occ_noise_zero = all_rows()
+        .filter(|r| r.report.mechanism == "p9-occ")
+        .all(|r| r.report.decomposition.noise_j == 0.0);
+    assert!(
+        occ_noise_zero,
+        "OCC noise leg is no longer a structural zero"
+    );
+
     // Claim 3: RAPL within a tick; EMON worst under the burst wave.
     let rapl_err = table.rapl_constant.total_error_j().abs();
     assert!(
@@ -101,6 +117,7 @@ fn main() {
 
     eprintln!(
         "cadence growth fast/slow: emon {emon_growth:.2}x nvml {nvml_growth:.2}x  \
+         occ {occ_growth:.2}x  \
          burst: emon worst by {emon_burst_factor:.2}x  rapl {rapl_err:.4} J <= {:.4} J  \
          ({elapsed_ms:.0} ms)",
         table.rapl_tick_bound_j
@@ -113,6 +130,11 @@ fn main() {
     json.push_str(&format!("  \"elapsed_ms\": {elapsed_ms:.0},\n"));
     json.push_str(&format!("  \"emon_cadence_growth\": {emon_growth:.3},\n"));
     json.push_str(&format!("  \"nvml_cadence_growth\": {nvml_growth:.3},\n"));
+    json.push_str(&format!("  \"occ_cadence_growth\": {occ_growth:.3},\n"));
+    json.push_str(&format!(
+        "  \"occ_noise_zero\": {},\n",
+        i32::from(occ_noise_zero)
+    ));
     json.push_str(&format!(
         "  \"emon_burst_factor\": {emon_burst_factor:.3},\n"
     ));

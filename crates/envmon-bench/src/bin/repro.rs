@@ -183,32 +183,8 @@ fn main() {
     }
     if want("limitations") {
         section("STATED LIMITATIONS (paper §IV's 'looking forward' ask, implemented)");
-        use moneq::EnvBackend;
-        use std::sync::Arc;
-        let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
-        machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
-        let bgq = moneq::backends::BgqBackend::new(Arc::new(machine), 0);
-        let socket = std::sync::Arc::new(rapl_sim::SocketModel::new(
-            rapl_sim::SocketSpec::default(),
-            &hpc_workloads::GaussianElimination::figure3().profile(),
-        ));
-        let rapl =
-            moneq::backends::RaplBackend::new(socket, rapl_sim::MsrAccess::root(), seed).unwrap();
-        let nvml = moneq::backends::NvmlBackend::new(Arc::new(nvml_sim::Nvml::init(&[], seed)));
-        let profile = hpc_workloads::Noop::figure7().profile();
-        let mk_card = || {
-            Arc::new(mic_sim::PhiCard::new(
-                mic_sim::PhiSpec::default(),
-                &profile,
-                powermodel::DemandTrace::zero(),
-                simkit::SimTime::from_secs(10),
-            ))
-        };
-        let smc = || Arc::new(mic_sim::Smc::new(simkit::NoiseStream::new(seed)));
-        let mic_api = moneq::backends::MicApiBackend::new(mk_card(), smc());
-        let mic_daemon = moneq::backends::MicDaemonBackend::new(mk_card(), smc(), &profile);
-        let backends: [&dyn EnvBackend; 5] = [&bgq, &rapl, &nvml, &mic_api, &mic_daemon];
-        for b in backends {
+        for m in envmon_analysis::registry::mechanisms(seed, simkit::SimTime::from_secs(10)) {
+            let b = m.build(0);
             println!("{}:", b.name());
             for l in b.limitations() {
                 println!("  [{}] {}", l.aspect, l.statement);

@@ -31,7 +31,7 @@ fn main() {
         match a.as_str() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             "--out" => out = args.next().map(Into::into).expect("--out FILE"),
-            // The ablation is one fixed five-mechanism pass either way;
+            // The ablation is one fixed registry pass either way;
             // smoke mode only skips the second-seed determinism leg.
             "--quick" | "--smoke" => smoke = true,
             other => {

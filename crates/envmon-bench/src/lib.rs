@@ -11,6 +11,7 @@
 //! The library part only hosts shared helpers for the benches.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 /// Default seed used by the benches and the `repro` binary.
 pub const DEFAULT_SEED: u64 = 2015;

@@ -1,4 +1,5 @@
-//! The five backend adapters — one per access mechanism in the paper.
+//! The six backend adapters — one per access mechanism: the paper's five,
+//! plus the POWER9 OCC the harness was extended with.
 //!
 //! | Backend | Mechanism | Min interval | Per-poll cost |
 //! |---|---|---|---|
@@ -7,15 +8,18 @@
 //! | [`NvmlBackend`] | NVML over PCIe | 60 ms | 1.3 ms per GPU |
 //! | [`MicApiBackend`] | Phi in-band SysMgmt/SCIF | 50 ms | 14.2 ms |
 //! | [`MicDaemonBackend`] | Phi MICRAS pseudo-files | 50 ms | 0.04 ms |
+//! | [`OccBackend`] | POWER9 OCC buffers via OPAL | 25 ms | 0.02 ms |
 
 mod bgq;
 mod mic_api;
 mod mic_daemon;
 mod nvml;
+mod occ;
 mod rapl;
 
 pub use bgq::BgqBackend;
 pub use mic_api::MicApiBackend;
 pub use mic_daemon::MicDaemonBackend;
 pub use nvml::NvmlBackend;
+pub use occ::OccBackend;
 pub use rapl::RaplBackend;

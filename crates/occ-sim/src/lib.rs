@@ -1,0 +1,145 @@
+//! # occ-sim — IBM POWER9 On-Chip Controller platform model
+//!
+//! The mechanism the harness was *not* built around: the comparison
+//! framework models the paper's four platforms, and this crate drops in a
+//! fifth — the POWER9 OCC as measured by "Evaluating the Energy
+//! Measurements of the IBM POWER9 On-Chip Controller" — to prove the
+//! mechanism surface is actually extensible.
+//!
+//! The OCC differs from every modelled grid (EMON 560 ms, RAPL 1 ms, NVML
+//! 60 ms, SMC 50 ms) in three ways captured here:
+//!
+//! * **~25 ms main loop** ([`OCC_TICK`]): a dedicated on-die
+//!   microcontroller completes a sensor buffer every tick; host reads over
+//!   OPAL observe the latest *completed* buffer, never the live signal.
+//! * **Wrapping accumulation counters** ([`accumulator_spec`]): energy is
+//!   accumulated digitally on the sub-tick APSS grid and differenced
+//!   modulo the register width — so the published power is a true windowed
+//!   mean with unit truncation but *no analog noise stage*.
+//! * **Whole-watt sensors**: the published power is quantized to 1 W, the
+//!   coarsest report granularity of any modelled mechanism.
+//!
+//! ```
+//! use occ_sim::{Occ, Power9Chip, P9Spec, OCC_TICK};
+//! use hpc_workloads::Noop;
+//! use simkit::SimTime;
+//!
+//! let chip = Power9Chip::new(
+//!     P9Spec::default(),
+//!     &Noop::figure4().profile(),
+//!     SimTime::from_secs(120),
+//! );
+//! let occ = Occ::new();
+//! // A read observes the latest completed 25 ms buffer:
+//! let r = occ.read(&chip, SimTime::from_secs(60));
+//! assert_eq!(r.generation, SimTime::from_secs(60));
+//! assert_eq!(r.generation.as_nanos() % OCC_TICK.as_nanos(), 0);
+//! assert!(r.socket_power_w > 80);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod chip;
+pub mod occ;
+
+pub use chip::{P9Spec, Power9Chip};
+pub use occ::{
+    accumulator_spec, Occ, OccPowerParts, OccReading, OCC_ACC_STEP, OCC_ACC_UNIT_J, OCC_TICK,
+};
+
+use powermodel::{Metric, Platform, Support};
+use simkit::fault::FaultSpec;
+use simkit::SimDuration;
+
+/// The OCC failure profile for fault-injected runs.
+///
+/// The OCC's two characteristic failure modes, both observed in
+/// production: the main loop misses its deadline and the *previous*
+/// sensor buffer stays mapped (a stale-buffer `glitch` — the read
+/// "succeeds" with old data), and the OCC drops into safe mode after an
+/// internal error, going dark for whole seconds until the service
+/// processor resets it (`blackout`). In-band buffer reads are plain
+/// main-memory loads, so there is no timeout mode; a small `transient`
+/// rate covers OPAL returning `OCC_BUSY` mid-update.
+pub fn fault_profile() -> FaultSpec {
+    FaultSpec {
+        glitch: 0.04,
+        blackout: 0.008,
+        blackout_window: SimDuration::from_secs(2),
+        transient: 0.01,
+        ..FaultSpec::zero()
+    }
+}
+
+/// Virtual-time cost of one in-band OCC buffer read: OPAL exposes the
+/// completed buffer in main memory, so a query is a mapped read plus
+/// parsing — cheaper than an MSR access path, far cheaper than a SCIF
+/// round trip.
+pub const OCC_INBAND_QUERY_COST: SimDuration = SimDuration::from_micros(20);
+
+/// The POWER9/OCC capability column.
+///
+/// Not a Table I column — the paper predates the machine — so this is the
+/// crate's own statement of what the OCC buffer exposes: power, voltage
+/// and current from the APSS chain, memory power (the Centaur sensors),
+/// die and DIMM temperatures, frequency, and power capping. No airflow or
+/// memory-occupancy telemetry lives in the buffer.
+pub fn capabilities() -> Vec<(Metric, Support)> {
+    use Metric::*;
+    use Support::*;
+    vec![
+        (TotalPower, Yes),
+        (Voltage, Yes),
+        (Current, Yes),
+        (PciExpressPower, No),
+        (MainMemoryPower, Yes),
+        (DieTemp, Yes),
+        (DdrGddrTemp, Yes),
+        (DeviceTemp, No),
+        (IntakeTemp, NotApplicable),
+        (ExhaustTemp, NotApplicable),
+        (MemUsed, No),
+        (MemFree, No),
+        (MemSpeed, No),
+        (MemFrequency, No),
+        (MemVoltage, No),
+        (MemClockRate, No),
+        (ProcVoltage, Yes),
+        (ProcFrequency, Yes),
+        (ProcClockRate, No),
+        (FanSpeed, NotApplicable),
+        (PowerLimitGetSet, Yes),
+    ]
+}
+
+/// The platform this crate models.
+pub const PLATFORM: Platform = Platform::Power9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_column_is_complete_and_ordered() {
+        let caps = capabilities();
+        assert_eq!(caps.len(), Metric::ALL.len());
+        for (given, &expected) in caps.iter().zip(Metric::ALL.iter()) {
+            assert_eq!(given.0, expected, "capability rows out of print order");
+        }
+        assert_eq!(caps[0], (Metric::TotalPower, Support::Yes));
+    }
+
+    #[test]
+    fn query_cost_is_cheap_in_band() {
+        assert_eq!(OCC_INBAND_QUERY_COST, SimDuration::from_micros(20));
+        assert!(OCC_INBAND_QUERY_COST < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn fault_profile_has_no_timeout_mode() {
+        let p = fault_profile();
+        assert_eq!(p.timeout, 0.0);
+        assert!(p.glitch > 0.0 && p.blackout > 0.0);
+    }
+}

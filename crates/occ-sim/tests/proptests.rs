@@ -1,0 +1,84 @@
+//! Property tests for the POWER9 OCC model.
+
+use hpc_workloads::{GaussianElimination, SquareWave};
+use occ_sim::{Occ, P9Spec, Power9Chip, OCC_ACC_UNIT_J, OCC_TICK};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+fn chip(secs: u64) -> Power9Chip {
+    let mut g = GaussianElimination::figure3();
+    g.virtual_runtime = SimDuration::from_secs(secs);
+    Power9Chip::new(P9Spec::default(), &g.profile(), SimTime::from_secs(secs))
+}
+
+proptest! {
+    /// Reads are a pure function of the 25 ms generation: any two query
+    /// instants inside one tick serve the identical buffer.
+    #[test]
+    fn reads_quantize_to_generations(
+        base_ms in 100u64..200_000,
+        off_a_us in 0u64..24_999,
+        off_b_us in 0u64..24_999,
+    ) {
+        let c = chip(220);
+        let occ = Occ::new();
+        let gen_start = SimTime::from_millis((base_ms / 25) * 25);
+        let a = occ.read(&c, gen_start + SimDuration::from_micros(off_a_us));
+        let b = occ.read(&c, gen_start + SimDuration::from_micros(off_b_us));
+        prop_assert_eq!(a.generation, b.generation);
+        prop_assert_eq!(a.socket_power_w, b.socket_power_w);
+        prop_assert_eq!(a.energy_counts, b.energy_counts);
+        prop_assert_eq!(a.die_temp_c, b.die_temp_c);
+    }
+
+    /// The wrapping accumulator tracks the true energy ledger: counts
+    /// times the counter unit stays within the accumulation-grid
+    /// quantization of the chip's exact integral, at any instant.
+    #[test]
+    fn accumulator_tracks_true_energy(t_ms in 1_000u64..200_000) {
+        let c = chip(220);
+        let occ = Occ::new();
+        let r = occ.read(&c, SimTime::from_millis(t_ms));
+        let true_j = c.total_energy(r.generation);
+        let counted_j = r.energy_counts as f64 * OCC_ACC_UNIT_J;
+        // One unit of truncation per 250 us accumulation step bounds the
+        // drift; in practice truncation errors average out far below it.
+        let steps = r.generation.as_nanos() as f64 / 250_000.0;
+        prop_assert!(
+            (counted_j - true_j).abs() <= steps.ceil() * OCC_ACC_UNIT_J,
+            "counted {counted_j} vs true {true_j} at {t_ms} ms"
+        );
+    }
+
+    /// A stale read is exactly the previous generation's clean read.
+    #[test]
+    fn stale_reads_serve_the_previous_generation(t_ms in 1_000u64..150_000) {
+        let c = chip(170);
+        let occ = Occ::new();
+        let t = SimTime::from_millis(t_ms);
+        let stale = occ.read_stale(&c, t);
+        let prev = occ.read(&c, t - OCC_TICK);
+        prop_assert_eq!(stale.generation, prev.generation);
+        prop_assert_eq!(stale.socket_power_w, prev.socket_power_w);
+        prop_assert_eq!(stale.energy_counts, prev.energy_counts);
+    }
+
+    /// Whole-watt reports bracket the exact windowed mean on any wave.
+    #[test]
+    fn reported_watts_round_the_counter_mean(
+        t_ms in 2_000u64..100_000,
+        period_choice in 0u8..3,
+    ) {
+        let mut w = match period_choice {
+            0 => SquareWave::slow(),
+            1 => SquareWave::medium(),
+            _ => SquareWave::fast(),
+        };
+        w.virtual_runtime = SimDuration::from_secs(120);
+        let c = Power9Chip::new(P9Spec::default(), &w.profile(), SimTime::from_secs(120));
+        let occ = Occ::new();
+        let parts = occ.read_power_parts(&c, SimTime::from_millis(t_ms));
+        prop_assert_eq!(parts.reported_w, parts.counter_mean_w.round() as u32);
+        prop_assert!((parts.counter_mean_w - parts.exact_mean_w).abs() <= 1.0);
+    }
+}

@@ -26,6 +26,10 @@ pub enum Platform {
     BlueGeneQ,
     /// Intel RAPL.
     Rapl,
+    /// IBM POWER9 (On-Chip Controller). Not a Table I column — the paper
+    /// predates the machine — so it is deliberately absent from
+    /// [`Platform::ALL`]; `occ-sim` states its own capability column.
+    Power9,
 }
 
 impl Platform {
@@ -44,6 +48,7 @@ impl Platform {
             Platform::Nvml => "NVML",
             Platform::BlueGeneQ => "Blue Gene/Q",
             Platform::Rapl => "RAPL",
+            Platform::Power9 => "POWER9",
         }
     }
 }

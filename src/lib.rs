@@ -3,10 +3,11 @@
 //! A full Rust reproduction of *"Comparison of Vendor Supplied Environmental
 //! Data Collection Mechanisms"* (Wallace et al., IEEE CLUSTER 2015): the
 //! MonEQ unified power-profiling library plus register/protocol/database-
-//! level simulations of the four vendor mechanisms it profiles through —
+//! level simulations of the vendor mechanisms it profiles through —
 //! IBM Blue Gene/Q (EMON + environmental database), Intel RAPL (MSRs),
-//! NVIDIA NVML, and the Intel Xeon Phi (SCIF SysMgmt, MICRAS daemon, and
-//! BMC/IPMB out-of-band).
+//! NVIDIA NVML, the Intel Xeon Phi (SCIF SysMgmt, MICRAS daemon, and
+//! BMC/IPMB out-of-band), and, past the paper's four, the IBM POWER9
+//! On-Chip Controller (25 ms sensor buffers over OPAL).
 //!
 //! This facade crate re-exports the workspace so examples and downstream
 //! users need a single dependency:
@@ -39,6 +40,7 @@ pub use hpc_workloads as workloads;
 pub use mic_sim;
 pub use moneq;
 pub use nvml_sim;
+pub use occ_sim;
 pub use powermodel;
 pub use powertools_sim as powertools;
 pub use rapl_sim;
@@ -55,13 +57,14 @@ pub mod prelude {
     };
     pub use mic_sim::{PhiCard, PhiSpec, Smc, SysMgmtSession};
     pub use moneq::backends::{
-        BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, RaplBackend,
+        BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, OccBackend, RaplBackend,
     };
     pub use moneq::{
         ClusterRun, CollectionPlan, Completeness, Deployment, EnvBackend, MonEq, MonEqConfig,
         ReadError, RemoteBackend, RetryPolicy,
     };
     pub use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
+    pub use occ_sim::{Occ, P9Spec, Power9Chip};
     pub use powermodel::{DemandTrace, Metric, Platform, Support, TrueEnergyLedger};
     pub use rapl_sim::{MsrAccess, RaplDomain, SocketModel, SocketSpec};
     pub use simkit::wire::LinkSpec;

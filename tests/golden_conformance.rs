@@ -172,3 +172,28 @@ fn golden_mic_micras() {
         &render_session(Box::new(MicDaemonBackend::new(card, smc, &profile)), 30),
     );
 }
+
+#[test]
+fn golden_occ() {
+    let chip = Arc::new(Power9Chip::new(
+        P9Spec::default(),
+        &GaussianElimination::figure3().profile(),
+        SimTime::from_secs(40),
+    ));
+    let backend = OccBackend::new(chip, Arc::new(Occ::new()));
+    check("p9-occ", &render_session(Box::new(backend), 30));
+}
+
+#[test]
+fn golden_occ_remote_over_ideal_link() {
+    // Byte-identical to `golden_occ`: the OCC's in-band buffer read
+    // relayed over the zero-fault, zero-latency wire must not move a byte
+    // — same golden file, not a `-remote` variant.
+    let chip = Arc::new(Power9Chip::new(
+        P9Spec::default(),
+        &GaussianElimination::figure3().profile(),
+        SimTime::from_secs(40),
+    ));
+    let backend = OccBackend::new(chip, Arc::new(Occ::new()));
+    check("p9-occ", &render_remote_session(Box::new(backend), 30));
+}

@@ -106,6 +106,23 @@ fn mic_daemon_backend_full_session() {
 }
 
 #[test]
+fn occ_backend_full_session() {
+    let chip = Arc::new(Power9Chip::new(
+        P9Spec::default(),
+        &GaussianElimination::figure3().profile(),
+        SimTime::from_secs(130),
+    ));
+    let result = run_session(Box::new(OccBackend::new(chip, Arc::new(Occ::new()))), 120);
+    assert_session_sane(&result, "p9chip0");
+    // Whole-watt socket power with a die temperature on every record.
+    assert!(result
+        .file
+        .points
+        .iter()
+        .all(|p| p.temp_c.is_some() && p.watts == p.watts.round()));
+}
+
+#[test]
 fn every_backend_reports_its_table1_column() {
     use powermodel::paper_matrix;
     let m = paper_matrix();
@@ -188,6 +205,16 @@ fn every_backend_states_its_defining_limitation() {
     let daemon =
         MicDaemonBackend::new(mk_card(), Arc::new(Smc::new(NoiseStream::new(2))), &profile);
     states(&daemon, "contention", "contends");
+
+    let chip = Arc::new(Power9Chip::new(
+        P9Spec::default(),
+        &profile,
+        SimTime::from_secs(10),
+    ));
+    let occ = OccBackend::new(chip, Arc::new(Occ::new()));
+    states(&occ, "staleness", "sensor buffer");
+    states(&occ, "overflow", "wrap");
+    states(&occ, "granularity", "whole watts");
 }
 
 #[test]
