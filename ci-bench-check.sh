@@ -30,6 +30,11 @@
 #                         links land as exactly polls x 2*latency (exact),
 #                         and faulty-run ledgers reconcile (reconciled);
 #                         round-trip percentiles are recorded, never gated
+#   BENCH_scenarios.json  closed-loop invariants only — every replication
+#                         row carries invariant (all machine checks pass)
+#                         and the run carries deterministic (replication-0
+#                         artifacts byte-identical on rerun); wall_ms is
+#                         recorded, never gated
 #
 # The sweep binaries additionally self-check the deterministic invariants
 # (byte-identical outputs, serial == parallel) on every run, so a pass here
@@ -226,6 +231,34 @@ done
 echo "     committed rtt p50/p99 (ns):" \
     "$(vals BENCH_transport.json rtt_p50_ns | tr '\n' ' ')/" \
     "$(vals BENCH_transport.json rtt_p99_ns | tr '\n' ' ')"
+
+echo "==> scenario_sweep --quick"
+./target/release/scenario_sweep --quick --out "$tmp/scenarios.json"
+# Closed-loop invariants and same-seed determinism are exact virtual-time
+# claims — no tolerance, and the committed recording must make them too,
+# so a full-sweep re-record that regressed cannot land silently.
+scen_ok=1
+for f in "$tmp/scenarios.json" BENCH_scenarios.json; do
+    if vals "$f" invariant | grep -qv '^1$'; then
+        echo "FAIL $f: a scenario replication violated its invariants"
+        fail=1
+        scen_ok=0
+    fi
+    if vals "$f" deterministic | grep -qv '^1$'; then
+        echo "FAIL $f: the scenario determinism referee failed"
+        fail=1
+        scen_ok=0
+    fi
+    # An empty or truncated file must not pass by matching nothing.
+    if [[ "$(vals "$f" invariant | wc -l)" -lt 4 ]]; then
+        echo "FAIL $f: fewer than one replication row per experiment"
+        fail=1
+        scen_ok=0
+    fi
+done
+if [[ $scen_ok -eq 1 ]]; then
+    echo "ok   scenario invariants hold, replications deterministic (fresh + committed)"
+fi
 
 if [[ $fail -ne 0 ]]; then
     echo "bench ratios regressed; if intentional, regenerate the BENCH_*.json"

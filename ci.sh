@@ -151,7 +151,8 @@ stage "tests: property (PROPTEST_CASES=$pt_cases)" \
     "PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
         --test accuracy_prop --test cluster_parallel_prop \
         --test fault_prop --test occ_prop --test output_roundtrip_prop \
-        --test serve_prop --test telemetry_prop --test transport_prop &&
+        --test scenario_prop --test serve_prop --test telemetry_prop \
+        --test transport_prop &&
      PROPTEST_CASES=$pt_cases cargo test -q --no-fail-fast \
         -p bgq-sim -p hpc-workloads -p mic-sim -p nvml-sim -p occ-sim \
         -p powermodel -p rapl-sim -p simkit --test proptests &&
@@ -162,8 +163,15 @@ stage "tests: property (PROPTEST_CASES=$pt_cases)" \
 # (tests/golden/*.txt; GOLDEN_BLESS=1 re-blesses after intended changes).
 stage "tests: golden (conformance)" \
     "cargo test -q --no-fail-fast \
-        --test golden_conformance --test figure_shapes \
-        --test listing1_all_backends"
+        --test golden_conformance --test scenario_golden \
+        --test figure_shapes --test listing1_all_backends"
+
+# scenarios: the two catalog entry points (repro scenarios, scenario_sweep)
+# agree on replication seeds, and the examples' demonstration loops hold as
+# assertions instead of printouts.
+stage "tests: scenarios (seed agreement, example promotions)" \
+    "cargo test -q --no-fail-fast --test scenario_examples &&
+     cargo test -q --no-fail-fast -p envmon-bench --test scenario_agreement"
 
 # scale: the Mira-scale cluster drive.
 stage "tests: scale (cluster)" \
@@ -203,6 +211,20 @@ else
     stage "transport smoke (remote byte-identity + exact latency)" \
         "cargo run -q -p envmon-bench --bin transport_sweep -- \
             --smoke --out target/transport_smoke.json"
+fi
+
+# Scenario smoke: the closed-loop catalog (DESIGN.md §16) with every
+# machine-checked invariant asserted in-process by the sweep binary, plus
+# its determinism referee byte-comparing replication-0 artifacts. Quick
+# mode caps each experiment at 2 replications; full runs the catalog's 5.
+if [[ $quick -eq 0 ]]; then
+    stage "scenario smoke (closed-loop invariants, 5 reps)" \
+        "cargo run --release -q -p envmon-bench --bin scenario_sweep -- \
+            --out target/scenario_smoke.json"
+else
+    stage "scenario smoke (closed-loop invariants, 2 reps)" \
+        "cargo run -q -p envmon-bench --bin scenario_sweep -- \
+            --quick --out target/scenario_smoke.json"
 fi
 
 # Per-stage timing summary: the same numbers each stage already printed,

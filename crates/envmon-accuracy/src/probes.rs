@@ -107,7 +107,7 @@ impl RaplProbe {
     pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
         let socket = Arc::new(SocketModel::new(SocketSpec::default(), profile));
         let dev = MsrDevice::open(
-            Arc::clone(&socket),
+            Arc::clone(&socket) as Arc<dyn rapl_sim::PowerSource>,
             0,
             MsrAccess::root(),
             &NoiseStream::new(seed),

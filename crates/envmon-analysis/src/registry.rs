@@ -88,15 +88,69 @@ impl Mechanism {
     }
 }
 
+/// The workload each mechanism's device runs, one profile per physical
+/// device (the two Phi access paths share the one card).
+struct RegistryProfiles {
+    bgq: hpc_workloads::WorkloadProfile,
+    rapl: hpc_workloads::WorkloadProfile,
+    nvml: hpc_workloads::WorkloadProfile,
+    mic: hpc_workloads::WorkloadProfile,
+    occ: hpc_workloads::WorkloadProfile,
+}
+
+impl RegistryProfiles {
+    /// The paper assignment: each mechanism on the workload its section
+    /// of §II measured it under.
+    fn paper() -> Self {
+        RegistryProfiles {
+            bgq: hpc_workloads::Mmps::figure1().profile(),
+            rapl: hpc_workloads::GaussianElimination::figure3().profile(),
+            nvml: hpc_workloads::Noop::figure4().profile(),
+            mic: hpc_workloads::Noop::figure7().profile(),
+            occ: hpc_workloads::GaussianElimination::figure3().profile(),
+        }
+    }
+
+    /// Every device running the same profile — the shape the load-follow
+    /// scenario (exp4) needs, where one machine-wide demand curve must be
+    /// visible through every mechanism at once.
+    fn uniform(profile: &hpc_workloads::WorkloadProfile) -> Self {
+        RegistryProfiles {
+            bgq: profile.clone(),
+            rapl: profile.clone(),
+            nvml: profile.clone(),
+            mic: profile.clone(),
+            occ: profile.clone(),
+        }
+    }
+}
+
 /// Build the full mechanism registry: every backend on its paper
 /// workload, with devices precomputed out to `horizon` plus a 30 s
 /// guard band. Deterministic in `seed`.
 pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
+    build(seed, horizon, RegistryProfiles::paper())
+}
+
+/// The same registry with every device bound to `profile` instead of its
+/// paper workload (the scenario catalog's exp4 drives all six mechanisms
+/// through one diurnal demand curve). [`mechanisms`] is byte-identical to
+/// what it was before this entry point existed — the two differ only in
+/// which profiles they hand the one shared builder.
+pub fn mechanisms_on(
+    seed: u64,
+    horizon: SimTime,
+    profile: &hpc_workloads::WorkloadProfile,
+) -> Vec<Mechanism> {
+    build(seed, horizon, RegistryProfiles::uniform(profile))
+}
+
+fn build(seed: u64, horizon: SimTime, profiles: RegistryProfiles) -> Vec<Mechanism> {
     let device_horizon = horizon + SimDuration::from_secs(30);
 
     // BG/Q node card running MMPS (§II-A, Figure 1).
     let mut machine = bgq_sim::BgqMachine::new(bgq_sim::BgqConfig::default(), seed);
-    machine.assign_job(&[0], &hpc_workloads::Mmps::figure1().profile());
+    machine.assign_job(&[0], &profiles.bgq);
     let machine = Arc::new(machine);
     let bgq = Mechanism {
         name: "bgq-emon",
@@ -121,7 +175,7 @@ pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
     // Stampede socket running Gaussian elimination (§II-B, Figure 3).
     let socket = Arc::new(rapl_sim::SocketModel::new(
         rapl_sim::SocketSpec::default(),
-        &hpc_workloads::GaussianElimination::figure3().profile(),
+        &profiles.rapl,
     ));
     let rapl = Mechanism {
         name: "rapl-msr",
@@ -133,8 +187,12 @@ pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
             let socket = Arc::clone(&socket);
             Arc::new(move |_| {
                 Box::new(
-                    RaplBackend::new(Arc::clone(&socket), rapl_sim::MsrAccess::root(), seed)
-                        .expect("root access"),
+                    RaplBackend::new(
+                        Arc::clone(&socket) as Arc<dyn rapl_sim::PowerSource>,
+                        rapl_sim::MsrAccess::root(),
+                        seed,
+                    )
+                    .expect("root access"),
                 ) as Box<dyn EnvBackend>
             })
         },
@@ -142,9 +200,13 @@ pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
             let socket = Arc::clone(&socket);
             Arc::new(move |plan| {
                 Box::new(
-                    RaplBackend::new(Arc::clone(&socket), rapl_sim::MsrAccess::root(), seed)
-                        .expect("root access")
-                        .with_faults(plan, "socket0"),
+                    RaplBackend::new(
+                        Arc::clone(&socket) as Arc<dyn rapl_sim::PowerSource>,
+                        rapl_sim::MsrAccess::root(),
+                        seed,
+                    )
+                    .expect("root access")
+                    .with_faults(plan, "socket0"),
                 )
             })
         },
@@ -154,7 +216,7 @@ pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
     let nvml_lib = Arc::new(nvml_sim::Nvml::init(
         &[nvml_sim::DeviceConfig {
             spec: nvml_sim::GpuSpec::k20(),
-            workload: hpc_workloads::Noop::figure4().profile(),
+            workload: profiles.nvml.clone(),
             horizon: device_horizon,
         }],
         seed,
@@ -183,7 +245,7 @@ pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
     // paths. Each path reads through its own SMC noise stream (`seed` for
     // the in-band API, `seed ^ 1` for the daemon) so the two mechanisms'
     // sensor chains perturb independently.
-    let profile = hpc_workloads::Noop::figure7().profile();
+    let profile = profiles.mic;
     let card = Arc::new(mic_sim::PhiCard::new(
         mic_sim::PhiSpec::default(),
         &profile,
@@ -247,7 +309,7 @@ pub fn mechanisms(seed: u64, horizon: SimTime) -> Vec<Mechanism> {
     // 25 ms sensor buffers (the post-paper fifth mechanism).
     let chip = Arc::new(occ_sim::Power9Chip::new(
         occ_sim::P9Spec::default(),
-        &hpc_workloads::GaussianElimination::figure3().profile(),
+        &profiles.occ,
         device_horizon,
     ));
     let occ_dev = Arc::new(occ_sim::Occ::new());

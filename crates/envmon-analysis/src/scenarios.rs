@@ -1,0 +1,73 @@
+//! The scenario-catalog table: what each closed-loop experiment is and
+//! what it must prove.
+//!
+//! The catalog itself (plants, controllers, artifacts) lives in
+//! `envmon-scenarios`, which depends on this crate for the mechanism
+//! registry — so the *metadata* lives here, where the repro CLI and the
+//! sweeps can render the table without a dependency cycle. The
+//! implementation crate pins itself against [`CATALOG`] (one runner per
+//! entry, same key order), exactly like the registry pins
+//! [`crate::registry::NAMES`].
+
+/// One scenario of the DESIGN.md §16 catalog.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    /// Stable key (`exp1`..`exp4`) used by `repro scenarios` and the
+    /// sweep's BENCH rows.
+    pub key: &'static str,
+    /// Human title for the summary table.
+    pub title: &'static str,
+    /// The machine-checkable invariant every replication must satisfy.
+    pub invariant: &'static str,
+    /// Default replication count for a full run (quick runs use fewer).
+    pub replications: usize,
+}
+
+/// Default replication count for a full catalog run.
+pub const DEFAULT_REPLICATIONS: usize = 5;
+
+/// The catalog, in experiment order.
+pub const CATALOG: [ScenarioSpec; 4] = [
+    ScenarioSpec {
+        key: "exp1",
+        title: "closed-loop power cap (RAPL energy -> PKG power-limit MSR)",
+        invariant: "capped plant power never exceeds the programmed limit by more than one RAPL tick",
+        replications: DEFAULT_REPLICATIONS,
+    },
+    ScenarioSpec {
+        key: "exp2",
+        title: "thermal-throttling feedback (NVML temperature, hysteresis)",
+        invariant: "throttle duty cycle is monotone nondecreasing in ambient temperature",
+        replications: DEFAULT_REPLICATIONS,
+    },
+    ScenarioSpec {
+        key: "exp3",
+        title: "multi-tenant co-schedule on shared EMON node-card domains",
+        invariant: "plan on/off and solo/co-run files byte-identical; cache ledger exact; naive cost == domain x plan cost",
+        replications: DEFAULT_REPLICATIONS,
+    },
+    ScenarioSpec {
+        key: "exp4",
+        title: "diurnal load-follow across every registry mechanism",
+        invariant: "every mechanism's peak-hour mean power exceeds its trough-hour mean",
+        replications: DEFAULT_REPLICATIONS,
+    },
+];
+
+/// Look up one scenario by key.
+pub fn spec(key: &str) -> Option<&'static ScenarioSpec> {
+    CATALOG.iter().find(|s| s.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_ordered() {
+        let keys: Vec<&str> = CATALOG.iter().map(|s| s.key).collect();
+        assert_eq!(keys, vec!["exp1", "exp2", "exp3", "exp4"]);
+        assert!(spec("exp3").is_some());
+        assert!(spec("exp9").is_none());
+    }
+}

@@ -33,7 +33,8 @@ fn main() {
                 println!(
                     "usage: repro [--seed N] [--out DIR] [table1 table2 table3 fig1 fig2 \
                      fig3 fig4 fig5 fig6 fig7 fig8 overheads tools report ablations \
-                     robustness telemetry caching accuracy serving transport]\n\
+                     robustness telemetry caching accuracy serving transport scenarios \
+                     exp1 exp2 exp3 exp4]\n\
                      --out DIR additionally writes each figure's series as TSV files"
                 );
                 return;
@@ -238,6 +239,47 @@ fn main() {
         if !(t.all_identical() && t.all_exact()) {
             eprintln!("repro: transport invariants violated");
             std::process::exit(1);
+        }
+    }
+    {
+        // Closed-loop scenario catalog: `scenarios` runs all four
+        // experiments, `exp1`..`exp4` select one. Seeds come from
+        // `envmon_bench::replication_seed` — the same schedule the
+        // `scenario_sweep` bin uses, so summary lines here and BENCH
+        // rows there describe the same runs.
+        let selected: Vec<_> = envmon_analysis::scenarios::CATALOG
+            .iter()
+            .filter(|s| want("scenarios") || want(s.key))
+            .collect();
+        if !selected.is_empty() {
+            section("SCENARIOS — closed-loop control on live mechanisms (DESIGN.md §16)");
+            let mut failed = false;
+            for spec in selected {
+                println!("{}: {}", spec.key, spec.title);
+                println!("  invariant: {}", spec.invariant);
+                for rep in 0..spec.replications {
+                    let rep_seed = envmon_bench::replication_seed(spec.key, rep, seed);
+                    let r = envmon_scenarios::run_replication(spec.key, rep, rep_seed);
+                    println!("  {}", r.summary_line());
+                    for inv in r.invariants.iter().filter(|i| !i.pass) {
+                        println!("    FAILED {}: {}", inv.name, inv.detail);
+                    }
+                    if let Some(dir) = &out_dir {
+                        std::fs::create_dir_all(dir)
+                            .unwrap_or_else(|e| die(&format!("--out: {e}")));
+                        let path = dir.join(format!("{}_rep{rep}.txt", spec.key));
+                        std::fs::write(&path, r.artifact())
+                            .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+                        println!("  [wrote {}]", path.display());
+                    }
+                    failed |= !r.passed();
+                }
+                println!();
+            }
+            if failed {
+                eprintln!("repro: scenario invariants violated");
+                std::process::exit(1);
+            }
         }
     }
     if want("ablations") {

@@ -1,0 +1,137 @@
+//! `scenario_sweep` — run the closed-loop scenario catalog (DESIGN.md
+//! §16) and emit `BENCH_scenarios.json`.
+//!
+//! ```text
+//! scenario_sweep [--seed N] [--out FILE] [--quick | --smoke]
+//! ```
+//!
+//! For every catalog entry (`exp1`..`exp4`) the sweep runs the
+//! replication schedule — seeds come from
+//! [`envmon_bench::replication_seed`], the same helper `repro scenarios`
+//! uses, so a BENCH row and a repro summary line for the same
+//! `(exp, rep)` pair describe the *same* run — and asserts every
+//! machine-checked invariant in-process. A determinism referee then
+//! reruns replication 0 of each experiment and byte-compares the full
+//! rendered artifact (CSV + JSON + invariant verdicts); any drift is a
+//! hard failure, not a tolerance. `--quick` caps replications at 2 for
+//! CI; `--smoke` runs one replication per experiment and skips the
+//! referee.
+//!
+//! The JSON is line-per-row so CI can gate it with grep: each row ends
+//! with `"invariant": 1|0`, and the top level carries
+//! `"deterministic": 1|0` plus `"determinism_checked": 1|0` (0 only
+//! under `--smoke`).
+
+use envmon_analysis::scenarios::CATALOG;
+use envmon_bench::{replication_seed, DEFAULT_SEED};
+use envmon_scenarios::run_replication;
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut out = std::path::PathBuf::from("BENCH_scenarios.json");
+    let mut quick = false;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--out needs a path")),
+                );
+            }
+            "--quick" => quick = true,
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("usage: scenario_sweep [--seed N] [--out FILE] [--quick | --smoke]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let wall = std::time::Instant::now();
+    let mut rows: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+
+    for spec in CATALOG {
+        let reps = if smoke {
+            1
+        } else if quick {
+            spec.replications.min(2)
+        } else {
+            spec.replications
+        };
+        eprintln!("== {}: {} ({} reps)", spec.key, spec.title, reps);
+        for rep in 0..reps {
+            let rep_seed = replication_seed(spec.key, rep, seed);
+            let r = run_replication(spec.key, rep, rep_seed);
+            eprintln!("   {}", r.summary_line());
+            if !r.passed() {
+                failures += 1;
+                for inv in r.invariants.iter().filter(|i| !i.pass) {
+                    eprintln!("   FAILED {}: {}", inv.name, inv.detail);
+                }
+            }
+            rows.push(r.json());
+        }
+    }
+
+    // Determinism referee: replication 0 of each experiment, rerun from
+    // the same seed, must reproduce the artifact byte-for-byte.
+    let mut deterministic = true;
+    if !smoke {
+        for spec in CATALOG {
+            let rep_seed = replication_seed(spec.key, 0, seed);
+            let a = run_replication(spec.key, 0, rep_seed).artifact();
+            let b = run_replication(spec.key, 0, rep_seed).artifact();
+            if a != b {
+                deterministic = false;
+                eprintln!("   NONDETERMINISTIC: {} rep0 artifacts differ", spec.key);
+            }
+        }
+    }
+
+    let wall_ms = wall.elapsed().as_millis();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"scenario_sweep\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
+    json.push_str(&format!(
+        "  \"determinism_checked\": {},\n",
+        u8::from(!smoke)
+    ));
+    json.push_str(&format!(
+        "  \"deterministic\": {},\n",
+        u8::from(deterministic)
+    ));
+    json.push_str("  \"replications\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    {row}{sep}\n"));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {}: {e}", out.display())));
+    println!("[wrote {}]", out.display());
+
+    if failures > 0 {
+        eprintln!("scenario_sweep: {failures} replication(s) violated invariants");
+        std::process::exit(1);
+    }
+    if !deterministic {
+        eprintln!("scenario_sweep: determinism referee failed");
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("scenario_sweep: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,73 @@
+//! # envmon-scenarios — the closed-loop scenario catalog
+//!
+//! Everything else in this repository *observes*: the mechanisms serve
+//! measurements and the analysis crates compare what was served. This
+//! crate closes the loop — controllers consume those measurements and
+//! write device state back (a power-limit MSR, a clock throttle, a
+//! co-schedule), which is where a collection mechanism's latency,
+//! staleness, and noise stop being columns in a table and start deciding
+//! whether a control system behaves. DESIGN.md §16 covers the
+//! architecture; the catalog metadata lives in
+//! [`envmon_analysis::scenarios`] and this crate pins itself against it
+//! one runner per entry.
+//!
+//! | Scenario | Loop | Invariant |
+//! |---|---|---|
+//! | [`exp1`] | RAPL energy → PI → `MSR_PKG_POWER_LIMIT` | plant never exceeds the programmed limit |
+//! | [`exp2`] | NVML diode → hysteresis → clock throttle | duty cycle monotone in ambient |
+//! | [`exp3`] | co-tenants on shared EMON domains | sharing transparent; ledger and cost exact |
+//! | [`exp4`] | diurnal day across the whole registry | every mechanism follows the load |
+//!
+//! Every replication renders a deterministic CSV + JSON
+//! [`artifact::Replication`]: same `(exp, rep, seed)` ⇒ the same bytes,
+//! serial or parallel, which the golden files and
+//! `tests/scenario_prop.rs` enforce.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod artifact;
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+pub mod gpu;
+
+pub use artifact::{Invariant, Replication};
+pub use exp1::Exp1Config;
+pub use exp2::Exp2Config;
+pub use exp3::Exp3Config;
+pub use exp4::Exp4Config;
+pub use gpu::LiveGpuBackend;
+
+/// Run one replication of catalog scenario `exp` (`exp1`..`exp4`) under
+/// `seed`, with the catalog-default configuration.
+///
+/// # Panics
+///
+/// On an unknown key — callers dispatch from
+/// [`envmon_analysis::scenarios::CATALOG`], whose keys this crate pins.
+pub fn run_replication(exp: &str, rep: usize, seed: u64) -> Replication {
+    match exp {
+        "exp1" => exp1::run(&Exp1Config::default(), rep, seed).replication,
+        "exp2" => exp2::run(&Exp2Config::default(), rep, seed).replication,
+        "exp3" => exp3::run(&Exp3Config::default(), rep, seed).replication,
+        "exp4" => exp4::run(&Exp4Config::default(), rep, seed).replication,
+        other => panic!("unknown scenario key {other:?}; catalog keys are exp1..exp4"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use envmon_analysis::scenarios::CATALOG;
+
+    #[test]
+    fn one_runner_per_catalog_entry() {
+        // The dispatch above must cover exactly the catalog; a new
+        // catalog row without a runner (or vice versa) fails here.
+        assert_eq!(
+            CATALOG.iter().map(|s| s.key).collect::<Vec<_>>(),
+            vec!["exp1", "exp2", "exp3", "exp4"],
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use crate::backend::{EnvBackend, FaultGate, Poll, ReadError};
 use crate::reading::DataPoint;
 use powermodel::{Metric, Platform, Support};
-use rapl_sim::{MsrAccess, MsrDevice, PowerReader, RaplDomain, SocketModel, MSR_QUERY_COST};
+use rapl_sim::{MsrAccess, MsrDevice, PowerReader, PowerSource, RaplDomain, MSR_QUERY_COST};
 use simkit::fault::FaultPlan;
 use simkit::wire::LinkSpec;
 use simkit::{NoiseStream, SimDuration, SimTime};
@@ -21,8 +21,10 @@ pub struct RaplBackend {
 
 impl RaplBackend {
     /// Attach to a socket (opens `/dev/cpu/0/msr`; the caller must have the
-    /// access the paper's chmod discussion requires).
-    pub fn new(socket: Arc<SocketModel>, access: MsrAccess, seed: u64) -> Result<Self, String> {
+    /// access the paper's chmod discussion requires). Any [`PowerSource`]
+    /// works — the passive [`rapl_sim::SocketModel`] or the capped
+    /// closed-loop [`rapl_sim::CappedSocket`].
+    pub fn new(socket: Arc<dyn PowerSource>, access: MsrAccess, seed: u64) -> Result<Self, String> {
         let device = MsrDevice::open(socket, 0, access, &NoiseStream::new(seed))
             .map_err(|e| e.to_string())?;
         Ok(RaplBackend {
@@ -189,7 +191,7 @@ impl EnvBackend for RaplBackend {
 mod tests {
     use super::*;
     use hpc_workloads::GaussianElimination;
-    use rapl_sim::SocketSpec;
+    use rapl_sim::{SocketModel, SocketSpec};
 
     fn backend() -> RaplBackend {
         let socket = Arc::new(SocketModel::new(

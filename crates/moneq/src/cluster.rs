@@ -519,6 +519,24 @@ impl ClusterRun {
         self.plan
     }
 
+    /// Attach a per-rank control hook to every session that gets one
+    /// (`make(rank)` returning `None` leaves that rank open-loop).
+    ///
+    /// Hooks must be rank-local: each one may only touch plant state owned
+    /// by its own rank, or the serial == parallel guarantee is forfeit.
+    /// Call before the first `run_until`; fires already driven stay
+    /// open-loop.
+    pub fn attach_control_hooks<F>(&mut self, mut make: F)
+    where
+        F: FnMut(usize) -> Option<Box<dyn crate::control::ControlHook>>,
+    {
+        for (rank, session) in self.sessions.iter_mut().enumerate() {
+            if let Some(hook) = make(rank) {
+                session.attach_control(hook);
+            }
+        }
+    }
+
     /// Set the worker-pool width for `run_until`/`finalize`. `1` (the
     /// default) keeps the run fully serial on the calling thread. The
     /// effective pool is additionally capped by the host-CPU cap

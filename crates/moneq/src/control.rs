@@ -1,0 +1,30 @@
+//! Session-level control callbacks: the closed-loop hook.
+//!
+//! A passive session observes; a *controller* acts on what it observed.
+//! [`ControlHook::after_poll`] is invoked once per timer fire, after every
+//! attached backend has polled, with the session's append-only record
+//! array and the index where this fire's records begin — the controller
+//! reads its measurements exactly as the file will report them (stale
+//! substitutes and all) and actuates whatever plant it holds.
+//!
+//! The hook is deliberately *outside* the poll path: sessions without one
+//! (`None`, the default) execute byte-identical poll arithmetic to builds
+//! that predate the hook, which is what `tests/scenario_prop.rs` pins.
+//! Hooks run on the session's own timeline, so a controlled session is as
+//! deterministic as an open-loop one — and because each hook only touches
+//! its own rank's plant, serial and parallel cluster drives stay
+//! byte-identical under feedback.
+
+use crate::records::Records;
+use simkit::SimTime;
+
+/// A controller attached to one session ([`crate::MonEq::attach_control`]).
+///
+/// Implementations typically sample the new records (`records.get(i)` for
+/// `i in new_from..records.len()`), feed a regulator, and write device
+/// state (a power-limit MSR, a throttle flag) through handles they own.
+pub trait ControlHook: Send {
+    /// Called after every timer fire at virtual time `t`. Records from
+    /// `new_from` to `records.len()` were appended by this fire.
+    fn after_poll(&mut self, t: SimTime, records: &Records, new_from: usize);
+}

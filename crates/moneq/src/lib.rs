@@ -80,6 +80,7 @@ pub mod backend;
 pub mod backends;
 pub mod cluster;
 pub mod completeness;
+pub mod control;
 pub mod output;
 pub mod overhead;
 pub mod plan;
@@ -94,6 +95,7 @@ pub use backend::{
 };
 pub use cluster::{host_cpus, ClusterResult, ClusterRun, SchedStats};
 pub use completeness::Completeness;
+pub use control::ControlHook;
 pub use output::{OutputError, OutputFile, ParseError};
 pub use overhead::{finalize_time, init_time, OverheadReport};
 pub use plan::{CollectionPlan, Deployment, SharedLookup, SharedRead, SharedReadCache};

@@ -21,6 +21,7 @@
 
 use crate::backend::{validate_interval, EnvBackend, Poll, ReadError, RetryPolicy};
 use crate::completeness::Completeness;
+use crate::control::ControlHook;
 use crate::output::OutputFile;
 use crate::overhead::{finalize_time, init_time, OverheadReport, IO_STRIPE_WIDTH};
 use crate::plan::{SharedLookup, SharedRead, SharedReadCache};
@@ -264,6 +265,10 @@ pub struct MonEq {
     /// ([`MonEq::attach_shared_cache`]). `None` (the default) keeps the
     /// poll path bit-identical to builds that predate the planner.
     shared_cache: Option<Arc<SharedReadCache>>,
+    /// The session's control hook, when a closed-loop scenario attached
+    /// one ([`MonEq::attach_control`]). `None` (the default) keeps the
+    /// fire loop bit-identical to builds that predate the hook.
+    control: Option<Box<dyn ControlHook>>,
     state: State,
 }
 
@@ -357,6 +362,7 @@ impl MonEq {
             retries: 0,
             sampling_anchor,
             shared_cache: None,
+            control: None,
             interval,
             config,
             state: State::Running,
@@ -389,6 +395,13 @@ impl MonEq {
                 u64::from(self.rank),
             ));
         }
+    }
+
+    /// Attach a control hook: after every timer fire, the hook sees the
+    /// records that fire appended and may actuate the plant it holds.
+    /// Attach before any poll fires so the controller sees the whole run.
+    pub fn attach_control(&mut self, hook: Box<dyn ControlHook>) {
+        self.control = Some(hook);
     }
 
     /// The effective polling interval.
@@ -438,6 +451,7 @@ impl MonEq {
         // later), so the loop terminates.
         while self.next_fire <= until {
             let t = self.next_fire;
+            let new_from = self.data.len();
             if self.telemetry.is_enabled() {
                 self.telemetry.count_id(self.ids.polls_fired, 1);
                 self.telemetry.span_enter_id(self.ids.poll_span, t);
@@ -451,6 +465,11 @@ impl MonEq {
                 for i in 0..self.slots.len() {
                     self.poll_slot(i, t);
                 }
+            }
+            // The control hook fires after every backend polled, on the
+            // same timeline — a `None` hook is one untaken branch.
+            if let Some(hook) = self.control.as_mut() {
+                hook.after_poll(t, &self.data, new_from);
             }
             self.polls += 1;
             // `polls` is the index of the poll being scheduled; Aligned

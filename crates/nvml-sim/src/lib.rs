@@ -39,11 +39,13 @@
 
 pub mod clocks;
 pub mod device;
+pub mod live;
 pub mod memory;
 pub mod profile;
 
 pub use clocks::{ClockType, PState};
 pub use device::{Device, DeviceConfig, Nvml, NvmlError};
+pub use live::LiveGpu;
 pub use memory::MemoryInfo;
 pub use profile::GpuSpec;
 

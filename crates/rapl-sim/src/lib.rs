@@ -19,7 +19,11 @@
 //!   window limiter (the interface's eponymous purpose, built as the
 //!   paper-motivated extension);
 //! * [`reader`] — a wrap-correcting power reader and sampling helper
-//!   (Figure 3 and the >60 s overflow hazard).
+//!   (Figure 3 and the >60 s overflow hazard);
+//! * [`socket::PowerSource`] + [`governor`] — the oracle trait behind the
+//!   MSRs and the closed-loop capped plant ([`CappedSocket`]) whose
+//!   granted demand responds to `MSR_PKG_POWER_LIMIT` writes
+//!   (DESIGN.md §16).
 //!
 //! ```
 //! use rapl_sim::{MsrAccess, MsrDevice, PowerReader, RaplDomain, SocketModel, SocketSpec};
@@ -48,6 +52,7 @@
 #![deny(missing_docs)]
 
 pub mod domains;
+pub mod governor;
 pub mod limit;
 pub mod msr;
 pub mod perf;
@@ -56,6 +61,7 @@ pub mod socket;
 pub mod units;
 
 pub use domains::RaplDomain;
+pub use governor::CappedSocket;
 pub use limit::{PowerLimit, RaplLimiter};
 pub use msr::{
     MsrAccess, MsrDevice, MsrError, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS,
@@ -64,7 +70,7 @@ pub use msr::{
 };
 pub use perf::{KernelVersion, PerfError, PerfEventRapl};
 pub use reader::{PowerReader, SamplingLoop};
-pub use socket::{SocketModel, SocketSpec};
+pub use socket::{PowerSource, SocketModel, SocketSpec};
 pub use units::PowerUnits;
 
 use powermodel::{Metric, Platform, Support};

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crate::domains::RaplDomain;
 use crate::limit::PowerLimit;
-use crate::socket::SocketModel;
+use crate::socket::PowerSource;
 use crate::units::PowerUnits;
 
 /// `MSR_RAPL_POWER_UNIT`.
@@ -108,7 +108,7 @@ impl std::error::Error for MsrError {}
 /// registers — the per-core granularity the paper notes RAPL *lacks*.
 #[derive(Clone, Debug)]
 pub struct MsrDevice {
-    socket: Arc<SocketModel>,
+    socket: Arc<dyn PowerSource>,
     units: PowerUnits,
     cpu: usize,
     access: MsrAccess,
@@ -121,8 +121,12 @@ pub struct MsrDevice {
 
 impl MsrDevice {
     /// Open `/dev/cpu/{cpu}/msr`.
+    ///
+    /// The oracle is any [`PowerSource`]; `Arc<SocketModel>` coerces, so
+    /// passive callers are unchanged while the closed-loop scenarios hand
+    /// in an interior-mutable plant.
     pub fn open(
-        socket: Arc<SocketModel>,
+        socket: Arc<dyn PowerSource>,
         cpu: usize,
         access: MsrAccess,
         noise: &NoiseStream,
@@ -259,7 +263,7 @@ impl MsrDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::socket::SocketSpec;
+    use crate::socket::{SocketModel, SocketSpec};
     use hpc_workloads::GaussianElimination;
 
     fn device(access: MsrAccess) -> Result<MsrDevice, MsrError> {

@@ -37,10 +37,43 @@ impl Default for SocketSpec {
 }
 
 /// Indices of the physical planes inside the internal [`DevicePower`].
-const CORES: usize = 0;
-const UNCORE: usize = 1;
-const DRAM: usize = 2;
-const IGPU: usize = 3;
+pub(crate) const CORES: usize = 0;
+pub(crate) const UNCORE: usize = 1;
+pub(crate) const DRAM: usize = 2;
+pub(crate) const IGPU: usize = 3;
+
+/// A ground-truth power/energy oracle the MSR device can sit on.
+///
+/// [`SocketModel`] is the passive oracle (power is a pure function of the
+/// workload profile). The scenario catalog adds closed-loop plants — a
+/// [`CappedSocket`](crate::CappedSocket) whose granted demand *changes*
+/// when a controller writes `MSR_PKG_POWER_LIMIT` — behind the same
+/// registers, so a `MsrDevice` is generic over this trait and an
+/// `Arc<SocketModel>` coerces at every existing call site.
+pub trait PowerSource: Send + Sync + std::fmt::Debug {
+    /// Static socket parameters.
+    fn spec(&self) -> SocketSpec;
+
+    /// True instantaneous power of a RAPL domain, watts.
+    fn domain_power(&self, domain: RaplDomain, t: SimTime) -> f64;
+
+    /// Exact cumulative energy of a RAPL domain since `t = 0`, joules.
+    fn domain_energy(&self, domain: RaplDomain, t: SimTime) -> f64;
+}
+
+impl PowerSource for SocketModel {
+    fn spec(&self) -> SocketSpec {
+        self.spec
+    }
+
+    fn domain_power(&self, domain: RaplDomain, t: SimTime) -> f64 {
+        SocketModel::domain_power(self, domain, t)
+    }
+
+    fn domain_energy(&self, domain: RaplDomain, t: SimTime) -> f64 {
+        SocketModel::domain_energy(self, domain, t)
+    }
+}
 
 /// The socket bound to a workload.
 #[derive(Clone, Debug)]

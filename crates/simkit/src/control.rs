@@ -1,0 +1,328 @@
+//! Deterministic controller/actuator primitives on the virtual clock.
+//!
+//! The scenario catalog (DESIGN.md §16) closes the loop: a controller
+//! *reads* a mechanism's measurements and *writes* device state back, so
+//! measurement error now feeds into workload behavior. Everything here is
+//! pure arithmetic on [`SimTime`] — no wall clock, no global state — so a
+//! closed-loop run replays byte-identically from its seed exactly like the
+//! passive runs do.
+//!
+//! * [`PiController`] — a clamped proportional-integral regulator with
+//!   conditional anti-windup;
+//! * [`Hysteresis`] — a two-threshold engage/release comparator (the shape
+//!   of every thermal-throttle governor);
+//! * [`CadenceGate`] — quantizes actuation onto a fixed control cadence so
+//!   a controller fires at most once per control period no matter how many
+//!   measurements arrive inside it;
+//! * [`ControlTrace`] / [`ControlRow`] — an append-only record of every
+//!   controller decision, rendered into the per-replication artifacts.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A clamped proportional-integral controller.
+///
+/// `update` maps an observed value to a command in `[out_min, out_max]`.
+/// Anti-windup is conditional: the integral accumulates only while the
+/// output is not saturated against the direction of the error, so a long
+/// saturated transient does not have to be "unwound" before the controller
+/// responds to a sign change.
+#[derive(Clone, Debug)]
+pub struct PiController {
+    /// The value the controller drives the observation toward.
+    pub setpoint: f64,
+    /// Proportional gain (command units per unit of error).
+    pub kp: f64,
+    /// Integral gain (command units per unit of error, per second).
+    pub ki: f64,
+    /// Lower output clamp.
+    pub out_min: f64,
+    /// Upper output clamp.
+    pub out_max: f64,
+    integral: f64,
+    last_update: Option<SimTime>,
+}
+
+impl PiController {
+    /// A controller for `setpoint` with gains `kp`/`ki`, output clamped to
+    /// `[out_min, out_max]`.
+    ///
+    /// # Panics
+    /// If the clamp range is empty or any parameter is non-finite.
+    pub fn new(setpoint: f64, kp: f64, ki: f64, out_min: f64, out_max: f64) -> Self {
+        assert!(
+            setpoint.is_finite() && kp.is_finite() && ki.is_finite(),
+            "PI parameters must be finite"
+        );
+        assert!(
+            out_min.is_finite() && out_max.is_finite() && out_min <= out_max,
+            "PI output clamp [{out_min}, {out_max}] is empty"
+        );
+        PiController {
+            setpoint,
+            kp,
+            ki,
+            out_min,
+            out_max,
+            integral: 0.0,
+            last_update: None,
+        }
+    }
+
+    /// Observe `value` at `now` and return the clamped command.
+    ///
+    /// The first call establishes the integration origin (pure P step);
+    /// later calls integrate the error over the elapsed virtual time.
+    pub fn update(&mut self, now: SimTime, value: f64) -> f64 {
+        let error = self.setpoint - value;
+        let dt_secs = match self.last_update {
+            Some(prev) if now > prev => now.saturating_since(prev).as_secs_f64(),
+            _ => 0.0,
+        };
+        self.last_update = Some(now);
+        let candidate = self.integral + error * dt_secs;
+        let raw = self.kp * error + self.ki * candidate;
+        // Conditional anti-windup: latch the new integral unless the
+        // output is saturated *against* the error — integrating while
+        // pinned at a clamp with the error pointing further out would
+        // wind up, but an error pointing back toward the range must
+        // integrate or the controller deadlocks at the clamp.
+        let pinned_low = raw < self.out_min;
+        let pinned_high = raw > self.out_max;
+        if (!pinned_low || error > 0.0) && (!pinned_high || error < 0.0) {
+            self.integral = candidate;
+        }
+        raw.clamp(self.out_min, self.out_max)
+    }
+
+    /// The accumulated integral term (error·seconds), for inspection.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+/// A two-threshold comparator with memory: engages at or above `high`,
+/// releases at or below `low`, and holds its state in between.
+#[derive(Clone, Copy, Debug)]
+pub struct Hysteresis {
+    /// Engage threshold (inclusive).
+    pub high: f64,
+    /// Release threshold (inclusive).
+    pub low: f64,
+    engaged: bool,
+}
+
+impl Hysteresis {
+    /// A released comparator with the given thresholds.
+    ///
+    /// # Panics
+    /// If `low > high` (the dead band would be inverted).
+    pub fn new(high: f64, low: f64) -> Self {
+        assert!(
+            low <= high,
+            "hysteresis band inverted: low {low} > high {high}"
+        );
+        Hysteresis {
+            high,
+            low,
+            engaged: false,
+        }
+    }
+
+    /// Feed an observation; returns the (possibly updated) engaged state.
+    pub fn update(&mut self, value: f64) -> bool {
+        if value >= self.high {
+            self.engaged = true;
+        } else if value <= self.low {
+            self.engaged = false;
+        }
+        self.engaged
+    }
+
+    /// Current engaged state without feeding a new observation.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+}
+
+/// Quantizes actuation onto a fixed cadence grid anchored at `origin`.
+///
+/// `try_fire(t)` answers whether `t` has crossed into a cadence period
+/// that has not fired yet. Measurements arriving faster than the control
+/// cadence (e.g. a 100 ms poll driving a 500 ms actuator) collapse to one
+/// actuation per period, deterministically on the virtual clock.
+#[derive(Clone, Copy, Debug)]
+pub struct CadenceGate {
+    origin: SimTime,
+    period: SimDuration,
+    last_fired: Option<u64>,
+}
+
+impl CadenceGate {
+    /// A gate firing once per `period`, with period 0 anchored at `origin`.
+    ///
+    /// # Panics
+    /// If `period` is zero.
+    pub fn new(origin: SimTime, period: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "cadence period must be nonzero");
+        CadenceGate {
+            origin,
+            period,
+            last_fired: None,
+        }
+    }
+
+    /// Whether `t` lands in a cadence period that has not fired yet; if
+    /// so, marks that period fired. Times before `origin` never fire.
+    pub fn try_fire(&mut self, t: SimTime) -> bool {
+        if t < self.origin {
+            return false;
+        }
+        let idx = t.saturating_since(self.origin).as_nanos() / self.period.as_nanos();
+        if self.last_fired == Some(idx) {
+            return false;
+        }
+        self.last_fired = Some(idx);
+        true
+    }
+}
+
+/// One controller decision: what was observed, what was commanded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlRow {
+    /// Virtual time of the decision.
+    pub at: SimTime,
+    /// The observation fed to the controller (watts, °C, …).
+    pub observed: f64,
+    /// The command issued (a power limit, a throttle scale, …).
+    pub command: f64,
+    /// Whether the actuator was engaged after this decision (always true
+    /// for continuous actuators like a power cap; meaningful for on/off
+    /// actuators like a thermal throttle).
+    pub engaged: bool,
+}
+
+/// An append-only record of controller decisions, one [`ControlRow`] per
+/// actuation, rendered into the per-replication CSV artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct ControlTrace {
+    rows: Vec<ControlRow>,
+}
+
+impl ControlTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ControlTrace::default()
+    }
+
+    /// Append one decision.
+    pub fn record(&mut self, at: SimTime, observed: f64, command: f64, engaged: bool) {
+        self.rows.push(ControlRow {
+            at,
+            observed,
+            command,
+            engaged,
+        });
+    }
+
+    /// All decisions in actuation order.
+    pub fn rows(&self) -> &[ControlRow] {
+        &self.rows
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no decision has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fraction of decisions with the actuator engaged (0 when empty) —
+    /// the duty cycle of an on/off actuator over the run.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let on = self.rows.iter().filter(|r| r.engaged).count();
+        on as f64 / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_converges_to_setpoint_on_integrator_plant() {
+        // Plant: value follows the command directly; the controller should
+        // settle with command == setpoint.
+        let mut pi = PiController::new(30.0, 0.5, 2.0, 0.0, 100.0);
+        let mut value = 80.0;
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            let cmd = pi.update(t, value);
+            value = cmd; // zero-lag plant
+            t += SimDuration::from_millis(100);
+        }
+        assert!((value - 30.0).abs() < 0.5, "settled at {value}");
+    }
+
+    #[test]
+    fn pi_output_always_clamped() {
+        let mut pi = PiController::new(0.0, 10.0, 10.0, 20.0, 130.0);
+        let mut t = SimTime::ZERO;
+        for v in [-1e6, -3.0, 0.0, 5.0, 1e6] {
+            let cmd = pi.update(t, v);
+            assert!((20.0..=130.0).contains(&cmd), "command {cmd} for obs {v}");
+            t += SimDuration::from_millis(100);
+        }
+    }
+
+    #[test]
+    fn pi_anti_windup_recovers_quickly() {
+        let mut pi = PiController::new(10.0, 1.0, 1.0, 0.0, 50.0);
+        let mut t = SimTime::ZERO;
+        // Long saturated stretch far below the setpoint...
+        for _ in 0..100 {
+            pi.update(t, -1000.0);
+            t += SimDuration::from_secs(1);
+        }
+        // ...must not have accumulated an integral the clamp hid.
+        let cmd = pi.update(t, 10.0); // zero error
+        assert!(cmd < 50.0, "integral wound up: {cmd}");
+    }
+
+    #[test]
+    fn hysteresis_holds_between_thresholds() {
+        let mut h = Hysteresis::new(80.0, 72.0);
+        assert!(!h.update(75.0)); // below high, starts released
+        assert!(h.update(81.0)); // engage
+        assert!(h.update(75.0)); // hold inside the band
+        assert!(!h.update(71.0)); // release
+        assert!(!h.update(75.0)); // hold released inside the band
+    }
+
+    #[test]
+    fn cadence_gate_fires_once_per_period() {
+        let mut g = CadenceGate::new(SimTime::ZERO, SimDuration::from_millis(500));
+        assert!(g.try_fire(SimTime::from_millis(0)));
+        assert!(!g.try_fire(SimTime::from_millis(100)));
+        assert!(!g.try_fire(SimTime::from_millis(499)));
+        assert!(g.try_fire(SimTime::from_millis(500)));
+        assert!(!g.try_fire(SimTime::from_millis(900)));
+        assert!(g.try_fire(SimTime::from_millis(1700))); // skipped periods are fine
+    }
+
+    #[test]
+    fn trace_duty_cycle() {
+        let mut tr = ControlTrace::new();
+        tr.record(SimTime::ZERO, 1.0, 0.0, true);
+        tr.record(SimTime::from_secs(1), 1.0, 0.0, false);
+        tr.record(SimTime::from_secs(2), 1.0, 0.0, true);
+        tr.record(SimTime::from_secs(3), 1.0, 0.0, true);
+        assert_eq!(tr.duty_cycle(), 0.75);
+        assert_eq!(tr.len(), 4);
+    }
+}

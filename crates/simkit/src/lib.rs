@@ -24,6 +24,10 @@
 //!   maps query times onto a mechanism's update grid so repeat reads
 //!   within one generation are served without re-paying the access path,
 //!   with exact hit/miss/bypass accounting ([`CacheStats`]);
+//! * [`control`] — deterministic controller/actuator primitives
+//!   ([`PiController`], [`Hysteresis`], [`CadenceGate`], [`ControlTrace`])
+//!   for the closed-loop scenario catalog, pure arithmetic on the virtual
+//!   clock;
 //! * [`store`] — the in-memory time-series store ([`TsStore`]): fixed-
 //!   capacity raw rings per series plus exact rollup tiers, published to
 //!   concurrent readers as copy-on-write [`StoreSnapshot`]s;
@@ -43,6 +47,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod control;
 pub mod event;
 pub mod fault;
 pub mod rng;
@@ -55,6 +60,7 @@ pub mod time;
 pub mod wire;
 
 pub use cache::{CacheLookup, CacheStats, CadenceCache};
+pub use control::{CadenceGate, ControlRow, ControlTrace, Hysteresis, PiController};
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{FaultOutcome, FaultPlan, FaultProcess, FaultSpec};
 pub use rng::{DetRng, NoiseStream};

@@ -35,6 +35,7 @@
 pub use bgq_sim;
 pub use envmon_accuracy as accuracy;
 pub use envmon_analysis as analysis;
+pub use envmon_scenarios as scenarios;
 pub use envmon_serve as serve;
 pub use hpc_workloads as workloads;
 pub use mic_sim;
@@ -50,6 +51,9 @@ pub use simkit;
 pub mod prelude {
     pub use bgq_sim::{BgqConfig, BgqMachine, EmonApi};
     pub use envmon_accuracy::{ErrorReport, MechanismProbe};
+    pub use envmon_scenarios::{
+        Exp1Config, Exp2Config, Exp3Config, Exp4Config, LiveGpuBackend, Replication,
+    };
     pub use envmon_serve::{ClientWorkload, Daemon, Query, QueryFront, ServeConfig};
     pub use hpc_workloads::{
         Channel, FixedRuntime, GaussianElimination, Mmps, Noop, TaggedLoops, VectorAdd,
@@ -60,13 +64,18 @@ pub mod prelude {
         BgqBackend, MicApiBackend, MicDaemonBackend, NvmlBackend, OccBackend, RaplBackend,
     };
     pub use moneq::{
-        ClusterRun, CollectionPlan, Completeness, Deployment, EnvBackend, MonEq, MonEqConfig,
-        ReadError, RemoteBackend, RetryPolicy,
+        ClusterRun, CollectionPlan, Completeness, ControlHook, Deployment, EnvBackend, MonEq,
+        MonEqConfig, ReadError, RemoteBackend, RetryPolicy,
     };
-    pub use nvml_sim::{DeviceConfig, GpuSpec, Nvml};
+    pub use nvml_sim::{DeviceConfig, GpuSpec, LiveGpu, Nvml};
     pub use occ_sim::{Occ, P9Spec, Power9Chip};
     pub use powermodel::{DemandTrace, Metric, Platform, Support, TrueEnergyLedger};
-    pub use rapl_sim::{MsrAccess, RaplDomain, SocketModel, SocketSpec};
+    pub use rapl_sim::{
+        CappedSocket, MsrAccess, PowerLimit, PowerSource, RaplDomain, SocketModel, SocketSpec,
+    };
     pub use simkit::wire::LinkSpec;
-    pub use simkit::{FaultPlan, FaultSpec, SamplingPolicy, SimDuration, SimTime, TimeSeries};
+    pub use simkit::{
+        CadenceGate, ControlTrace, FaultPlan, FaultSpec, Hysteresis, PiController, SamplingPolicy,
+        SimDuration, SimTime, TimeSeries,
+    };
 }

@@ -1,0 +1,96 @@
+//! Golden conformance for the scenario catalog: replication 0 of every
+//! experiment on the pinned seed schedule, byte-for-byte.
+//!
+//! The scenario artifacts are the control loops' public contract — the
+//! controller trace CSV, the summary scalars, and the invariant verdicts
+//! all come from seeded arithmetic on the virtual clock, so any change
+//! to sensor models, noise draws, controller gains, or rendering shows
+//! up as a readable first-difference diff against
+//! `tests/golden/scenarios/`.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test scenario_golden
+//! git diff tests/golden/scenarios/   # review every changed byte
+//! ```
+
+use envmon_bench::{replication_seed, DEFAULT_SEED};
+use envmon_scenarios::run_replication;
+
+/// Compare against `tests/golden/scenarios/{name}.txt`, or regenerate it
+/// when `GOLDEN_BLESS=1`.
+fn check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/scenarios")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden/scenarios");
+        std::fs::write(&path, actual).expect("write golden file");
+        eprintln!("[blessed {}]", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run GOLDEN_BLESS=1 cargo test --test scenario_golden",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    panic!("{}", first_difference(name, &expected, actual));
+}
+
+/// A readable report of the first differing line, with context.
+fn first_difference(name: &str, expected: &str, actual: &str) -> String {
+    let (exp, act): (Vec<&str>, Vec<&str>) = (expected.lines().collect(), actual.lines().collect());
+    let n = exp.len().max(act.len());
+    let at = (0..n)
+        .find(|&i| exp.get(i) != act.get(i))
+        .unwrap_or(n.saturating_sub(1));
+    let mut out = format!(
+        "golden mismatch for {name}: first difference at line {} (expected {} lines, got {})\n",
+        at + 1,
+        exp.len(),
+        act.len()
+    );
+    for i in at.saturating_sub(2)..(at + 3).min(n) {
+        out.push_str(&format!(
+            "  expected {:>5} | {}\n  actual   {:>5} | {}\n",
+            i + 1,
+            exp.get(i).unwrap_or(&"<eof>"),
+            i + 1,
+            act.get(i).unwrap_or(&"<eof>"),
+        ));
+    }
+    out
+}
+
+#[test]
+fn exp1_replication0_matches_golden() {
+    let r = run_replication("exp1", 0, replication_seed("exp1", 0, DEFAULT_SEED));
+    assert!(r.passed(), "{:?}", r.invariants);
+    check("exp1", &r.artifact());
+}
+
+#[test]
+fn exp2_replication0_matches_golden() {
+    let r = run_replication("exp2", 0, replication_seed("exp2", 0, DEFAULT_SEED));
+    assert!(r.passed(), "{:?}", r.invariants);
+    check("exp2", &r.artifact());
+}
+
+#[test]
+fn exp3_replication0_matches_golden() {
+    let r = run_replication("exp3", 0, replication_seed("exp3", 0, DEFAULT_SEED));
+    assert!(r.passed(), "{:?}", r.invariants);
+    check("exp3", &r.artifact());
+}
+
+#[test]
+fn exp4_replication0_matches_golden() {
+    let r = run_replication("exp4", 0, replication_seed("exp4", 0, DEFAULT_SEED));
+    assert!(r.passed(), "{:?}", r.invariants);
+    check("exp4", &r.artifact());
+}
